@@ -1,0 +1,13 @@
+// Figure 6.7: two capturing applications per sniffer (SMP).  Still
+// acceptable on all systems; worst/avg/best per-application capture rates.
+#include "fig_common.hpp"
+
+int main() {
+    using namespace figbench;
+    auto suts = standard_suts();
+    apply_increased_buffers(suts);
+    for (auto& sut : suts) sut.app_count = 2;
+    run_rate_figure("fig_6_7", "2 capturing applications, SMP, increased buffers", suts,
+                    default_run_config(), /*multi_app=*/true);
+    return 0;
+}

@@ -1,0 +1,14 @@
+// Figure 6.9: eight capturing applications.  Linux captures nearly nothing
+// past the threshold; FreeBSD still delivers relevant fractions to every
+// application.
+#include "fig_common.hpp"
+
+int main() {
+    using namespace figbench;
+    auto suts = standard_suts();
+    apply_increased_buffers(suts);
+    for (auto& sut : suts) sut.app_count = 8;
+    run_rate_figure("fig_6_9", "8 capturing applications, SMP, increased buffers", suts,
+                    default_run_config(), /*multi_app=*/true);
+    return 0;
+}

@@ -1,0 +1,67 @@
+// Shared driver for the figure-reproduction benches.
+//
+// Every bench prints the thesis figure it regenerates as a text table:
+// rows are the x-axis (data rate or buffer size), columns per SUT are the
+// capture rate and CPU usage — the same series the linespoints plots of
+// Chapter 6 show.  Scale knobs: CAPBENCH_PACKETS (packets per run,
+// default 400,000 vs. the thesis's 1,000,000) and CAPBENCH_REPS
+// (repetitions per point, default 1; the simulation is deterministic, so
+// repetitions only vary the workload seed).
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+
+#include "capbench/core/capbench.hpp"
+
+namespace figbench {
+
+using namespace capbench;
+using namespace capbench::harness;
+
+inline RunConfig default_run_config() {
+    RunConfig cfg;
+    cfg.packets = packets_per_run();
+    return cfg;
+}
+
+/// When CAPBENCH_GNUPLOT_DIR is set, every figure additionally writes
+/// <dir>/<figure_id>.dat and a matching .gp script.
+inline void maybe_export_gnuplot(const std::string& figure_id, const std::string& caption,
+                                 const std::vector<SweepRow>& rows, bool multi_app) {
+    const char* dir = std::getenv("CAPBENCH_GNUPLOT_DIR");
+    if (dir == nullptr) return;
+    const std::string base = std::string(dir) + "/" + figure_id;
+    std::ofstream data{base + ".dat"};
+    write_gnuplot_data(data, rows, multi_app);
+    std::ofstream script{base + ".gp"};
+    write_gnuplot_script(script, figure_id + ".dat", caption, rows);
+    std::printf("(gnuplot data written to %s.dat / .gp)\n", base.c_str());
+}
+
+/// Runs a full data-rate sweep and prints it under the figure banner.
+inline void run_rate_figure(const std::string& figure_id, const std::string& caption,
+                            const std::vector<SutConfig>& suts, const RunConfig& base,
+                            bool multi_app = false) {
+    print_figure_banner(std::cout, figure_id, caption);
+    const auto rows = rate_sweep(suts, base, default_rate_grid(), default_reps());
+    print_sweep(std::cout, "Mbit/s", rows, multi_app);
+    maybe_export_gnuplot(figure_id, caption, rows, multi_app);
+}
+
+/// Single-vs-dual processor variant (the (a)/(b) sub-figures).
+inline void run_rate_figure_both_modes(const std::string& figure_id,
+                                       const std::string& caption,
+                                       std::vector<SutConfig> suts, const RunConfig& base,
+                                       bool multi_app = false) {
+    auto single = suts;
+    apply_single_cpu(single);
+    run_rate_figure(figure_id + "(a)", caption + " — single processor mode", single, base,
+                    multi_app);
+    run_rate_figure(figure_id + "(b)", caption + " — dual processor mode", suts, base,
+                    multi_app);
+}
+
+}  // namespace figbench

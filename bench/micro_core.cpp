@@ -1,0 +1,97 @@
+// Microbenchmarks (google-benchmark) for the performance-critical library
+// pieces: the BPF VM, the filter compiler, two-stage distribution
+// sampling, frame synthesis and MiniDeflate.
+#include <benchmark/benchmark.h>
+
+#include "capbench/bpf/filter/codegen.hpp"
+#include "capbench/bpf/vm.hpp"
+#include "capbench/dist/builtin.hpp"
+#include "capbench/dist/two_stage_dist.hpp"
+#include "capbench/harness/experiment.hpp"
+#include "capbench/load/minideflate.hpp"
+#include "capbench/net/link.hpp"
+#include "capbench/pktgen/pktgen.hpp"
+
+namespace {
+
+using namespace capbench;
+
+std::vector<std::byte> sample_frame() {
+    sim::Simulator sim;
+    net::Link link{sim};
+    pktgen::GenConfig cfg;
+    cfg.count = 1;
+    cfg.packet_size = 645;
+    cfg.full_bytes = true;
+    pktgen::Generator gen{sim, link, pktgen::GenNicModel::syskonnect(), std::move(cfg)};
+    struct Sink : net::FrameSink {
+        net::PacketPtr packet;
+        void on_frame(const net::PacketPtr& p) override { packet = p; }
+    } sink;
+    link.attach(sink);
+    gen.start(sim::SimTime{});
+    sim.run();
+    const auto bytes = sink.packet->bytes();
+    return {bytes.begin(), bytes.end()};
+}
+
+void BM_BpfVmFig65Filter(benchmark::State& state) {
+    const auto prog = bpf::filter::compile_filter(harness::fig_6_5_filter_expression(), 1515);
+    const auto frame = sample_frame();
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(bpf::Vm::run(prog, frame));
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_BpfVmFig65Filter);
+
+void BM_FilterCompileFig65(benchmark::State& state) {
+    const auto expr = harness::fig_6_5_filter_expression();
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(bpf::filter::compile_filter(expr, 1515));
+    }
+}
+BENCHMARK(BM_FilterCompileFig65);
+
+void BM_TwoStageSample(benchmark::State& state) {
+    const dist::TwoStageDist d{dist::mwn_trace_histogram()};
+    sim::Rng rng{42};
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(d.sample(rng));
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_TwoStageSample);
+
+void BM_PktgenFrameSynthesis(benchmark::State& state) {
+    sim::Simulator sim;
+    net::Link link{sim};
+    pktgen::GenConfig cfg;
+    cfg.count = 1'000'000'000;
+    cfg.full_bytes = true;
+    cfg.size_dist.emplace(dist::mwn_trace_histogram());
+    cfg.use_dist = true;
+    pktgen::Generator gen{sim, link, pktgen::GenNicModel::syskonnect(), std::move(cfg)};
+    gen.start(sim::SimTime{});
+    for (auto _ : state) {
+        sim.step();  // one packet per event
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_PktgenFrameSynthesis);
+
+void BM_MiniDeflateLevel(benchmark::State& state) {
+    const load::MiniDeflate codec{static_cast<int>(state.range(0))};
+    std::vector<std::byte> packet(645);
+    for (std::size_t i = 0; i < packet.size(); ++i)
+        packet[i] = static_cast<std::byte>((i * 31) & 0xFF);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(codec.compress(packet));
+    }
+    state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * 645);
+}
+BENCHMARK(BM_MiniDeflateLevel)->Arg(1)->Arg(3)->Arg(9);
+
+}  // namespace
+
+BENCHMARK_MAIN();

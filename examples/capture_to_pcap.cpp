@@ -1,0 +1,81 @@
+// Capture to a real pcap file: runs moorhen against generated traffic, and
+// the capture application's per-packet handler streams 76-byte header
+// records into a tcpdump-compatible pcap file (Section 6.3.5's header
+// traces), which the example then re-reads and verifies.
+//
+//   $ ./examples/capture_to_pcap [out.pcap]
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "capbench/core/capbench.hpp"
+
+int main(int argc, char** argv) {
+    using namespace capbench;
+    using namespace capbench::harness;
+
+    const std::string path = argc > 1 ? argv[1] : "headers.pcap";
+
+    // Build the testbed by hand (run_once hides the sessions; here we need
+    // the handler hook of the pcap-like API).
+    TestbedConfig tb;
+    tb.gen.count = 20'000;
+    tb.gen.rate_mbps = 400.0;
+    tb.gen.full_bytes = true;  // real frame contents end up in the file
+    tb.gen.size_dist.emplace(dist::mwn_trace_histogram());
+    tb.gen.use_dist = true;
+    auto moorhen = standard_sut("moorhen");
+    moorhen.buffer_bytes = 10ull << 20;
+    tb.suts.push_back(std::move(moorhen));
+
+    Testbed bed{std::move(tb)};
+    bed.start_suts();
+
+    std::ofstream file{path, std::ios::binary};
+    if (!file) {
+        std::fprintf(stderr, "cannot create %s\n", path.c_str());
+        return 1;
+    }
+    pcap::FileWriter writer{file, /*snaplen=*/76};
+    auto& session = *bed.suts()[0]->sessions()[0];
+    session.set_filter("udp");
+    auto& sim = bed.sim();
+    session.set_handler([&](const net::PacketPtr& packet, std::uint32_t caplen) {
+        writer.write(*packet, caplen, sim.now());
+    });
+
+    bool done = false;
+    bed.generator().start(sim::SimTime{} + sim::milliseconds(10), [&] { done = true; });
+    while (!done) sim.run(sim.now() + sim::seconds(1));
+    sim.run(sim.now() + sim::milliseconds(200));
+    file.close();
+
+    const auto stats = session.stats();
+    std::printf("captured %llu packets (%llu dropped), wrote %llu records to %s\n",
+                static_cast<unsigned long long>(stats.ps_recv),
+                static_cast<unsigned long long>(stats.ps_drop),
+                static_cast<unsigned long long>(writer.records_written()), path.c_str());
+
+    // Re-read and verify the file: every record must be a UDP header
+    // snapshot with at most 76 bytes captured.
+    std::ifstream in{path, std::ios::binary};
+    pcap::FileReader reader{in};
+    std::uint64_t records = 0;
+    std::uint64_t udp = 0;
+    while (const auto rec = reader.next()) {
+        ++records;
+        if (rec->caplen > 76) {
+            std::fprintf(stderr, "record %llu exceeds the snaplen!\n",
+                         static_cast<unsigned long long>(records));
+            return 1;
+        }
+        if (rec->caplen >= 34) {
+            const auto ip = net::Ipv4Header::decode(std::span{rec->data}.subspan(14));
+            if (ip.protocol == net::kIpProtoUdp) ++udp;
+        }
+    }
+    std::printf("re-read %llu records, %llu verified as UDP — snaplen respected\n",
+                static_cast<unsigned long long>(records),
+                static_cast<unsigned long long>(udp));
+    return records == writer.records_written() ? 0 : 1;
+}

@@ -1,0 +1,156 @@
+// createDist (Appendix A.1): converts between packet-size representations
+// and produces input for the enhanced Linux Kernel Packet Generator.
+//
+//   createdist_tool [options]
+//     -I sizes|dist|trace|live|procfs  input type (default: dist)
+//                             trace = pcap file; live = capture the sizes
+//                             from a simulated testbed session (the
+//                             original tool's live mode needed root)
+//     -O sizes|dist|procfs    output type (default: procfs)
+//     -i FILE                 read from FILE instead of stdin
+//     -o FILE                 write to FILE instead of stdout
+//     -fs CHAR                field separator for dist files (default: space)
+//     -n N                    sizes to generate when -O sizes (default: 10000000)
+//     -max N                  maximum packet size N_ps (default: 1500)
+//     -prec N                 array precision rho (default: 1000)
+//     -hwidth N               bin width sigma_bin (default: 20)
+//     -outlb F                outlier bound p_Omega (default: 0.0020)
+//     -s                      wrap procfs output in pgset "..."
+//     -builtin                use the built-in MWN distribution as input
+//     -v                      verbose statistics on stderr
+//
+// Example — produce the generator commands for the MWN workload:
+//   $ ./examples/createdist_tool -builtin -s
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+
+#include "capbench/core/capbench.hpp"
+
+namespace {
+
+using namespace capbench;
+
+[[noreturn]] void usage(const char* reason) {
+    std::fprintf(stderr, "createdist_tool: %s (see the header comment for options)\n", reason);
+    std::exit(2);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    std::string in_type = "dist";
+    std::string out_type = "procfs";
+    std::string in_file;
+    std::string out_file;
+    char field_sep = ' ';
+    std::uint64_t n_sizes = 10'000'000;
+    bool pgset_wrapped = false;
+    bool use_builtin = false;
+    bool verbose = false;
+    dist::TwoStageParams params;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        const auto next = [&]() -> std::string {
+            if (i + 1 >= argc) usage(("missing value for " + arg).c_str());
+            return argv[++i];
+        };
+        if (arg == "-I") in_type = next();
+        else if (arg == "-O") out_type = next();
+        else if (arg == "-i") in_file = next();
+        else if (arg == "-o") out_file = next();
+        else if (arg == "-fs") field_sep = next()[0];
+        else if (arg == "-n") n_sizes = std::stoull(next());
+        else if (arg == "-max") params.max_size = static_cast<std::uint32_t>(std::stoul(next()));
+        else if (arg == "-prec") params.precision = static_cast<std::uint32_t>(std::stoul(next()));
+        else if (arg == "-hwidth") params.bin_size = static_cast<std::uint32_t>(std::stoul(next()));
+        else if (arg == "-outlb") params.outlier_bound = std::stod(next());
+        else if (arg == "-s") pgset_wrapped = true;
+        else if (arg == "-builtin") use_builtin = true;
+        else if (arg == "-v") verbose = true;
+        else if (arg == "-h" || arg == "--help") usage("help requested");
+        else usage(("unknown option " + arg).c_str());
+    }
+
+    std::ifstream in_stream;
+    std::istream* in = &std::cin;
+    if (!in_file.empty()) {
+        in_stream.open(in_file);
+        if (!in_stream) usage(("cannot open " + in_file).c_str());
+        in = &in_stream;
+    }
+    std::ofstream out_stream;
+    std::ostream* out = &std::cout;
+    if (!out_file.empty()) {
+        out_stream.open(out_file);
+        if (!out_stream) usage(("cannot create " + out_file).c_str());
+        out = &out_stream;
+    }
+
+    try {
+        // Acquire the histogram (or the ready-made two-stage distribution).
+        dist::SizeHistogram hist{params.max_size};
+        std::optional<dist::TwoStageDist> two_stage;
+        if (use_builtin) {
+            hist = dist::mwn_trace_histogram();
+        } else if (in_type == "sizes") {
+            hist = dist::read_sizes(*in, params.max_size);
+        } else if (in_type == "dist") {
+            hist = dist::read_dist(*in, field_sep, params.max_size);
+        } else if (in_type == "trace") {
+            hist = dist::read_pcap_trace(*in, params.max_size);
+        } else if (in_type == "live") {
+            // "Live" capture: run a moorhen session against generated MWN
+            // traffic and count the IP sizes the application receives.
+            harness::TestbedConfig tb;
+            tb.gen.count = 200'000;
+            tb.gen.rate_mbps = 400.0;
+            tb.gen.size_dist.emplace(dist::mwn_trace_histogram());
+            tb.gen.use_dist = true;
+            tb.suts.push_back(harness::standard_sut("moorhen"));
+            harness::Testbed bed{std::move(tb)};
+            bed.start_suts();
+            dist::SizeHistogram live_hist{params.max_size};
+            bed.suts()[0]->sessions()[0]->set_handler(
+                [&](const net::PacketPtr& p, std::uint32_t) {
+                    if (p->frame_len() >= net::kEthernetHeaderLen)
+                        live_hist.add(p->frame_len() - net::kEthernetHeaderLen);
+                });
+            bool done = false;
+            bed.generator().start(sim::SimTime{}, [&] { done = true; });
+            while (!done) bed.sim().run(bed.sim().now() + sim::seconds(1));
+            bed.sim().run(bed.sim().now() + sim::seconds(2));
+            hist = live_hist;
+        } else if (in_type == "procfs") {
+            two_stage = dist::read_procfs(*in);
+        } else {
+            usage(("unsupported input type " + in_type).c_str());
+        }
+
+        if (verbose && hist.total() > 0) {
+            std::fprintf(stderr, "packets: %llu  mean size: %.1f  top-20 share: %.1f%%\n",
+                         static_cast<unsigned long long>(hist.total()), hist.mean(),
+                         100.0 * hist.top_fraction(20));
+        }
+
+        if (out_type == "dist") {
+            if (!hist.total()) usage("dist output requires sizes/dist input");
+            dist::write_dist(*out, hist, field_sep);
+        } else if (out_type == "procfs") {
+            if (!two_stage) two_stage.emplace(hist, params);
+            dist::write_procfs(*out, *two_stage, pgset_wrapped);
+        } else if (out_type == "sizes") {
+            if (!two_stage) two_stage.emplace(hist, params);
+            sim::Rng rng{42};
+            dist::write_sizes(*out, *two_stage, rng, n_sizes);
+        } else {
+            usage(("unsupported output type " + out_type).c_str());
+        }
+    } catch (const std::exception& e) {
+        std::fprintf(stderr, "createdist_tool: %s\n", e.what());
+        return 1;
+    }
+    return 0;
+}

@@ -1,0 +1,74 @@
+// Filter playground: compile a tcpdump-dialect expression with capbench's
+// BPF compiler, show the generated program (like `tcpdump -d`) and run it
+// against a few sample packets.
+//
+//   $ ./examples/filter_playground 'udp and dst host 192.168.10.12'
+//   $ ./examples/filter_playground            # uses the Figure 6.5 filter
+#include <cstdio>
+#include <iostream>
+
+#include "capbench/core/capbench.hpp"
+
+namespace {
+
+using namespace capbench;
+
+std::vector<std::byte> make_frame(std::uint8_t protocol, const std::string& src_ip,
+                                  const std::string& dst_ip, std::uint16_t dst_port) {
+    std::vector<std::byte> frame(net::kEthernetHeaderLen + net::kIpv4MinHeaderLen +
+                                 net::kUdpHeaderLen + 26);
+    net::EthernetHeader eth;
+    eth.dst = net::MacAddr::parse("00:0e:0c:01:02:03");
+    eth.src = net::MacAddr::parse("00:00:00:00:00:01");
+    eth.encode(frame);
+    net::Ipv4Header ip;
+    ip.total_length = static_cast<std::uint16_t>(frame.size() - net::kEthernetHeaderLen);
+    ip.protocol = protocol;
+    ip.src = net::Ipv4Addr::parse(src_ip);
+    ip.dst = net::Ipv4Addr::parse(dst_ip);
+    ip.encode(std::span{frame}.subspan(net::kEthernetHeaderLen));
+    net::UdpHeader udp{1234, dst_port,
+                       static_cast<std::uint16_t>(net::kUdpHeaderLen + 26), 0};
+    udp.encode(std::span{frame}.subspan(net::kEthernetHeaderLen + net::kIpv4MinHeaderLen));
+    return frame;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    const std::string expression =
+        argc > 1 ? argv[1] : capbench::harness::fig_6_5_filter_expression();
+
+    std::printf("expression:\n  %s\n\n", expression.c_str());
+    capbench::bpf::Program prog;
+    try {
+        prog = capbench::bpf::filter::compile_filter(expression, 1515);
+    } catch (const capbench::bpf::filter::FilterError& e) {
+        std::fprintf(stderr, "compile error: %s\n", e.what());
+        return 1;
+    }
+    std::printf("compiled to %zu instructions:\n%s\n", prog.size(),
+                capbench::bpf::disassemble(prog).c_str());
+
+    struct Sample {
+        const char* label;
+        std::vector<std::byte> frame;
+    };
+    const Sample samples[] = {
+        {"UDP 192.168.10.100 -> 192.168.10.12:9",
+         make_frame(net::kIpProtoUdp, "192.168.10.100", "192.168.10.12", 9)},
+        {"TCP 192.168.10.100 -> 192.168.10.12:80",
+         make_frame(net::kIpProtoTcp, "192.168.10.100", "192.168.10.12", 80)},
+        {"UDP 10.11.12.13 -> 192.168.10.12:53",
+         make_frame(net::kIpProtoUdp, "10.11.12.13", "192.168.10.12", 53)},
+        {"ICMP 192.168.10.1 -> 192.168.10.12",
+         make_frame(net::kIpProtoIcmp, "192.168.10.1", "192.168.10.12", 0)},
+    };
+    std::puts("sample packets:");
+    for (const auto& sample : samples) {
+        const auto result = capbench::bpf::Vm::run(prog, sample.frame);
+        std::printf("  %-42s -> %s (%u instructions executed)\n", sample.label,
+                    result.accept_len > 0 ? "ACCEPT" : "reject", result.insns_executed);
+    }
+    return 0;
+}

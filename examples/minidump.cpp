@@ -1,0 +1,115 @@
+// minidump: a small tcpdump — reads a pcap file, applies a capbench-
+// compiled BPF filter, and prints one line per matching packet.
+//
+//   $ ./examples/minidump file.pcap ['filter expression'] [-c N] [-d]
+//
+//   -c N   stop after N matching packets
+//   -d     dump the compiled BPF program instead of reading packets
+//
+// Pairs with examples/capture_to_pcap, which produces input files:
+//   $ ./examples/capture_to_pcap /tmp/h.pcap
+//   $ ./examples/minidump /tmp/h.pcap 'udp and dst host 192.168.10.12' -c 5
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+
+#include "capbench/core/capbench.hpp"
+
+namespace {
+
+using namespace capbench;
+
+void print_packet(const pcap::Record& rec) {
+    const double ts = rec.timestamp.seconds();
+    if (rec.data.size() < net::kEthernetHeaderLen) {
+        std::printf("%.6f [truncated ethernet] caplen %u wire %u\n", ts, rec.caplen,
+                    rec.wire_len);
+        return;
+    }
+    const auto eth = net::EthernetHeader::decode(rec.data);
+    if (eth.ether_type != net::kEtherTypeIpv4 ||
+        rec.data.size() < net::kEthernetHeaderLen + net::kIpv4MinHeaderLen) {
+        std::printf("%.6f %s > %s ethertype 0x%04x length %u\n", ts,
+                    eth.src.to_string().c_str(), eth.dst.to_string().c_str(), eth.ether_type,
+                    rec.wire_len);
+        return;
+    }
+    const auto ip =
+        net::Ipv4Header::decode(std::span{rec.data}.subspan(net::kEthernetHeaderLen));
+    std::string proto = "proto-" + std::to_string(ip.protocol);
+    if (ip.protocol == net::kIpProtoUdp) proto = "UDP";
+    if (ip.protocol == net::kIpProtoTcp) proto = "TCP";
+    if (ip.protocol == net::kIpProtoIcmp) proto = "ICMP";
+    std::string ports;
+    const std::size_t l4 = net::kEthernetHeaderLen + net::kIpv4MinHeaderLen;
+    if ((ip.protocol == net::kIpProtoUdp || ip.protocol == net::kIpProtoTcp) &&
+        rec.data.size() >= l4 + 4 && ip.fragment_offset() == 0) {
+        ports = "." + std::to_string(net::load_be16(rec.data, l4)) + " > " +
+                ip.dst.to_string() + "." + std::to_string(net::load_be16(rec.data, l4 + 2));
+        std::printf("%.6f IP %s%s: %s, length %u\n", ts, ip.src.to_string().c_str(),
+                    ports.c_str(), proto.c_str(), ip.total_length);
+        return;
+    }
+    std::printf("%.6f IP %s > %s: %s, length %u\n", ts, ip.src.to_string().c_str(),
+                ip.dst.to_string().c_str(), proto.c_str(), ip.total_length);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    if (argc < 2) {
+        std::fprintf(stderr,
+                     "usage: minidump FILE.pcap ['filter expression'] [-c N] [-d]\n");
+        return 2;
+    }
+    const std::string path = argv[1];
+    std::string expression;
+    std::uint64_t max_count = 0;
+    bool dump_program = false;
+    for (int i = 2; i < argc; ++i) {
+        if (std::strcmp(argv[i], "-c") == 0 && i + 1 < argc) {
+            max_count = std::strtoull(argv[++i], nullptr, 10);
+        } else if (std::strcmp(argv[i], "-d") == 0) {
+            dump_program = true;
+        } else {
+            expression = argv[i];
+        }
+    }
+
+    bpf::Program prog;
+    try {
+        prog = bpf::filter::compile_filter(expression, 65535);
+    } catch (const bpf::filter::FilterError& e) {
+        std::fprintf(stderr, "minidump: %s\n", e.what());
+        return 1;
+    }
+    if (dump_program) {
+        std::fputs(bpf::disassemble(prog).c_str(), stdout);
+        return 0;
+    }
+
+    std::ifstream in{path, std::ios::binary};
+    if (!in) {
+        std::fprintf(stderr, "minidump: cannot open %s\n", path.c_str());
+        return 1;
+    }
+    try {
+        pcap::FileReader reader{in};
+        std::uint64_t seen = 0;
+        std::uint64_t matched = 0;
+        while (const auto rec = reader.next()) {
+            ++seen;
+            if (bpf::Vm::run(prog, rec->data, rec->wire_len).accept_len == 0) continue;
+            ++matched;
+            print_packet(*rec);
+            if (max_count > 0 && matched >= max_count) break;
+        }
+        std::fprintf(stderr, "%llu packets read, %llu matched\n",
+                     static_cast<unsigned long long>(seen),
+                     static_cast<unsigned long long>(matched));
+    } catch (const std::exception& e) {
+        std::fprintf(stderr, "minidump: %s\n", e.what());
+        return 1;
+    }
+    return 0;
+}

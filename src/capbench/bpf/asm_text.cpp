@@ -1,0 +1,116 @@
+#include "capbench/bpf/asm_text.hpp"
+
+#include <cstdio>
+#include <sstream>
+
+namespace capbench::bpf {
+
+namespace {
+
+std::string hex(std::uint32_t v) {
+    char buf[16];
+    std::snprintf(buf, sizeof buf, "#0x%x", v);
+    return buf;
+}
+
+std::string size_suffix(std::uint16_t code) {
+    switch (bpf_size(code)) {
+        case BPF_W: return "";
+        case BPF_H: return "h";
+        case BPF_B: return "b";
+        default: return "?";
+    }
+}
+
+std::string alu_name(std::uint16_t op) {
+    switch (op) {
+        case BPF_ADD: return "add";
+        case BPF_SUB: return "sub";
+        case BPF_MUL: return "mul";
+        case BPF_DIV: return "div";
+        case BPF_OR: return "or";
+        case BPF_AND: return "and";
+        case BPF_LSH: return "lsh";
+        case BPF_RSH: return "rsh";
+        case BPF_NEG: return "neg";
+        default: return "alu?";
+    }
+}
+
+std::string jmp_name(std::uint16_t op) {
+    switch (op) {
+        case BPF_JEQ: return "jeq";
+        case BPF_JGT: return "jgt";
+        case BPF_JGE: return "jge";
+        case BPF_JSET: return "jset";
+        default: return "jmp?";
+    }
+}
+
+}  // namespace
+
+std::string disassemble_insn(const Insn& insn) {
+    std::ostringstream out;
+    const std::uint16_t code = insn.code;
+    switch (bpf_class(code)) {
+        case BPF_LD:
+        case BPF_LDX: {
+            const bool is_x = bpf_class(code) == BPF_LDX;
+            const std::string name = (is_x ? "ldx" : "ld") + size_suffix(code);
+            switch (bpf_mode(code)) {
+                case BPF_IMM: out << name << ' ' << hex(insn.k); break;
+                case BPF_ABS: out << name << " [" << insn.k << ']'; break;
+                case BPF_IND: out << name << " [x + " << insn.k << ']'; break;
+                case BPF_LEN: out << name << " len"; break;
+                case BPF_MEM: out << name << " M[" << insn.k << ']'; break;
+                case BPF_MSH: out << "ldxb 4*([" << insn.k << "]&0xf)"; break;
+                default: out << name << " ?"; break;
+            }
+            break;
+        }
+        case BPF_ST: out << "st M[" << insn.k << ']'; break;
+        case BPF_STX: out << "stx M[" << insn.k << ']'; break;
+        case BPF_ALU:
+            if (bpf_op(code) == BPF_NEG)
+                out << "neg";
+            else if (bpf_src(code) == BPF_X)
+                out << alu_name(bpf_op(code)) << " x";
+            else
+                out << alu_name(bpf_op(code)) << ' ' << hex(insn.k);
+            break;
+        case BPF_JMP:
+            if (bpf_op(code) == BPF_JA) {
+                out << "ja +" << insn.k;
+            } else {
+                out << jmp_name(bpf_op(code)) << ' '
+                    << (bpf_src(code) == BPF_X ? std::string("x") : hex(insn.k)) << " jt "
+                    << static_cast<unsigned>(insn.jt) << " jf " << static_cast<unsigned>(insn.jf);
+            }
+            break;
+        case BPF_RET:
+            if (bpf_rval(code) == BPF_A)
+                out << "ret a";
+            else
+                out << "ret #" << insn.k;
+            break;
+        case BPF_MISC:
+            out << (bpf_miscop(code) == BPF_TAX ? "tax" : "txa");
+            break;
+        default:
+            out << "unknown 0x" << std::hex << code;
+            break;
+    }
+    return out.str();
+}
+
+std::string disassemble(const Program& prog) {
+    std::ostringstream out;
+    for (std::size_t pc = 0; pc < prog.size(); ++pc) {
+        char num[24];
+        std::snprintf(num, sizeof num, "(%03zu) ", pc);
+        out << num << disassemble_insn(prog[pc]) << '\n';
+    }
+    return out.str();
+}
+
+}  // namespace capbench::bpf

@@ -1,0 +1,19 @@
+// Textual disassembly of BPF programs, in the style of `tcpdump -d`.
+#pragma once
+
+#include <string>
+
+#include "capbench/bpf/insn.hpp"
+
+namespace capbench::bpf {
+
+/// One instruction, e.g. "jeq #0x800 jt 2 jf 5".
+std::string disassemble_insn(const Insn& insn);
+
+/// Whole program with line numbers:
+///   (000) ldh [12]
+///   (001) jeq #0x800 jt 2 jf 5
+///   ...
+std::string disassemble(const Program& prog);
+
+}  // namespace capbench::bpf

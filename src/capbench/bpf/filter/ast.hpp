@@ -1,0 +1,119 @@
+// Abstract syntax tree for filter expressions.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <variant>
+
+#include "capbench/net/headers.hpp"
+
+namespace capbench::bpf::filter {
+
+enum class Proto { kIp, kTcp, kUdp, kIcmp, kArp, kRarp };
+
+enum class Dir { kSrc, kDst };
+
+enum class RelOp { kEq, kNeq, kGt, kLt, kGe, kLe };
+
+enum class ArithOp { kAdd, kSub, kMul, kDiv, kAnd, kOr };
+
+/// Which header an `proto[off:size]` accessor indexes into.
+enum class AccessorBase { kEther, kIp, kTcp, kUdp, kIcmp };
+
+// ---- arithmetic expressions -------------------------------------------------
+
+struct Arith;
+using ArithPtr = std::unique_ptr<Arith>;
+
+struct ArithConst {
+    std::uint32_t value = 0;
+};
+
+struct ArithLen {};  // the `len` keyword
+
+struct ArithAccessor {
+    AccessorBase base = AccessorBase::kEther;
+    std::uint32_t offset = 0;
+    std::uint32_t size = 1;  // 1, 2 or 4
+};
+
+struct ArithBinary {
+    ArithOp op = ArithOp::kAdd;
+    ArithPtr lhs;
+    ArithPtr rhs;
+};
+
+struct Arith {
+    std::variant<ArithConst, ArithLen, ArithAccessor, ArithBinary> node;
+};
+
+// ---- boolean expressions ----------------------------------------------------
+
+struct Expr;
+using ExprPtr = std::unique_ptr<Expr>;
+
+/// `ip`, `tcp`, `arp`, ... on their own.
+struct ProtoMatch {
+    Proto proto = Proto::kIp;
+};
+
+/// `[ip] src|dst host A` (the both-directions form is expanded to an Or
+/// during parsing).
+struct HostMatch {
+    Dir dir = Dir::kSrc;
+    net::Ipv4Addr addr;
+};
+
+/// `[ip] src|dst net N/len` or `net N mask M`.
+struct NetMatch {
+    Dir dir = Dir::kSrc;
+    std::uint32_t net = 0;   // host byte order, already masked
+    std::uint32_t mask = 0;  // host byte order
+};
+
+/// `[tcp|udp] src|dst port N`; proto-unqualified matches either transport.
+struct PortMatch {
+    enum class Scope { kAny, kTcp, kUdp };
+    Scope scope = Scope::kAny;
+    Dir dir = Dir::kSrc;
+    std::uint16_t port = 0;
+};
+
+/// `ether src|dst M`.
+struct EtherHostMatch {
+    Dir dir = Dir::kSrc;
+    net::MacAddr mac;
+};
+
+/// `greater N` (len >= N) and `less N` (len <= N).
+struct LenCompare {
+    bool greater = true;
+    std::uint32_t value = 0;
+};
+
+/// `arith relop arith`, e.g. `ether[6:4] = 0x0` or `ip[8] > 10`.
+struct Relation {
+    RelOp op = RelOp::kEq;
+    ArithPtr lhs;
+    ArithPtr rhs;
+};
+
+struct Not {
+    ExprPtr child;
+};
+struct And {
+    ExprPtr lhs;
+    ExprPtr rhs;
+};
+struct Or {
+    ExprPtr lhs;
+    ExprPtr rhs;
+};
+
+struct Expr {
+    std::variant<ProtoMatch, HostMatch, NetMatch, PortMatch, EtherHostMatch, LenCompare, Relation,
+                 Not, And, Or>
+        node;
+};
+
+}  // namespace capbench::bpf::filter

@@ -1,0 +1,504 @@
+#include "capbench/bpf/filter/codegen.hpp"
+
+#include <optional>
+#include <stdexcept>
+#include <vector>
+
+#include "capbench/bpf/filter/lexer.hpp"
+#include "capbench/bpf/filter/parser.hpp"
+#include "capbench/bpf/validator.hpp"
+
+namespace capbench::bpf::filter {
+
+namespace {
+
+// Link-layer is always Ethernet here (the testbed captures from GigE
+// fiber), so the network header starts at a fixed offset.
+constexpr std::uint32_t kNetOff = net::kEthernetHeaderLen;
+
+using Label = std::int32_t;
+constexpr Label kNoLabel = -1;
+
+/// Instruction whose jump targets are symbolic labels until finalization.
+struct PendingInsn {
+    std::uint16_t code = 0;
+    std::uint32_t k = 0;
+    Label jt = kNoLabel;
+    Label jf = kNoLabel;
+    Label ja = kNoLabel;  // for BPF_JA
+};
+
+class Emitter {
+public:
+    Label new_label() {
+        labels_.push_back(-1);
+        return static_cast<Label>(labels_.size() - 1);
+    }
+
+    void place(Label label) { labels_[static_cast<std::size_t>(label)] = here(); }
+
+    void emit_stmt(std::uint16_t code, std::uint32_t k) { code_.push_back({code, k}); }
+
+    void emit_cond(std::uint16_t code, std::uint32_t k, Label if_true, Label if_false) {
+        PendingInsn insn{code, k};
+        insn.jt = if_true;
+        insn.jf = if_false;
+        code_.push_back(insn);
+    }
+
+    void emit_ja(Label target) {
+        PendingInsn insn{static_cast<std::uint16_t>(BPF_JMP | BPF_JA), 0};
+        insn.ja = target;
+        code_.push_back(insn);
+    }
+
+    /// Resolves labels, optimizes, and expands out-of-range conditionals.
+    Program finalize();
+
+private:
+    [[nodiscard]] std::int32_t here() const { return static_cast<std::int32_t>(code_.size()); }
+
+    void thread_jumps();
+    void remove_dead_code();
+    Program resolve_with_trampolines();
+
+    [[nodiscard]] std::int32_t target_of(Label label) const {
+        const auto addr = labels_[static_cast<std::size_t>(label)];
+        if (addr < 0) throw std::logic_error("codegen: unplaced label referenced");
+        return addr;
+    }
+
+    std::vector<PendingInsn> code_;
+    std::vector<std::int32_t> labels_;  // label -> instruction index
+};
+
+void Emitter::thread_jumps() {
+    // Redirect any label that points at an unconditional jump to that
+    // jump's final destination.
+    for (auto& addr : labels_) {
+        int guard = 0;
+        while (addr >= 0 && addr < here() && guard++ < 64) {
+            const PendingInsn& insn = code_[static_cast<std::size_t>(addr)];
+            if (insn.ja == kNoLabel) break;
+            const auto next = labels_[static_cast<std::size_t>(insn.ja)];
+            if (next <= addr) break;  // only follow forward edges
+            addr = next;
+        }
+    }
+}
+
+void Emitter::remove_dead_code() {
+    // Mark instructions reachable from the entry point.
+    std::vector<bool> reachable(code_.size(), false);
+    std::vector<std::size_t> work{0};
+    while (!work.empty()) {
+        const std::size_t pc = work.back();
+        work.pop_back();
+        if (pc >= code_.size() || reachable[pc]) continue;
+        reachable[pc] = true;
+        const PendingInsn& insn = code_[pc];
+        if (bpf_class(insn.code) == BPF_RET) continue;
+        if (insn.ja != kNoLabel) {
+            work.push_back(static_cast<std::size_t>(target_of(insn.ja)));
+            continue;
+        }
+        if (insn.jt != kNoLabel) {
+            work.push_back(static_cast<std::size_t>(target_of(insn.jt)));
+            work.push_back(static_cast<std::size_t>(target_of(insn.jf)));
+            continue;
+        }
+        work.push_back(pc + 1);
+    }
+
+    // Compact, remembering old->new index mapping.
+    std::vector<std::int32_t> remap(code_.size() + 1, -1);
+    std::vector<PendingInsn> kept;
+    for (std::size_t pc = 0; pc < code_.size(); ++pc) {
+        if (reachable[pc]) {
+            remap[pc] = static_cast<std::int32_t>(kept.size());
+            kept.push_back(code_[pc]);
+        }
+    }
+    remap[code_.size()] = static_cast<std::int32_t>(kept.size());
+    for (auto& addr : labels_) {
+        if (addr < 0) continue;
+        // A referenced label always points at a reachable instruction; walk
+        // forward to the next kept one to be safe for unreferenced labels.
+        std::size_t a = static_cast<std::size_t>(addr);
+        while (a < code_.size() && remap[a] < 0) ++a;
+        addr = remap[a];
+    }
+    code_ = std::move(kept);
+}
+
+Program Emitter::resolve_with_trampolines() {
+    // Try to resolve; when a conditional offset exceeds 255, rewrite that
+    // instruction into (cond jt=0 jf=1; ja T; ja F) and retry.  Offsets only
+    // grow by insertions, so this converges.
+    // Each expansion permanently fixes one conditional (its new offsets are
+    // 0/1 to adjacent trampolines), so the number of rounds is bounded by
+    // the number of conditional jumps.
+    const int max_rounds = static_cast<int>(code_.size()) * 2 + 16;
+    for (int round = 0; round < max_rounds; ++round) {
+        std::optional<std::size_t> overflow;
+        Program out;
+        out.reserve(code_.size());
+        for (std::size_t pc = 0; pc < code_.size() && !overflow; ++pc) {
+            const PendingInsn& insn = code_[pc];
+            Insn resolved{insn.code, 0, 0, insn.k};
+            if (insn.ja != kNoLabel) {
+                const auto delta = target_of(insn.ja) - static_cast<std::int32_t>(pc) - 1;
+                if (delta < 0) throw std::logic_error("codegen: backward ja");
+                resolved.k = static_cast<std::uint32_t>(delta);
+            } else if (insn.jt != kNoLabel) {
+                const auto dt = target_of(insn.jt) - static_cast<std::int32_t>(pc) - 1;
+                const auto df = target_of(insn.jf) - static_cast<std::int32_t>(pc) - 1;
+                if (dt < 0 || df < 0) throw std::logic_error("codegen: backward branch");
+                if (dt > 255 || df > 255) {
+                    overflow = pc;
+                    break;
+                }
+                resolved.jt = static_cast<std::uint8_t>(dt);
+                resolved.jf = static_cast<std::uint8_t>(df);
+            }
+            out.push_back(resolved);
+        }
+        if (!overflow) return out;
+
+        // Expand the overflowing conditional via two adjacent trampolines.
+        const std::size_t pc = *overflow;
+        const PendingInsn orig = code_[pc];
+        PendingInsn tramp_t{static_cast<std::uint16_t>(BPF_JMP | BPF_JA), 0};
+        tramp_t.ja = orig.jt;
+        PendingInsn tramp_f{static_cast<std::uint16_t>(BPF_JMP | BPF_JA), 0};
+        tramp_f.ja = orig.jf;
+        const Label lt = new_label();
+        const Label lf = new_label();
+        PendingInsn cond = orig;
+        cond.jt = lt;
+        cond.jf = lf;
+        code_[pc] = cond;
+        code_.insert(code_.begin() + static_cast<std::ptrdiff_t>(pc) + 1, {tramp_t, tramp_f});
+        // Shift every label past the insertion point.
+        for (std::size_t li = 0; li + 2 < labels_.size(); ++li) {
+            if (labels_[li] > static_cast<std::int32_t>(pc)) labels_[li] += 2;
+        }
+        labels_[static_cast<std::size_t>(lt)] = static_cast<std::int32_t>(pc) + 1;
+        labels_[static_cast<std::size_t>(lf)] = static_cast<std::int32_t>(pc) + 2;
+    }
+    throw std::logic_error("codegen: trampoline expansion did not converge");
+}
+
+Program Emitter::finalize() {
+    thread_jumps();
+    remove_dead_code();
+    Program out = resolve_with_trampolines();
+    validate_or_throw(out);
+    return out;
+}
+
+// ---- code generation over the AST ------------------------------------------
+
+class CodeGen {
+public:
+    explicit CodeGen(std::uint32_t snaplen) : snaplen_(snaplen) {}
+
+    Program run(const Expr* expr) {
+        if (expr == nullptr) return Program{stmt(BPF_RET | BPF_K, snaplen_)};
+        const Label accept = em_.new_label();
+        const Label reject = em_.new_label();
+        gen(*expr, accept, reject);
+        em_.place(accept);
+        em_.emit_stmt(BPF_RET | BPF_K, snaplen_);
+        em_.place(reject);
+        em_.emit_stmt(BPF_RET | BPF_K, 0);
+        return em_.finalize();
+    }
+
+private:
+    void gen(const Expr& expr, Label if_true, Label if_false) {
+        std::visit([&](const auto& node) { gen_node(node, if_true, if_false); }, expr.node);
+    }
+
+    // Boolean connectives.
+    void gen_node(const Not& n, Label t, Label f) { gen(*n.child, f, t); }
+    void gen_node(const And& n, Label t, Label f) {
+        const Label mid = em_.new_label();
+        gen(*n.lhs, mid, f);
+        em_.place(mid);
+        gen(*n.rhs, t, f);
+    }
+    void gen_node(const Or& n, Label t, Label f) {
+        const Label mid = em_.new_label();
+        gen(*n.lhs, t, mid);
+        em_.place(mid);
+        gen(*n.rhs, t, f);
+    }
+
+    // ether type / protocol tests.
+    void check_ethertype(std::uint16_t type, Label fail) {
+        const Label next = em_.new_label();
+        em_.emit_stmt(BPF_LD | BPF_H | BPF_ABS, 12);
+        em_.emit_cond(BPF_JMP | BPF_JEQ | BPF_K, type, next, fail);
+        em_.place(next);
+    }
+
+    void check_ip_proto(std::uint8_t proto, Label fail) {
+        const Label next = em_.new_label();
+        em_.emit_stmt(BPF_LD | BPF_B | BPF_ABS, kNetOff + 9);
+        em_.emit_cond(BPF_JMP | BPF_JEQ | BPF_K, proto, next, fail);
+        em_.place(next);
+    }
+
+    /// Transport-header fields only exist in the first fragment.
+    void check_not_fragment(Label fail) {
+        const Label next = em_.new_label();
+        em_.emit_stmt(BPF_LD | BPF_H | BPF_ABS, kNetOff + 6);
+        em_.emit_cond(BPF_JMP | BPF_JSET | BPF_K, 0x1FFF, fail, next);
+        em_.place(next);
+    }
+
+    void gen_node(const ProtoMatch& n, Label t, Label f) {
+        switch (n.proto) {
+            case Proto::kIp:
+                em_.emit_stmt(BPF_LD | BPF_H | BPF_ABS, 12);
+                em_.emit_cond(BPF_JMP | BPF_JEQ | BPF_K, net::kEtherTypeIpv4, t, f);
+                break;
+            case Proto::kArp:
+                em_.emit_stmt(BPF_LD | BPF_H | BPF_ABS, 12);
+                em_.emit_cond(BPF_JMP | BPF_JEQ | BPF_K, net::kEtherTypeArp, t, f);
+                break;
+            case Proto::kRarp:
+                em_.emit_stmt(BPF_LD | BPF_H | BPF_ABS, 12);
+                em_.emit_cond(BPF_JMP | BPF_JEQ | BPF_K, net::kEtherTypeRarp, t, f);
+                break;
+            case Proto::kTcp:
+            case Proto::kUdp:
+            case Proto::kIcmp: {
+                check_ethertype(net::kEtherTypeIpv4, f);
+                std::uint8_t proto = net::kIpProtoIcmp;
+                if (n.proto == Proto::kTcp) proto = net::kIpProtoTcp;
+                if (n.proto == Proto::kUdp) proto = net::kIpProtoUdp;
+                em_.emit_stmt(BPF_LD | BPF_B | BPF_ABS, kNetOff + 9);
+                em_.emit_cond(BPF_JMP | BPF_JEQ | BPF_K, proto, t, f);
+                break;
+            }
+        }
+    }
+
+    void gen_node(const HostMatch& n, Label t, Label f) {
+        check_ethertype(net::kEtherTypeIpv4, f);
+        const std::uint32_t off = kNetOff + (n.dir == Dir::kSrc ? 12 : 16);
+        em_.emit_stmt(BPF_LD | BPF_W | BPF_ABS, off);
+        em_.emit_cond(BPF_JMP | BPF_JEQ | BPF_K, n.addr.value(), t, f);
+    }
+
+    void gen_node(const NetMatch& n, Label t, Label f) {
+        check_ethertype(net::kEtherTypeIpv4, f);
+        const std::uint32_t off = kNetOff + (n.dir == Dir::kSrc ? 12 : 16);
+        em_.emit_stmt(BPF_LD | BPF_W | BPF_ABS, off);
+        em_.emit_stmt(BPF_ALU | BPF_AND | BPF_K, n.mask);
+        em_.emit_cond(BPF_JMP | BPF_JEQ | BPF_K, n.net, t, f);
+    }
+
+    void gen_node(const PortMatch& n, Label t, Label f) {
+        check_ethertype(net::kEtherTypeIpv4, f);
+        // Protocol scope.
+        em_.emit_stmt(BPF_LD | BPF_B | BPF_ABS, kNetOff + 9);
+        if (n.scope == PortMatch::Scope::kTcp) {
+            const Label ok = em_.new_label();
+            em_.emit_cond(BPF_JMP | BPF_JEQ | BPF_K, net::kIpProtoTcp, ok, f);
+            em_.place(ok);
+        } else if (n.scope == PortMatch::Scope::kUdp) {
+            const Label ok = em_.new_label();
+            em_.emit_cond(BPF_JMP | BPF_JEQ | BPF_K, net::kIpProtoUdp, ok, f);
+            em_.place(ok);
+        } else {
+            const Label ok = em_.new_label();
+            const Label try_udp = em_.new_label();
+            em_.emit_cond(BPF_JMP | BPF_JEQ | BPF_K, net::kIpProtoTcp, ok, try_udp);
+            em_.place(try_udp);
+            em_.emit_cond(BPF_JMP | BPF_JEQ | BPF_K, net::kIpProtoUdp, ok, f);
+            em_.place(ok);
+        }
+        check_not_fragment(f);
+        em_.emit_stmt(BPF_LDX | BPF_B | BPF_MSH, kNetOff);
+        const std::uint32_t rel = n.dir == Dir::kSrc ? 0 : 2;
+        em_.emit_stmt(BPF_LD | BPF_H | BPF_IND, kNetOff + rel);
+        em_.emit_cond(BPF_JMP | BPF_JEQ | BPF_K, n.port, t, f);
+    }
+
+    void gen_node(const EtherHostMatch& n, Label t, Label f) {
+        // MAC = 2-byte prefix + 4-byte suffix; compare the word first (it
+        // discriminates more), then the halfword -- the tcpdump layout.
+        const std::uint32_t base = n.dir == Dir::kSrc ? 6u : 0u;
+        const auto& o = n.mac.octets();
+        const std::uint32_t suffix = (static_cast<std::uint32_t>(o[2]) << 24) |
+                                     (static_cast<std::uint32_t>(o[3]) << 16) |
+                                     (static_cast<std::uint32_t>(o[4]) << 8) | o[5];
+        const std::uint32_t prefix = (static_cast<std::uint32_t>(o[0]) << 8) | o[1];
+        const Label mid = em_.new_label();
+        em_.emit_stmt(BPF_LD | BPF_W | BPF_ABS, base + 2);
+        em_.emit_cond(BPF_JMP | BPF_JEQ | BPF_K, suffix, mid, f);
+        em_.place(mid);
+        em_.emit_stmt(BPF_LD | BPF_H | BPF_ABS, base);
+        em_.emit_cond(BPF_JMP | BPF_JEQ | BPF_K, prefix, t, f);
+    }
+
+    void gen_node(const LenCompare& n, Label t, Label f) {
+        em_.emit_stmt(BPF_LD | BPF_W | BPF_LEN, 0);
+        if (n.greater)
+            em_.emit_cond(BPF_JMP | BPF_JGE | BPF_K, n.value, t, f);
+        else
+            em_.emit_cond(BPF_JMP | BPF_JGT | BPF_K, n.value, f, t);
+    }
+
+    void gen_node(const Relation& n, Label t, Label f) {
+        // Accessors into transport headers need the IP guards first.  The
+        // dedup flag is per-relation: other relations may be reached on
+        // paths that never passed this relation's guards.
+        ip_guard_emitted_ = false;
+        emit_accessor_guards(*n.lhs, f);
+        emit_accessor_guards(*n.rhs, f);
+
+        const auto rhs_const = const_value(*n.rhs);
+        if (rhs_const) {
+            eval(*n.lhs);
+            emit_compare(n.op, /*against_x=*/false, *rhs_const, t, f);
+            return;
+        }
+        // General case: rhs into scratch, lhs into A, X <- scratch.
+        eval(*n.rhs);
+        em_.emit_stmt(BPF_ST, kScratchTop);
+        eval(*n.lhs);
+        em_.emit_stmt(BPF_LDX | BPF_W | BPF_MEM, kScratchTop);
+        emit_compare(n.op, /*against_x=*/true, 0, t, f);
+    }
+
+    void emit_compare(RelOp op, bool against_x, std::uint32_t k, Label t, Label f) {
+        const std::uint16_t src = against_x ? BPF_X : BPF_K;
+        switch (op) {
+            case RelOp::kEq: em_.emit_cond(BPF_JMP | BPF_JEQ | src, k, t, f); break;
+            case RelOp::kNeq: em_.emit_cond(BPF_JMP | BPF_JEQ | src, k, f, t); break;
+            case RelOp::kGt: em_.emit_cond(BPF_JMP | BPF_JGT | src, k, t, f); break;
+            case RelOp::kLe: em_.emit_cond(BPF_JMP | BPF_JGT | src, k, f, t); break;
+            case RelOp::kGe: em_.emit_cond(BPF_JMP | BPF_JGE | src, k, t, f); break;
+            case RelOp::kLt: em_.emit_cond(BPF_JMP | BPF_JGE | src, k, f, t); break;
+        }
+    }
+
+    /// Protocol guards implied by accessors (tcpdump semantics: `tcp[0]`
+    /// implies the packet is first-fragment TCP over IPv4).
+    void emit_accessor_guards(const Arith& a, Label f) {
+        if (const auto* bin = std::get_if<ArithBinary>(&a.node)) {
+            emit_accessor_guards(*bin->lhs, f);
+            emit_accessor_guards(*bin->rhs, f);
+            return;
+        }
+        const auto* acc = std::get_if<ArithAccessor>(&a.node);
+        if (acc == nullptr) return;
+        switch (acc->base) {
+            case AccessorBase::kEther:
+                break;
+            case AccessorBase::kIp:
+                if (!ip_guard_emitted_) {
+                    check_ethertype(net::kEtherTypeIpv4, f);
+                    ip_guard_emitted_ = true;
+                }
+                break;
+            case AccessorBase::kTcp:
+            case AccessorBase::kUdp:
+            case AccessorBase::kIcmp: {
+                if (!ip_guard_emitted_) {
+                    check_ethertype(net::kEtherTypeIpv4, f);
+                    ip_guard_emitted_ = true;
+                }
+                std::uint8_t proto = net::kIpProtoTcp;
+                if (acc->base == AccessorBase::kUdp) proto = net::kIpProtoUdp;
+                if (acc->base == AccessorBase::kIcmp) proto = net::kIpProtoIcmp;
+                check_ip_proto(proto, f);
+                check_not_fragment(f);
+                break;
+            }
+        }
+    }
+
+    [[nodiscard]] static std::optional<std::uint32_t> const_value(const Arith& a) {
+        if (const auto* c = std::get_if<ArithConst>(&a.node)) return c->value;
+        return std::nullopt;
+    }
+
+    /// Evaluates an arithmetic expression into register A.
+    void eval(const Arith& a) {
+        std::visit([&](const auto& node) { eval_node(node); }, a.node);
+    }
+
+    void eval_node(const ArithConst& n) { em_.emit_stmt(BPF_LD | BPF_IMM, n.value); }
+    void eval_node(const ArithLen&) { em_.emit_stmt(BPF_LD | BPF_W | BPF_LEN, 0); }
+
+    void eval_node(const ArithAccessor& n) {
+        const std::uint16_t size = n.size == 4 ? BPF_W : n.size == 2 ? BPF_H : BPF_B;
+        switch (n.base) {
+            case AccessorBase::kEther:
+                em_.emit_stmt(BPF_LD | size | BPF_ABS, n.offset);
+                break;
+            case AccessorBase::kIp:
+                em_.emit_stmt(BPF_LD | size | BPF_ABS, kNetOff + n.offset);
+                break;
+            default:
+                // Transport offset depends on the variable IP header length.
+                em_.emit_stmt(BPF_LDX | BPF_B | BPF_MSH, kNetOff);
+                em_.emit_stmt(BPF_LD | size | BPF_IND, kNetOff + n.offset);
+                break;
+        }
+    }
+
+    void eval_node(const ArithBinary& n) {
+        const auto rhs_const = const_value(*n.rhs);
+        if (rhs_const) {
+            eval(*n.lhs);
+            em_.emit_stmt(BPF_ALU | alu_code(n.op) | BPF_K, *rhs_const);
+            return;
+        }
+        if (scratch_ == 0) throw FilterError("arithmetic expression too deep", 0);
+        const std::uint32_t slot = --scratch_;
+        eval(*n.rhs);
+        em_.emit_stmt(BPF_ST, slot);
+        eval(*n.lhs);
+        em_.emit_stmt(BPF_LDX | BPF_W | BPF_MEM, slot);
+        em_.emit_stmt(BPF_ALU | alu_code(n.op) | BPF_X, 0);
+        ++scratch_;
+    }
+
+    static std::uint16_t alu_code(ArithOp op) {
+        switch (op) {
+            case ArithOp::kAdd: return BPF_ADD;
+            case ArithOp::kSub: return BPF_SUB;
+            case ArithOp::kMul: return BPF_MUL;
+            case ArithOp::kDiv: return BPF_DIV;
+            case ArithOp::kAnd: return BPF_AND;
+            case ArithOp::kOr: return BPF_OR;
+        }
+        return BPF_ADD;
+    }
+
+    static constexpr std::uint32_t kScratchTop = kMemWords - 1;
+
+    Emitter em_;
+    std::uint32_t snaplen_;
+    std::uint32_t scratch_ = kMemWords - 1;  // slots 0..14 for nested binops
+    bool ip_guard_emitted_ = false;  // per-relation; reset before each
+};
+
+}  // namespace
+
+Program codegen(const Expr* expr, std::uint32_t snaplen) {
+    return CodeGen{snaplen}.run(expr);
+}
+
+Program compile_filter(const std::string& expression, std::uint32_t snaplen) {
+    const auto ast = parse(expression);
+    return codegen(ast.get(), snaplen);
+}
+
+}  // namespace capbench::bpf::filter

@@ -1,0 +1,26 @@
+// Compiles filter ASTs to classic BPF programs.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "capbench/bpf/filter/ast.hpp"
+#include "capbench/bpf/insn.hpp"
+
+namespace capbench::bpf::filter {
+
+/// Generates a validated BPF program.  A null expression (empty filter)
+/// yields the accept-all program.  `snaplen` is the value accepted packets
+/// return (bytes to capture).
+///
+/// Generated code is optimized with jump threading, removal of jumps to the
+/// next instruction, and dead-code elimination; conditional jumps whose
+/// targets exceed the 8-bit offset range are automatically split via
+/// unconditional-jump trampolines, so arbitrarily long and/or chains (such
+/// as the 50-primitive filter of Figure 6.5) compile correctly.
+Program codegen(const Expr* expr, std::uint32_t snaplen = 65535);
+
+/// Convenience: parse + codegen in one step (the pcap_compile analog).
+Program compile_filter(const std::string& expression, std::uint32_t snaplen = 65535);
+
+}  // namespace capbench::bpf::filter

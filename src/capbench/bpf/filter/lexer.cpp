@@ -1,0 +1,178 @@
+#include "capbench/bpf/filter/lexer.hpp"
+
+#include <cctype>
+#include <stdexcept>
+
+namespace capbench::bpf::filter {
+
+namespace {
+
+bool is_hex(char c) { return std::isxdigit(static_cast<unsigned char>(c)); }
+bool is_digit(char c) { return std::isdigit(static_cast<unsigned char>(c)); }
+bool is_ident_start(char c) { return std::isalpha(static_cast<unsigned char>(c)) || c == '_'; }
+bool is_ident(char c) { return std::isalnum(static_cast<unsigned char>(c)) || c == '_'; }
+
+/// True when input at `pos` looks like a MAC address: six groups of 1-2 hex
+/// digits separated by colons.
+bool looks_like_mac(const std::string& in, std::size_t pos) {
+    int groups = 0;
+    std::size_t i = pos;
+    while (groups < 6) {
+        std::size_t digits = 0;
+        while (i < in.size() && is_hex(in[i]) && digits < 2) {
+            ++i;
+            ++digits;
+        }
+        if (digits == 0) return false;
+        ++groups;
+        if (groups == 6) break;
+        if (i >= in.size() || in[i] != ':') return false;
+        ++i;
+    }
+    // Must not be followed by another hex digit or colon group.
+    return i >= in.size() || (!is_hex(in[i]) && in[i] != ':');
+}
+
+}  // namespace
+
+std::vector<Token> tokenize(const std::string& input) {
+    std::vector<Token> tokens;
+    std::size_t i = 0;
+    const auto push = [&](TokenKind kind, std::size_t start, std::string text = {},
+                          std::uint64_t number = 0) {
+        tokens.push_back(Token{kind, std::move(text), number, start});
+    };
+
+    while (i < input.size()) {
+        const char c = input[i];
+        const std::size_t start = i;
+        if (std::isspace(static_cast<unsigned char>(c))) {
+            ++i;
+            continue;
+        }
+        if (is_ident_start(c)) {
+            // Could still be a MAC like "aa:bb:..." starting with letters.
+            if (is_hex(c) && looks_like_mac(input, i)) {
+                std::size_t j = i;
+                while (j < input.size() && (is_hex(input[j]) || input[j] == ':')) ++j;
+                push(TokenKind::kMac, start, input.substr(i, j - i));
+                i = j;
+                continue;
+            }
+            std::size_t j = i;
+            while (j < input.size() && is_ident(input[j])) ++j;
+            push(TokenKind::kIdent, start, input.substr(i, j - i));
+            i = j;
+            continue;
+        }
+        if (is_digit(c)) {
+            if (looks_like_mac(input, i)) {
+                std::size_t j = i;
+                while (j < input.size() && (is_hex(input[j]) || input[j] == ':')) ++j;
+                push(TokenKind::kMac, start, input.substr(i, j - i));
+                i = j;
+                continue;
+            }
+            // Hex number?
+            if (c == '0' && i + 1 < input.size() && (input[i + 1] == 'x' || input[i + 1] == 'X')) {
+                std::size_t j = i + 2;
+                while (j < input.size() && is_hex(input[j])) ++j;
+                if (j == i + 2) throw FilterError("bad hex literal", start);
+                push(TokenKind::kNumber, start, {}, std::stoull(input.substr(i, j - i), nullptr, 16));
+                i = j;
+                continue;
+            }
+            // Decimal run; dotted quad detection.
+            std::size_t j = i;
+            while (j < input.size() && is_digit(input[j])) ++j;
+            if (j < input.size() && input[j] == '.') {
+                std::size_t k = i;
+                int dots = 0;
+                while (k < input.size() && (is_digit(input[k]) || input[k] == '.')) {
+                    if (input[k] == '.') ++dots;
+                    ++k;
+                }
+                if (dots != 3) throw FilterError("malformed IPv4 address", start);
+                push(TokenKind::kIpv4, start, input.substr(i, k - i));
+                i = k;
+                continue;
+            }
+            push(TokenKind::kNumber, start, {}, std::stoull(input.substr(i, j - i)));
+            i = j;
+            continue;
+        }
+        switch (c) {
+            case '(': push(TokenKind::kLParen, start); ++i; break;
+            case ')': push(TokenKind::kRParen, start); ++i; break;
+            case '[': push(TokenKind::kLBracket, start); ++i; break;
+            case ']': push(TokenKind::kRBracket, start); ++i; break;
+            case ':': push(TokenKind::kColon, start); ++i; break;
+            case '/': push(TokenKind::kSlash, start); ++i; break;
+            case '+': push(TokenKind::kPlus, start); ++i; break;
+            case '-': push(TokenKind::kMinus, start); ++i; break;
+            case '*': push(TokenKind::kStar, start); ++i; break;
+            case '&': {
+                if (i + 1 < input.size() && input[i + 1] == '&') {
+                    push(TokenKind::kIdent, start, "and");
+                    i += 2;
+                } else {
+                    push(TokenKind::kAmp, start);
+                    ++i;
+                }
+                break;
+            }
+            case '|': {
+                if (i + 1 < input.size() && input[i + 1] == '|') {
+                    push(TokenKind::kIdent, start, "or");
+                    i += 2;
+                } else {
+                    push(TokenKind::kPipe, start);
+                    ++i;
+                }
+                break;
+            }
+            case '=':
+                if (i + 1 < input.size() && input[i + 1] == '=') {
+                    push(TokenKind::kEq, start);
+                    i += 2;
+                } else {
+                    push(TokenKind::kEq, start);
+                    ++i;
+                }
+                break;
+            case '!':
+                if (i + 1 < input.size() && input[i + 1] == '=') {
+                    push(TokenKind::kNeq, start);
+                    i += 2;
+                } else {
+                    push(TokenKind::kIdent, start, "not");
+                    ++i;
+                }
+                break;
+            case '>':
+                if (i + 1 < input.size() && input[i + 1] == '=') {
+                    push(TokenKind::kGe, start);
+                    i += 2;
+                } else {
+                    push(TokenKind::kGt, start);
+                    ++i;
+                }
+                break;
+            case '<':
+                if (i + 1 < input.size() && input[i + 1] == '=') {
+                    push(TokenKind::kLe, start);
+                    i += 2;
+                } else {
+                    push(TokenKind::kLt, start);
+                    ++i;
+                }
+                break;
+            default:
+                throw FilterError(std::string("unexpected character '") + c + "'", start);
+        }
+    }
+    tokens.push_back(Token{TokenKind::kEnd, {}, 0, input.size()});
+    return tokens;
+}
+
+}  // namespace capbench::bpf::filter

@@ -1,0 +1,60 @@
+// Tokenizer for the tcpdump-dialect filter expression language.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace capbench::bpf::filter {
+
+enum class TokenKind {
+    kIdent,    // keywords and names: ip, tcp, host, and, or, ...
+    kNumber,   // 123, 0x800
+    kIpv4,     // 192.168.10.12
+    kMac,      // 00:00:00:00:00:00
+    kLParen,   // (
+    kRParen,   // )
+    kLBracket, // [
+    kRBracket, // ]
+    kColon,    // :
+    kSlash,    // /
+    kPlus,     // +
+    kMinus,    // -
+    kStar,     // *
+    kAmp,      // &
+    kPipe,     // |
+    kEq,       // = or ==
+    kNeq,      // !=
+    kGt,       // >
+    kLt,       // <
+    kGe,       // >=
+    kLe,       // <=
+    kEnd,
+};
+
+struct Token {
+    TokenKind kind = TokenKind::kEnd;
+    std::string text;         // raw text for idents/addresses
+    std::uint64_t number = 0; // value for kNumber
+    std::size_t offset = 0;   // position in the input, for error messages
+};
+
+/// Splits `input` into tokens.  Throws FilterError on unexpected characters.
+std::vector<Token> tokenize(const std::string& input);
+
+/// Error type for all filter compilation failures (lexing, parsing,
+/// code generation), carrying the offending position where known.
+class FilterError : public std::runtime_error {
+public:
+    FilterError(const std::string& message, std::size_t offset)
+        : std::runtime_error(message + " (at offset " + std::to_string(offset) + ")"),
+          offset_(offset) {}
+
+    [[nodiscard]] std::size_t offset() const { return offset_; }
+
+private:
+    std::size_t offset_;
+};
+
+}  // namespace capbench::bpf::filter

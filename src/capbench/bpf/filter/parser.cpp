@@ -1,0 +1,369 @@
+#include "capbench/bpf/filter/parser.hpp"
+
+#include <utility>
+
+#include "capbench/bpf/filter/lexer.hpp"
+
+namespace capbench::bpf::filter {
+
+namespace {
+
+ExprPtr make_expr(auto node) {
+    auto e = std::make_unique<Expr>();
+    e->node = std::move(node);
+    return e;
+}
+
+ArithPtr make_arith(auto node) {
+    auto a = std::make_unique<Arith>();
+    a->node = std::move(node);
+    return a;
+}
+
+ExprPtr make_and(ExprPtr l, ExprPtr r) { return make_expr(And{std::move(l), std::move(r)}); }
+ExprPtr make_or(ExprPtr l, ExprPtr r) { return make_expr(Or{std::move(l), std::move(r)}); }
+
+enum class DirSpec { kSrc, kDst, kSrcOrDst, kSrcAndDst, kUnspecified };
+
+class Parser {
+public:
+    explicit Parser(const std::string& input) : tokens_(tokenize(input)) {}
+
+    ExprPtr parse_all() {
+        if (peek().kind == TokenKind::kEnd) return nullptr;
+        auto expr = parse_or();
+        expect(TokenKind::kEnd, "trailing input after expression");
+        return expr;
+    }
+
+private:
+    const Token& peek(std::size_t ahead = 0) const {
+        const std::size_t i = pos_ + ahead;
+        return i < tokens_.size() ? tokens_[i] : tokens_.back();
+    }
+    const Token& advance() { return tokens_[pos_ < tokens_.size() - 1 ? pos_++ : pos_]; }
+
+    bool at_ident(const char* word) const {
+        return peek().kind == TokenKind::kIdent && peek().text == word;
+    }
+    bool eat_ident(const char* word) {
+        if (!at_ident(word)) return false;
+        advance();
+        return true;
+    }
+    void expect(TokenKind kind, const char* what) {
+        if (peek().kind != kind) throw FilterError(what, peek().offset);
+        advance();
+    }
+    [[noreturn]] void fail(const std::string& what) const {
+        throw FilterError(what, peek().offset);
+    }
+
+    // ---- boolean layer ----
+
+    ExprPtr parse_or() {
+        auto lhs = parse_and();
+        while (eat_ident("or")) lhs = make_or(std::move(lhs), parse_and());
+        return lhs;
+    }
+
+    ExprPtr parse_and() {
+        auto lhs = parse_unary();
+        while (eat_ident("and")) lhs = make_and(std::move(lhs), parse_unary());
+        return lhs;
+    }
+
+    ExprPtr parse_unary() {
+        if (eat_ident("not")) return make_expr(Not{parse_unary()});
+        if (peek().kind == TokenKind::kLParen) {
+            // A '(' can open either a boolean group or a parenthesized
+            // arithmetic expression like "(ip[2]+2) > 5"; try the boolean
+            // reading first and fall back with backtracking.
+            const std::size_t saved = pos_;
+            try {
+                advance();
+                auto inner = parse_or();
+                expect(TokenKind::kRParen, "expected ')'");
+                return inner;
+            } catch (const FilterError&) {
+                pos_ = saved;
+                return parse_relation();
+            }
+        }
+        return parse_primitive();
+    }
+
+    // ---- primitives ----
+
+    ExprPtr parse_primitive() {
+        const Token& tok = peek();
+        if (tok.kind == TokenKind::kNumber || at_ident("len")) return parse_relation();
+        if (tok.kind != TokenKind::kIdent) fail("expected filter primitive");
+
+        const std::string word = tok.text;
+        if (word == "greater" || word == "less") {
+            advance();
+            if (peek().kind != TokenKind::kNumber) fail("expected length after greater/less");
+            const auto n = static_cast<std::uint32_t>(advance().number);
+            return make_expr(LenCompare{word == "greater", n});
+        }
+        if (word == "ether") {
+            if (peek(1).kind == TokenKind::kLBracket) return parse_relation();
+            return parse_ether();
+        }
+        if (word == "ip" || word == "tcp" || word == "udp" || word == "icmp") {
+            if (peek(1).kind == TokenKind::kLBracket) return parse_relation();
+            return parse_proto_qualified();
+        }
+        if (word == "arp") {
+            advance();
+            return make_expr(ProtoMatch{Proto::kArp});
+        }
+        if (word == "rarp") {
+            advance();
+            return make_expr(ProtoMatch{Proto::kRarp});
+        }
+        if (word == "src" || word == "dst" || word == "host" || word == "net" || word == "port")
+            return parse_addr_primitive(Proto::kIp, /*have_proto=*/false);
+        fail("unknown filter primitive '" + word + "'");
+    }
+
+    ExprPtr parse_ether() {
+        advance();  // "ether"
+        DirSpec dir = DirSpec::kUnspecified;
+        if (eat_ident("src"))
+            dir = DirSpec::kSrc;
+        else if (eat_ident("dst"))
+            dir = DirSpec::kDst;
+        else if (eat_ident("host"))
+            dir = DirSpec::kSrcOrDst;
+        else
+            fail("expected src/dst/host after 'ether'");
+        if (peek().kind != TokenKind::kMac) fail("expected MAC address");
+        const auto mac = net::MacAddr::parse(advance().text);
+        switch (dir) {
+            case DirSpec::kSrc: return make_expr(EtherHostMatch{Dir::kSrc, mac});
+            case DirSpec::kDst: return make_expr(EtherHostMatch{Dir::kDst, mac});
+            default:
+                return make_or(make_expr(EtherHostMatch{Dir::kSrc, mac}),
+                               make_expr(EtherHostMatch{Dir::kDst, mac}));
+        }
+    }
+
+    ExprPtr parse_proto_qualified() {
+        const std::string word = advance().text;  // ip/tcp/udp/icmp
+        Proto proto = Proto::kIp;
+        if (word == "tcp") proto = Proto::kTcp;
+        if (word == "udp") proto = Proto::kUdp;
+        if (word == "icmp") proto = Proto::kIcmp;
+
+        // `ip proto N`
+        if (proto == Proto::kIp && eat_ident("proto")) {
+            if (peek().kind != TokenKind::kNumber) fail("expected protocol number");
+            const auto n = static_cast<std::uint32_t>(advance().number);
+            auto acc = make_arith(ArithAccessor{AccessorBase::kIp, 9, 1});
+            auto num = make_arith(ArithConst{n});
+            return make_expr(Relation{RelOp::kEq, std::move(acc), std::move(num)});
+        }
+
+        const bool has_addr_followup = at_ident("src") || at_ident("dst") || at_ident("host") ||
+                                       at_ident("net") || at_ident("port");
+        if (!has_addr_followup) return make_expr(ProtoMatch{proto});
+
+        auto addr_part = parse_addr_primitive(proto, /*have_proto=*/true);
+        // `tcp port 80` already folds the proto into the PortMatch; everything
+        // else conjoins the proto check.
+        if (proto == Proto::kIp) return addr_part;
+        if (std::holds_alternative<PortMatch>(addr_part->node) ||
+            (std::holds_alternative<Or>(addr_part->node) &&
+             std::holds_alternative<PortMatch>(std::get<Or>(addr_part->node).lhs->node)))
+            return addr_part;
+        return make_and(make_expr(ProtoMatch{proto}), std::move(addr_part));
+    }
+
+    DirSpec parse_dir() {
+        if (eat_ident("src")) {
+            if (at_ident("or") && peek(1).kind == TokenKind::kIdent && peek(1).text == "dst") {
+                advance();
+                advance();
+                return DirSpec::kSrcOrDst;
+            }
+            if (at_ident("and") && peek(1).kind == TokenKind::kIdent && peek(1).text == "dst") {
+                advance();
+                advance();
+                return DirSpec::kSrcAndDst;
+            }
+            return DirSpec::kSrc;
+        }
+        if (eat_ident("dst")) return DirSpec::kDst;
+        return DirSpec::kUnspecified;
+    }
+
+    /// host/net/port primitives, optionally preceded by src/dst.
+    ExprPtr parse_addr_primitive(Proto proto, bool have_proto) {
+        const DirSpec dir = parse_dir();
+        if (eat_ident("port")) return finish_port(proto, have_proto, dir);
+        if (eat_ident("net")) return finish_net(dir);
+        eat_ident("host");  // optional after explicit src/dst (e.g. "ip src A")
+        if (peek().kind == TokenKind::kIpv4) return finish_host(dir);
+        if (peek().kind == TokenKind::kNumber && dir == DirSpec::kUnspecified)
+            fail("expected host/net/port");
+        fail("expected IPv4 address");
+    }
+
+    ExprPtr finish_host(DirSpec dir) {
+        const auto addr = net::Ipv4Addr::parse(advance().text);
+        const auto one = [&](Dir d) { return make_expr(HostMatch{d, addr}); };
+        switch (dir) {
+            case DirSpec::kSrc: return one(Dir::kSrc);
+            case DirSpec::kDst: return one(Dir::kDst);
+            case DirSpec::kSrcAndDst: return make_and(one(Dir::kSrc), one(Dir::kDst));
+            default: return make_or(one(Dir::kSrc), one(Dir::kDst));
+        }
+    }
+
+    ExprPtr finish_net(DirSpec dir) {
+        if (peek().kind != TokenKind::kIpv4) fail("expected network address");
+        const auto base = net::Ipv4Addr::parse(advance().text);
+        std::uint32_t mask = 0;
+        if (peek().kind == TokenKind::kSlash) {
+            advance();
+            if (peek().kind != TokenKind::kNumber) fail("expected prefix length");
+            const auto len = advance().number;
+            if (len > 32) fail("prefix length > 32");
+            mask = len == 0 ? 0 : 0xFFFFFFFFu << (32 - len);
+        } else if (eat_ident("mask")) {
+            if (peek().kind != TokenKind::kIpv4) fail("expected netmask");
+            mask = net::Ipv4Addr::parse(advance().text).value();
+        } else {
+            fail("expected '/len' or 'mask' after net address");
+        }
+        const std::uint32_t netv = base.value() & mask;
+        const auto one = [&](Dir d) { return make_expr(NetMatch{d, netv, mask}); };
+        switch (dir) {
+            case DirSpec::kSrc: return one(Dir::kSrc);
+            case DirSpec::kDst: return one(Dir::kDst);
+            case DirSpec::kSrcAndDst: return make_and(one(Dir::kSrc), one(Dir::kDst));
+            default: return make_or(one(Dir::kSrc), one(Dir::kDst));
+        }
+    }
+
+    ExprPtr finish_port(Proto proto, bool have_proto, DirSpec dir) {
+        if (peek().kind != TokenKind::kNumber) fail("expected port number");
+        const auto port = static_cast<std::uint16_t>(advance().number);
+        PortMatch::Scope scope = PortMatch::Scope::kAny;
+        if (have_proto && proto == Proto::kTcp) scope = PortMatch::Scope::kTcp;
+        if (have_proto && proto == Proto::kUdp) scope = PortMatch::Scope::kUdp;
+        const auto one = [&](Dir d) { return make_expr(PortMatch{scope, d, port}); };
+        switch (dir) {
+            case DirSpec::kSrc: return one(Dir::kSrc);
+            case DirSpec::kDst: return one(Dir::kDst);
+            case DirSpec::kSrcAndDst: return make_and(one(Dir::kSrc), one(Dir::kDst));
+            default: return make_or(one(Dir::kSrc), one(Dir::kDst));
+        }
+    }
+
+    // ---- arithmetic relations ----
+
+    ExprPtr parse_relation() {
+        auto lhs = parse_arith();
+        RelOp op;
+        switch (peek().kind) {
+            case TokenKind::kEq: op = RelOp::kEq; break;
+            case TokenKind::kNeq: op = RelOp::kNeq; break;
+            case TokenKind::kGt: op = RelOp::kGt; break;
+            case TokenKind::kLt: op = RelOp::kLt; break;
+            case TokenKind::kGe: op = RelOp::kGe; break;
+            case TokenKind::kLe: op = RelOp::kLe; break;
+            default: fail("expected relational operator");
+        }
+        advance();
+        auto rhs = parse_arith();
+        return make_expr(Relation{op, std::move(lhs), std::move(rhs)});
+    }
+
+    ArithPtr parse_arith() {
+        auto lhs = parse_term();
+        for (;;) {
+            ArithOp op;
+            if (peek().kind == TokenKind::kPlus)
+                op = ArithOp::kAdd;
+            else if (peek().kind == TokenKind::kMinus)
+                op = ArithOp::kSub;
+            else if (peek().kind == TokenKind::kPipe)
+                op = ArithOp::kOr;
+            else
+                return lhs;
+            advance();
+            lhs = make_arith(ArithBinary{op, std::move(lhs), parse_term()});
+        }
+    }
+
+    ArithPtr parse_term() {
+        auto lhs = parse_factor();
+        for (;;) {
+            ArithOp op;
+            if (peek().kind == TokenKind::kStar)
+                op = ArithOp::kMul;
+            else if (peek().kind == TokenKind::kSlash)
+                op = ArithOp::kDiv;
+            else if (peek().kind == TokenKind::kAmp)
+                op = ArithOp::kAnd;
+            else
+                return lhs;
+            advance();
+            lhs = make_arith(ArithBinary{op, std::move(lhs), parse_factor()});
+        }
+    }
+
+    ArithPtr parse_factor() {
+        if (peek().kind == TokenKind::kNumber)
+            return make_arith(ArithConst{static_cast<std::uint32_t>(advance().number)});
+        if (eat_ident("len")) return make_arith(ArithLen{});
+        if (peek().kind == TokenKind::kLParen) {
+            advance();
+            auto inner = parse_arith();
+            expect(TokenKind::kRParen, "expected ')' in arithmetic expression");
+            return inner;
+        }
+        if (peek().kind == TokenKind::kIdent) {
+            AccessorBase base;
+            const std::string& word = peek().text;
+            if (word == "ether")
+                base = AccessorBase::kEther;
+            else if (word == "ip")
+                base = AccessorBase::kIp;
+            else if (word == "tcp")
+                base = AccessorBase::kTcp;
+            else if (word == "udp")
+                base = AccessorBase::kUdp;
+            else if (word == "icmp")
+                base = AccessorBase::kIcmp;
+            else
+                fail("unknown accessor base '" + word + "'");
+            advance();
+            expect(TokenKind::kLBracket, "expected '['");
+            if (peek().kind != TokenKind::kNumber) fail("expected accessor offset");
+            const auto offset = static_cast<std::uint32_t>(advance().number);
+            std::uint32_t size = 1;
+            if (peek().kind == TokenKind::kColon) {
+                advance();
+                if (peek().kind != TokenKind::kNumber) fail("expected accessor size");
+                size = static_cast<std::uint32_t>(advance().number);
+                if (size != 1 && size != 2 && size != 4) fail("accessor size must be 1, 2 or 4");
+            }
+            expect(TokenKind::kRBracket, "expected ']'");
+            return make_arith(ArithAccessor{base, offset, size});
+        }
+        fail("expected arithmetic operand");
+    }
+
+    std::vector<Token> tokens_;
+    std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+ExprPtr parse(const std::string& input) { return Parser{input}.parse_all(); }
+
+}  // namespace capbench::bpf::filter

@@ -1,0 +1,35 @@
+// Recursive-descent parser for the filter language.
+//
+// Grammar (tcpdump dialect subset; enough for the Figure 6.5 filter and
+// typical monitoring expressions):
+//
+//   expr      := and_expr ( "or" and_expr )*
+//   and_expr  := unary ( "and" unary )*
+//   unary     := "not" unary | "(" expr ")" | primitive
+//   primitive := proto_kw
+//              | ["ip"] [dir] "host"? ADDR-form    (host/src/dst matches)
+//              | ["ip"] [dir] "net" NET ("/" LEN | "mask" ADDR)?
+//              | [("tcp"|"udp")] [dir] "port" NUM
+//              | "ether" ("src"|"dst"|"host") MAC
+//              | "greater" NUM | "less" NUM
+//              | arith RELOP arith
+//   arith     := term (("+"|"-"|"|") term)*
+//   term      := factor (("*"|"/"|"&") factor)*
+//   factor    := NUM | "len" | base "[" NUM (":" NUM)? "]" | "(" arith ")"
+//
+// `dir` is "src", "dst", "src or dst" or "src and dst"; omitted means
+// "src or dst".
+#pragma once
+
+#include <string>
+
+#include "capbench/bpf/filter/ast.hpp"
+
+namespace capbench::bpf::filter {
+
+/// Parses a filter expression.  Throws FilterError on syntax errors.
+/// An empty (or all-whitespace) expression yields a null pointer, meaning
+/// "accept everything" — the libpcap convention.
+ExprPtr parse(const std::string& input);
+
+}  // namespace capbench::bpf::filter

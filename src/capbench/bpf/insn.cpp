@@ -1,0 +1,9 @@
+#include "capbench/bpf/insn.hpp"
+
+namespace capbench::bpf {
+
+Program accept_all() { return {stmt(BPF_RET | BPF_K, 0xFFFFFFFF)}; }
+
+Program reject_all() { return {stmt(BPF_RET | BPF_K, 0)}; }
+
+}  // namespace capbench::bpf

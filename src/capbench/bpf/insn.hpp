@@ -1,0 +1,98 @@
+// Classic BPF instruction set (McCanne & Jacobson 1993), as used by both
+// the FreeBSD BPF and the Linux Socket Filter (Section 2.1).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace capbench::bpf {
+
+// Opcode encoding: class | size | mode (loads), class | op | src (alu/jmp),
+// matching the historical <net/bpf.h> layout.
+inline constexpr std::uint16_t BPF_LD = 0x00;
+inline constexpr std::uint16_t BPF_LDX = 0x01;
+inline constexpr std::uint16_t BPF_ST = 0x02;
+inline constexpr std::uint16_t BPF_STX = 0x03;
+inline constexpr std::uint16_t BPF_ALU = 0x04;
+inline constexpr std::uint16_t BPF_JMP = 0x05;
+inline constexpr std::uint16_t BPF_RET = 0x06;
+inline constexpr std::uint16_t BPF_MISC = 0x07;
+
+// Load sizes.
+inline constexpr std::uint16_t BPF_W = 0x00;
+inline constexpr std::uint16_t BPF_H = 0x08;
+inline constexpr std::uint16_t BPF_B = 0x10;
+
+// Load modes.
+inline constexpr std::uint16_t BPF_IMM = 0x00;
+inline constexpr std::uint16_t BPF_ABS = 0x20;
+inline constexpr std::uint16_t BPF_IND = 0x40;
+inline constexpr std::uint16_t BPF_MEM = 0x60;
+inline constexpr std::uint16_t BPF_LEN = 0x80;
+inline constexpr std::uint16_t BPF_MSH = 0xa0;
+
+// ALU/JMP operations.
+inline constexpr std::uint16_t BPF_ADD = 0x00;
+inline constexpr std::uint16_t BPF_SUB = 0x10;
+inline constexpr std::uint16_t BPF_MUL = 0x20;
+inline constexpr std::uint16_t BPF_DIV = 0x30;
+inline constexpr std::uint16_t BPF_OR = 0x40;
+inline constexpr std::uint16_t BPF_AND = 0x50;
+inline constexpr std::uint16_t BPF_LSH = 0x60;
+inline constexpr std::uint16_t BPF_RSH = 0x70;
+inline constexpr std::uint16_t BPF_NEG = 0x80;
+
+inline constexpr std::uint16_t BPF_JA = 0x00;
+inline constexpr std::uint16_t BPF_JEQ = 0x10;
+inline constexpr std::uint16_t BPF_JGT = 0x20;
+inline constexpr std::uint16_t BPF_JGE = 0x30;
+inline constexpr std::uint16_t BPF_JSET = 0x40;
+
+// Operand sources.
+inline constexpr std::uint16_t BPF_K = 0x00;
+inline constexpr std::uint16_t BPF_X = 0x08;
+inline constexpr std::uint16_t BPF_A = 0x10;  // RET only
+
+// MISC ops.
+inline constexpr std::uint16_t BPF_TAX = 0x00;
+inline constexpr std::uint16_t BPF_TXA = 0x80;
+
+constexpr std::uint16_t bpf_class(std::uint16_t code) { return code & 0x07; }
+constexpr std::uint16_t bpf_size(std::uint16_t code) { return code & 0x18; }
+constexpr std::uint16_t bpf_mode(std::uint16_t code) { return code & 0xe0; }
+constexpr std::uint16_t bpf_op(std::uint16_t code) { return code & 0xf0; }
+constexpr std::uint16_t bpf_src(std::uint16_t code) { return code & 0x08; }
+constexpr std::uint16_t bpf_rval(std::uint16_t code) { return code & 0x18; }
+constexpr std::uint16_t bpf_miscop(std::uint16_t code) { return code & 0xf8; }
+
+/// One filter instruction: struct bpf_insn.
+struct Insn {
+    std::uint16_t code = 0;
+    std::uint8_t jt = 0;  // jump-if-true offset (relative, forward only)
+    std::uint8_t jf = 0;  // jump-if-false offset
+    std::uint32_t k = 0;  // generic operand
+
+    friend constexpr bool operator==(const Insn&, const Insn&) = default;
+};
+
+constexpr Insn stmt(std::uint16_t code, std::uint32_t k) { return Insn{code, 0, 0, k}; }
+constexpr Insn jump(std::uint16_t code, std::uint32_t k, std::uint8_t jt, std::uint8_t jf) {
+    return Insn{code, jt, jf, k};
+}
+
+using Program = std::vector<Insn>;
+
+/// Number of scratch memory slots (BPF_MEMWORDS).
+inline constexpr std::size_t kMemWords = 16;
+
+/// Maximum program length accepted by the validator (kernel limit).
+inline constexpr std::size_t kMaxInsns = 4096;
+
+/// A program that accepts every packet in full (what libpcap installs when
+/// no filter expression is given).
+Program accept_all();
+
+/// A program that rejects every packet.
+Program reject_all();
+
+}  // namespace capbench::bpf

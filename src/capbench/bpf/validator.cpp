@@ -1,0 +1,133 @@
+#include "capbench/bpf/validator.hpp"
+
+#include <stdexcept>
+
+namespace capbench::bpf {
+
+namespace {
+
+std::string at(std::size_t pc, const std::string& what) {
+    return "insn " + std::to_string(pc) + ": " + what;
+}
+
+bool known_load(std::uint16_t code) {
+    switch (bpf_mode(code) | bpf_size(code)) {
+        case BPF_IMM | BPF_W:
+        case BPF_ABS | BPF_W:
+        case BPF_ABS | BPF_H:
+        case BPF_ABS | BPF_B:
+        case BPF_IND | BPF_W:
+        case BPF_IND | BPF_H:
+        case BPF_IND | BPF_B:
+        case BPF_LEN | BPF_W:
+        case BPF_MEM | BPF_W:
+            return true;
+        default:
+            return false;
+    }
+}
+
+bool known_ldx(std::uint16_t code) {
+    switch (bpf_mode(code) | bpf_size(code)) {
+        case BPF_IMM | BPF_W:
+        case BPF_LEN | BPF_W:
+        case BPF_MEM | BPF_W:
+        case BPF_MSH | BPF_B:
+            return true;
+        default:
+            return false;
+    }
+}
+
+bool known_alu_op(std::uint16_t op) {
+    switch (op) {
+        case BPF_ADD:
+        case BPF_SUB:
+        case BPF_MUL:
+        case BPF_DIV:
+        case BPF_OR:
+        case BPF_AND:
+        case BPF_LSH:
+        case BPF_RSH:
+        case BPF_NEG:
+            return true;
+        default:
+            return false;
+    }
+}
+
+bool known_jmp_op(std::uint16_t op) {
+    switch (op) {
+        case BPF_JA:
+        case BPF_JEQ:
+        case BPF_JGT:
+        case BPF_JGE:
+        case BPF_JSET:
+            return true;
+        default:
+            return false;
+    }
+}
+
+}  // namespace
+
+std::optional<std::string> validate(const Program& prog) {
+    if (prog.empty()) return "empty program";
+    if (prog.size() > kMaxInsns) return "program longer than " + std::to_string(kMaxInsns);
+
+    for (std::size_t pc = 0; pc < prog.size(); ++pc) {
+        const Insn& insn = prog[pc];
+        switch (bpf_class(insn.code)) {
+            case BPF_LD:
+                if (!known_load(insn.code)) return at(pc, "unknown load opcode");
+                if ((bpf_mode(insn.code)) == BPF_MEM && insn.k >= kMemWords)
+                    return at(pc, "scratch index out of range");
+                break;
+            case BPF_LDX:
+                if (!known_ldx(insn.code)) return at(pc, "unknown ldx opcode");
+                if ((bpf_mode(insn.code)) == BPF_MEM && insn.k >= kMemWords)
+                    return at(pc, "scratch index out of range");
+                break;
+            case BPF_ST:
+            case BPF_STX:
+                if (insn.k >= kMemWords) return at(pc, "scratch index out of range");
+                break;
+            case BPF_ALU:
+                if (!known_alu_op(bpf_op(insn.code))) return at(pc, "unknown alu opcode");
+                if (bpf_op(insn.code) == BPF_DIV && bpf_src(insn.code) == BPF_K && insn.k == 0)
+                    return at(pc, "constant division by zero");
+                break;
+            case BPF_JMP: {
+                if (!known_jmp_op(bpf_op(insn.code))) return at(pc, "unknown jump opcode");
+                // Targets are pc + 1 + offset and must name an instruction.
+                if (bpf_op(insn.code) == BPF_JA) {
+                    if (pc + 1 + insn.k >= prog.size()) return at(pc, "ja target out of range");
+                } else {
+                    if (pc + 1 + insn.jt >= prog.size()) return at(pc, "jt target out of range");
+                    if (pc + 1 + insn.jf >= prog.size()) return at(pc, "jf target out of range");
+                }
+                break;
+            }
+            case BPF_RET:
+                if (bpf_rval(insn.code) != BPF_K && bpf_rval(insn.code) != BPF_A)
+                    return at(pc, "unknown ret source");
+                break;
+            case BPF_MISC:
+                if (bpf_miscop(insn.code) != BPF_TAX && bpf_miscop(insn.code) != BPF_TXA)
+                    return at(pc, "unknown misc opcode");
+                break;
+            default:
+                return at(pc, "unknown instruction class");
+        }
+    }
+
+    if (bpf_class(prog.back().code) != BPF_RET) return "last instruction is not RET";
+    return std::nullopt;
+}
+
+void validate_or_throw(const Program& prog) {
+    if (const auto reason = validate(prog))
+        throw std::invalid_argument("invalid BPF program: " + *reason);
+}
+
+}  // namespace capbench::bpf

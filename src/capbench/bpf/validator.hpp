@@ -1,0 +1,23 @@
+// Static BPF program validation, mirroring the checks the kernels perform
+// in bpf_validate() / sk_chk_filter() before attaching a filter.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "capbench/bpf/insn.hpp"
+
+namespace capbench::bpf {
+
+/// Returns std::nullopt for a valid program, or a human-readable reason.
+///
+/// Checks: non-empty, length <= kMaxInsns, every opcode known, all jumps
+/// land inside the program (and only forward, so termination is
+/// guaranteed), scratch memory indices in range, no constant division by
+/// zero, and the last instruction is a RET.
+std::optional<std::string> validate(const Program& prog);
+
+/// Convenience: throws std::invalid_argument when invalid.
+void validate_or_throw(const Program& prog);
+
+}  // namespace capbench::bpf

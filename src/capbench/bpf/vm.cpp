@@ -1,0 +1,152 @@
+#include "capbench/bpf/vm.hpp"
+
+#include <array>
+
+namespace capbench::bpf {
+
+namespace {
+
+bool load_w(std::span<const std::byte> data, std::uint64_t off, std::uint32_t& out) {
+    if (off + 4 > data.size()) return false;
+    out = (std::to_integer<std::uint32_t>(data[off]) << 24) |
+          (std::to_integer<std::uint32_t>(data[off + 1]) << 16) |
+          (std::to_integer<std::uint32_t>(data[off + 2]) << 8) |
+          std::to_integer<std::uint32_t>(data[off + 3]);
+    return true;
+}
+
+bool load_h(std::span<const std::byte> data, std::uint64_t off, std::uint32_t& out) {
+    if (off + 2 > data.size()) return false;
+    out = (std::to_integer<std::uint32_t>(data[off]) << 8) |
+          std::to_integer<std::uint32_t>(data[off + 1]);
+    return true;
+}
+
+bool load_b(std::span<const std::byte> data, std::uint64_t off, std::uint32_t& out) {
+    if (off >= data.size()) return false;
+    out = std::to_integer<std::uint32_t>(data[off]);
+    return true;
+}
+
+}  // namespace
+
+VmResult Vm::run(const Program& prog, std::span<const std::byte> data, std::uint32_t wire_len) {
+    VmResult result;
+    std::uint32_t a = 0;
+    std::uint32_t x = 0;
+    std::array<std::uint32_t, kMemWords> mem{};
+
+    std::size_t pc = 0;
+    while (pc < prog.size()) {
+        const Insn& insn = prog[pc];
+        ++result.insns_executed;
+        ++pc;
+        const std::uint16_t code = insn.code;
+        switch (bpf_class(code)) {
+            case BPF_LD: {
+                std::uint32_t value = 0;
+                const std::uint64_t abs = insn.k;
+                const std::uint64_t ind = static_cast<std::uint64_t>(x) + insn.k;
+                bool ok = true;
+                switch (bpf_mode(code) | bpf_size(code)) {
+                    case BPF_IMM | BPF_W: value = insn.k; break;
+                    case BPF_ABS | BPF_W: ok = load_w(data, abs, value); break;
+                    case BPF_ABS | BPF_H: ok = load_h(data, abs, value); break;
+                    case BPF_ABS | BPF_B: ok = load_b(data, abs, value); break;
+                    case BPF_IND | BPF_W: ok = load_w(data, ind, value); break;
+                    case BPF_IND | BPF_H: ok = load_h(data, ind, value); break;
+                    case BPF_IND | BPF_B: ok = load_b(data, ind, value); break;
+                    case BPF_LEN | BPF_W: value = wire_len; break;
+                    case BPF_MEM | BPF_W:
+                        if (insn.k >= kMemWords) return result;
+                        value = mem[insn.k];
+                        break;
+                    default: return result;  // malformed: reject
+                }
+                if (!ok) return result;  // out-of-bounds load rejects
+                a = value;
+                break;
+            }
+            case BPF_LDX: {
+                switch (bpf_mode(code) | bpf_size(code)) {
+                    case BPF_IMM | BPF_W: x = insn.k; break;
+                    case BPF_LEN | BPF_W: x = wire_len; break;
+                    case BPF_MEM | BPF_W:
+                        if (insn.k >= kMemWords) return result;
+                        x = mem[insn.k];
+                        break;
+                    case BPF_MSH | BPF_B: {
+                        // x = 4 * (pkt[k] & 0x0f): the IP header length idiom.
+                        std::uint32_t byte = 0;
+                        if (!load_b(data, insn.k, byte)) return result;
+                        x = 4 * (byte & 0x0F);
+                        break;
+                    }
+                    default: return result;
+                }
+                break;
+            }
+            case BPF_ST:
+                if (insn.k >= kMemWords) return result;
+                mem[insn.k] = a;
+                break;
+            case BPF_STX:
+                if (insn.k >= kMemWords) return result;
+                mem[insn.k] = x;
+                break;
+            case BPF_ALU: {
+                const std::uint32_t operand = bpf_src(code) == BPF_X ? x : insn.k;
+                switch (bpf_op(code)) {
+                    case BPF_ADD: a += operand; break;
+                    case BPF_SUB: a -= operand; break;
+                    case BPF_MUL: a *= operand; break;
+                    case BPF_DIV:
+                        if (operand == 0) return result;  // div by zero rejects
+                        a /= operand;
+                        break;
+                    case BPF_OR: a |= operand; break;
+                    case BPF_AND: a &= operand; break;
+                    case BPF_LSH: a = operand < 32 ? a << operand : 0; break;
+                    case BPF_RSH: a = operand < 32 ? a >> operand : 0; break;
+                    case BPF_NEG: a = static_cast<std::uint32_t>(-static_cast<std::int32_t>(a)); break;
+                    default: return result;
+                }
+                break;
+            }
+            case BPF_JMP: {
+                if (bpf_op(code) == BPF_JA) {
+                    pc += insn.k;
+                    break;
+                }
+                const std::uint32_t operand = bpf_src(code) == BPF_X ? x : insn.k;
+                bool taken = false;
+                switch (bpf_op(code)) {
+                    case BPF_JEQ: taken = a == operand; break;
+                    case BPF_JGT: taken = a > operand; break;
+                    case BPF_JGE: taken = a >= operand; break;
+                    case BPF_JSET: taken = (a & operand) != 0; break;
+                    default: return result;
+                }
+                pc += taken ? insn.jt : insn.jf;
+                break;
+            }
+            case BPF_RET:
+                result.accept_len = bpf_rval(code) == BPF_A ? a : insn.k;
+                return result;
+            case BPF_MISC:
+                if (bpf_miscop(code) == BPF_TAX)
+                    x = a;
+                else if (bpf_miscop(code) == BPF_TXA)
+                    a = x;
+                else
+                    return result;
+                break;
+            default:
+                return result;
+        }
+    }
+    // Fell off the end without RET: reject (validator forbids this).
+    return result;
+}
+
+}  // namespace capbench::bpf

@@ -1,0 +1,42 @@
+// Classic BPF interpreter.
+//
+// Mirrors the kernel filter machines: register A, index register X, 16
+// scratch memory words.  Out-of-bounds packet loads reject the packet
+// (return 0), exactly like bpf_filter() in the kernels.  The VM counts
+// executed instructions so the host simulation can charge filter cost from
+// the real instruction path length instead of an assumed constant.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+#include "capbench/bpf/insn.hpp"
+
+namespace capbench::bpf {
+
+struct VmResult {
+    /// Snapshot length: 0 rejects the packet; otherwise the number of bytes
+    /// to capture (0xFFFFFFFF means "whole packet").
+    std::uint32_t accept_len = 0;
+    /// Instructions executed for this packet (filter cost).
+    std::uint32_t insns_executed = 0;
+};
+
+class Vm {
+public:
+    /// Runs `prog` over the packet bytes.  `wire_len` is the original
+    /// packet length, which may exceed data.size() for truncated captures;
+    /// BPF_LEN loads yield it.  The program must have passed validate() —
+    /// run() still guards memory accesses but reports malformed programs by
+    /// rejecting the packet.
+    static VmResult run(const Program& prog, std::span<const std::byte> data,
+                        std::uint32_t wire_len);
+
+    /// Convenience: run with wire_len == data.size().
+    static VmResult run(const Program& prog, std::span<const std::byte> data) {
+        return run(prog, data, static_cast<std::uint32_t>(data.size()));
+    }
+};
+
+}  // namespace capbench::bpf

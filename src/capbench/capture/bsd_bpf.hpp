@@ -1,0 +1,77 @@
+// FreeBSD BPF device model (Section 2.1.1, Figure 2.1).
+//
+// Per capturing application the kernel keeps a STORE/HOLD double buffer.
+// The filter runs in the receive interrupt; accepted packets are copied
+// into STORE.  The buffers rotate when STORE is full and HOLD is empty
+// (otherwise the packet is dropped), or when the read timeout fires while
+// the application waits.  A read() hands the application the complete HOLD
+// buffer in one copyout — cheap per packet, but the whole-buffer copy is
+// exactly what hurts single-CPU configurations with very large buffers
+// (Figures 6.3(a)/6.4(a)).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "capbench/capture/os.hpp"
+#include "capbench/capture/tap.hpp"
+#include "capbench/sim/simulator.hpp"
+
+namespace capbench::capture {
+
+class BsdBpfDev final : public PacketTap, public StackEndpoint {
+public:
+    /// `buffer_bytes` is the size of EACH half of the double buffer.
+    BsdBpfDev(hostsim::Machine& machine, const OsSpec& os, std::uint64_t buffer_bytes,
+              std::uint32_t snaplen);
+
+    // -- PacketTap --
+    hostsim::Work plan(const net::PacketPtr& packet) override;
+    void commit(const net::PacketPtr& packet) override;
+
+    // -- StackEndpoint --
+    std::optional<Batch> fetch(std::size_t max_packets) override;
+    void set_reader(hostsim::Thread* reader) override { reader_ = reader; }
+    void install_filter(bpf::Program program) override;
+    [[nodiscard]] const CaptureStats& stats() const override { return stats_; }
+
+    /// Arms the read timeout (the libpcap to_ms): while the application
+    /// waits and HOLD is empty, a non-empty STORE rotates after `timeout`.
+    void enable_read_timeout(sim::Duration timeout);
+
+    [[nodiscard]] std::uint64_t buffer_bytes() const { return buffer_bytes_; }
+
+private:
+    struct Buffer {
+        std::vector<net::PacketPtr> packets;
+        std::uint64_t stored_bytes = 0;  // captured bytes incl. bpf headers
+        std::uint64_t caplen_bytes = 0;  // captured bytes excl. headers
+        void clear() {
+            packets.clear();
+            stored_bytes = 0;
+            caplen_bytes = 0;
+        }
+        [[nodiscard]] bool empty() const { return packets.empty(); }
+    };
+
+    [[nodiscard]] std::uint64_t slot_bytes(std::uint32_t caplen) const;
+    void rotate();
+    void schedule_timeout();
+
+    hostsim::Machine* machine_;
+    const OsSpec* os_;
+    std::uint64_t buffer_bytes_;
+    std::uint32_t snaplen_;
+    FilterRunner filter_;
+    Buffer store_;
+    Buffer hold_;
+    bool hold_ready_ = false;
+    hostsim::Thread* reader_ = nullptr;
+    CaptureStats stats_;
+    std::vector<FilterRunner::Verdict> pending_;  // FIFO plan->commit handoff
+    std::size_t pending_head_ = 0;
+    sim::Duration timeout_{};
+    bool timeout_armed_ = false;
+};
+
+}  // namespace capbench::capture

@@ -1,0 +1,21 @@
+#include "capbench/capture/driver.hpp"
+
+namespace capbench::capture {
+
+void Driver::process(const net::PacketPtr& packet) {
+    ++packets_processed_;
+    hostsim::Work work = os_->driver_per_packet;
+    work += os_->softirq_per_packet;
+    work = work.scaled(os_->kernel_cost_multiplier);
+    for (auto* tap : taps_) work += tap->plan(packet);
+
+    // FreeBSD taps packets inside the interrupt handler; Linux does the
+    // demux + clone work in the NET_RX softirq (accounted as system time).
+    const auto state = os_->family == OsFamily::kFreeBsd ? hostsim::CpuState::kInterrupt
+                                                         : hostsim::CpuState::kSystem;
+    machine_->post_kernel_work(work, state, [this, packet] {
+        for (auto* tap : taps_) tap->commit(packet);
+    });
+}
+
+}  // namespace capbench::capture

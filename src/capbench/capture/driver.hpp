@@ -1,0 +1,35 @@
+// Kernel driver + protocol demux: turns received frames into per-packet
+// kernel work and delivers them to every attached capture tap.
+#pragma once
+
+#include <vector>
+
+#include "capbench/capture/os.hpp"
+#include "capbench/capture/tap.hpp"
+#include "capbench/net/packet.hpp"
+
+namespace capbench::capture {
+
+class Driver {
+public:
+    Driver(hostsim::Machine& machine, const OsSpec& os) : machine_(&machine), os_(&os) {}
+
+    /// Registers a capture consumer.  FreeBSD: one BPF per application;
+    /// Linux: one PF_PACKET socket per application.
+    void attach(PacketTap& tap) { taps_.push_back(&tap); }
+
+    /// Posts the kernel work for one received packet (driver + softirq +
+    /// every tap's filter/copy/clone) and commits delivery when it
+    /// completes.  Runs in interrupt context on CPU 0.
+    void process(const net::PacketPtr& packet);
+
+    [[nodiscard]] std::uint64_t packets_processed() const { return packets_processed_; }
+
+private:
+    hostsim::Machine* machine_;
+    const OsSpec* os_;
+    std::vector<PacketTap*> taps_;
+    std::uint64_t packets_processed_ = 0;
+};
+
+}  // namespace capbench::capture

@@ -1,0 +1,74 @@
+// Linux PF_PACKET socket model (Section 2.1.2, Figure 2.2).
+//
+// The NET_RX softirq clones the skb for every matching packet socket and
+// appends it to the socket's receive queue, which is bounded in bytes by
+// the socket receive buffer (rmem).  The charge per packet is the skb
+// "truesize" — the slab-rounded data size plus bookkeeping — which is why
+// a 64 kB default buffer holds only a few dozen mid-size packets.  The
+// application fetches packets one recvfrom() at a time, each paying a
+// syscall plus a per-packet copy to user space.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+
+#include "capbench/capture/os.hpp"
+#include "capbench/capture/tap.hpp"
+
+namespace capbench::capture {
+
+/// Shared kernel packet-memory pool.  Cloned skbs queued on *any* packet
+/// socket are charged here; once starved applications pin their full
+/// receive queues, the pool exhausts and every socket starts dropping --
+/// the reference-counting pathology of Section 6.3.3 ("if any application
+/// does not release the claim for a packet, this packet is kept forever,
+/// blocking kernel memory").
+struct SkbPool {
+    std::uint64_t used = 0;
+    std::uint64_t limit = 192ull * 1024 * 1024;  // ~lowmem available for skbs
+};
+
+class LinuxPacketSocket final : public PacketTap, public StackEndpoint {
+public:
+    /// `rmem_bytes` is the socket receive buffer size (rmem_default or the
+    /// raised rmem_max of Section 6.3.1).
+    LinuxPacketSocket(hostsim::Machine& machine, const OsSpec& os, std::uint64_t rmem_bytes,
+                      std::uint32_t snaplen, SkbPool* pool = nullptr);
+
+    // -- PacketTap --
+    hostsim::Work plan(const net::PacketPtr& packet) override;
+    void commit(const net::PacketPtr& packet) override;
+
+    // -- StackEndpoint --
+    std::optional<Batch> fetch(std::size_t max_packets) override;
+    void set_reader(hostsim::Thread* reader) override { reader_ = reader; }
+    void install_filter(bpf::Program program) override;
+    [[nodiscard]] const CaptureStats& stats() const override { return stats_; }
+
+    [[nodiscard]] std::uint64_t rmem_bytes() const { return rmem_bytes_; }
+    [[nodiscard]] std::uint64_t queued_truesize() const { return queued_truesize_; }
+
+private:
+    struct Queued {
+        net::PacketPtr packet;
+        std::uint32_t caplen = 0;
+        std::uint64_t truesize = 0;
+    };
+
+    [[nodiscard]] std::uint64_t truesize(std::uint32_t frame_len) const;
+
+    hostsim::Machine* machine_;
+    const OsSpec* os_;
+    std::uint64_t rmem_bytes_;
+    std::uint32_t snaplen_;
+    FilterRunner filter_;
+    std::deque<Queued> queue_;
+    std::uint64_t queued_truesize_ = 0;
+    hostsim::Thread* reader_ = nullptr;
+    SkbPool* pool_ = nullptr;
+    CaptureStats stats_;
+    std::vector<FilterRunner::Verdict> pending_;
+    std::size_t pending_head_ = 0;
+};
+
+}  // namespace capbench::capture

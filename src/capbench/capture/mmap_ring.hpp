@@ -1,0 +1,56 @@
+// Memory-mapped ring-buffer capture (the Phil Woods mmap libpcap patch,
+// Section 6.3.6).
+//
+// The kernel copies accepted packets into fixed-size frames of a ring that
+// is mapped into the application's address space; the application consumes
+// frames without any syscall or kernel-to-user copy.  This removes one of
+// the two Linux copies and the per-packet recvfrom() — the "rigorous
+// performance improvement" of Figure 6.15.  Like the original patch it is
+// Linux-only and does not support libpcap's non-blocking mode.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+
+#include "capbench/capture/os.hpp"
+#include "capbench/capture/tap.hpp"
+
+namespace capbench::capture {
+
+class MmapRing final : public PacketTap, public StackEndpoint {
+public:
+    /// `ring_bytes` total mapped size; frames are `frame_bytes` each.
+    MmapRing(hostsim::Machine& machine, const OsSpec& os, std::uint64_t ring_bytes,
+             std::uint32_t snaplen, std::uint32_t frame_bytes = 2048);
+
+    // -- PacketTap --
+    hostsim::Work plan(const net::PacketPtr& packet) override;
+    void commit(const net::PacketPtr& packet) override;
+
+    // -- StackEndpoint --
+    std::optional<Batch> fetch(std::size_t max_packets) override;
+    void set_reader(hostsim::Thread* reader) override { reader_ = reader; }
+    void install_filter(bpf::Program program) override;
+    [[nodiscard]] const CaptureStats& stats() const override { return stats_; }
+
+    [[nodiscard]] std::size_t slots() const { return slots_; }
+
+private:
+    struct Queued {
+        net::PacketPtr packet;
+        std::uint32_t caplen = 0;
+    };
+
+    hostsim::Machine* machine_;
+    const OsSpec* os_;
+    std::size_t slots_;
+    std::uint32_t snaplen_;
+    FilterRunner filter_;
+    std::deque<Queued> ring_;
+    hostsim::Thread* reader_ = nullptr;
+    CaptureStats stats_;
+    std::vector<FilterRunner::Verdict> pending_;
+    std::size_t pending_head_ = 0;
+};
+
+}  // namespace capbench::capture

@@ -1,0 +1,57 @@
+#include "capbench/capture/nic.hpp"
+
+namespace capbench::capture {
+
+Nic::Nic(hostsim::Machine& machine, const OsSpec& os, NicModel model, Driver& driver)
+    : machine_(&machine), os_(&os), model_(std::move(model)), driver_(&driver) {}
+
+void Nic::on_frame(const net::PacketPtr& packet) {
+    ++frames_seen_;
+    if (ring_.size() >= model_.ring_slots) {
+        ++ring_drops_;
+        return;
+    }
+    ring_.push_back(packet);
+    if (!service_active_) {
+        service_active_ = true;
+        // First frame of a burst: pay the interrupt overhead, then serve.
+        machine_->post_kernel_work(os_->irq_overhead.scaled(os_->kernel_cost_multiplier),
+                                   hostsim::CpuState::kInterrupt, [this] { serve(); });
+    }
+}
+
+void Nic::serve() {
+    const std::size_t batch = model_.interrupt_moderation ? model_.poll_batch : 1;
+    std::size_t n = 0;
+    while (!ring_.empty() && n < batch) {
+        if (machine_->kernel_queue_len() >= os_->pipeline_limit) {
+            // netdev backlog / ifqueue full: drop before protocol work.
+            ring_.pop_front();
+            ++backlog_drops_;
+            continue;
+        }
+        driver_->process(ring_.front());
+        ring_.pop_front();
+        ++n;
+    }
+    // Zero-length marker work: runs after the batch completes (FIFO), then
+    // either keeps polling or re-arms the interrupt.
+    machine_->post_kernel_work(hostsim::Work{.cycles = 400},
+                               hostsim::CpuState::kInterrupt, [this] { after_batch(); });
+}
+
+void Nic::after_batch() {
+    if (ring_.empty()) {
+        service_active_ = false;
+        return;
+    }
+    if (model_.interrupt_moderation) {
+        serve();  // NAPI-style: stay in polling mode while frames pend
+    } else {
+        // One interrupt per packet: pay the overhead again (livelock mode).
+        machine_->post_kernel_work(os_->irq_overhead.scaled(os_->kernel_cost_multiplier),
+                                   hostsim::CpuState::kInterrupt, [this] { serve(); });
+    }
+}
+
+}  // namespace capbench::capture

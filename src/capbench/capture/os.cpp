@@ -1,0 +1,74 @@
+#include "capbench/capture/os.hpp"
+
+namespace capbench::capture {
+
+using hostsim::Work;
+
+const OsSpec& OsSpec::linux_2_6_11() {
+    static const OsSpec spec{
+        .name = "Linux 2.6.11",
+        .family = OsFamily::kLinux,
+        .sched = {.lifo_wakeup = true, .wakeup_latency = sim::microseconds(800),
+                  .lifo_yield = true, .yield_every_batches = 8},
+        .irq_overhead = Work{.cycles = 2500, .mem_misses = 4},
+        .driver_per_packet = Work{.cycles = 1700, .mem_misses = 10},
+        .softirq_per_packet = Work{.cycles = 1000, .mem_misses = 5},
+        .tap_per_packet = Work{.cycles = 800, .mem_misses = 3},
+        .filter_cycles_per_insn = 4.0,
+        .syscall_overhead = Work{.cycles = 4200, .mem_misses = 10},
+        .deliver_per_packet = Work{.cycles = 700, .mem_misses = 2},
+        .write_syscall = Work{.cycles = 2200, .mem_misses = 5},
+        .pipeline_limit = 300,
+        // net.core.rmem_default of the 2.6 era (~108 kB), charged in skb
+        // truesize units, so it holds only a few dozen mid-size packets.
+        .default_buffer_bytes = 110592,
+        .skb_truesize_slab = 2048,
+        .skb_overhead = 256,
+        .bpf_hdr_bytes = 0,
+        .kernel_cost_multiplier = 1.0,
+    };
+    return spec;
+}
+
+const OsSpec& OsSpec::freebsd_5_4() {
+    static const OsSpec spec{
+        .name = "FreeBSD 5.4",
+        .family = OsFamily::kFreeBsd,
+        .sched = {.lifo_wakeup = false, .wakeup_latency = sim::microseconds(700),
+                  .lifo_yield = false, .yield_every_batches = 1},
+        .irq_overhead = Work{.cycles = 3000, .mem_misses = 5},
+        .driver_per_packet = Work{.cycles = 2600, .mem_misses = 26},
+        .softirq_per_packet = Work{},  // bpf_tap runs inside the interrupt
+        .tap_per_packet = Work{.cycles = 650, .mem_misses = 5},
+        .filter_cycles_per_insn = 4.0,
+        // One read() fetches a whole HOLD buffer, so the syscall cost is
+        // amortized over hundreds of packets (Section 2.1.1).
+        .syscall_overhead = Work{.cycles = 4200, .mem_misses = 10},
+        .deliver_per_packet = Work{.cycles = 350, .mem_misses = 1},
+        .write_syscall = Work{.cycles = 2400, .mem_misses = 5},
+        .pipeline_limit = 256,
+        // debug.bpf_bufsize as configured on the sniffers (per half).
+        .default_buffer_bytes = 512 * 1024,
+        .skb_truesize_slab = 0,
+        .skb_overhead = 0,
+        .bpf_hdr_bytes = 18,
+        .kernel_cost_multiplier = 1.0,
+    };
+    return spec;
+}
+
+const OsSpec& OsSpec::freebsd_5_2_1() {
+    static const OsSpec spec = [] {
+        OsSpec s = OsSpec::freebsd_5_4();
+        s.name = "FreeBSD 5.2.1";
+        // The Giant-locked 5.2.x kernel serializes more and pays extra
+        // locking overhead everywhere (the step to 5.4 was "quite
+        // benefitting", Section 7.1).
+        s.kernel_cost_multiplier = 1.45;
+        s.syscall_overhead = Work{.cycles = 6800, .mem_misses = 13};
+        return s;
+    }();
+    return spec;
+}
+
+}  // namespace capbench::capture

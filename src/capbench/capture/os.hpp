@@ -1,0 +1,53 @@
+// Operating system descriptors: kernel cost model + policies.
+//
+// The numbers here are the calibrated per-packet costs of the two capture
+// stacks (Section 2.1).  They are not measured on 2005 hardware — they are
+// chosen so that the simulated systems reproduce the qualitative results of
+// Chapter 6 (see DESIGN.md and tests/calibration_test.cpp).  All knobs live
+// in capture/os.cpp and hostsim/arch.cpp.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "capbench/hostsim/arch.hpp"
+#include "capbench/hostsim/machine.hpp"
+
+namespace capbench::capture {
+
+enum class OsFamily { kLinux, kFreeBsd };
+
+struct OsSpec {
+    std::string name;
+    OsFamily family = OsFamily::kLinux;
+    hostsim::SchedPolicy sched;
+
+    // -- kernel receive path costs --
+    hostsim::Work irq_overhead;        // per interrupt / poll round
+    hostsim::Work driver_per_packet;   // DMA sync, skb/mbuf alloc, demux
+    hostsim::Work softirq_per_packet;  // Linux: NET_RX softirq; FreeBSD: 0
+    hostsim::Work tap_per_packet;      // per capture consumer (clone / bpf_tap)
+    double filter_cycles_per_insn = 4.0;
+
+    // -- app-side costs --
+    hostsim::Work syscall_overhead;     // read()/recvfrom() entry/exit
+    hostsim::Work deliver_per_packet;   // per-packet delivery bookkeeping
+    hostsim::Work write_syscall;        // write() to disk or pipe
+
+    // -- queueing policies --
+    std::size_t pipeline_limit = 300;        // netdev backlog / ifqueue slots
+    std::uint64_t default_buffer_bytes = 0;  // rmem_default / BPF store size
+    std::uint32_t skb_truesize_slab = 2048;  // Linux: packet charge granularity
+    std::uint32_t skb_overhead = 256;        // Linux: per-skb bookkeeping bytes
+    std::uint32_t bpf_hdr_bytes = 18;        // FreeBSD: per-packet buffer header
+
+    /// Global multiplier on all kernel work, used for the older FreeBSD
+    /// 5.2.1 (Giant-locked kernel, Figure B.1).
+    double kernel_cost_multiplier = 1.0;
+
+    static const OsSpec& linux_2_6_11();
+    static const OsSpec& freebsd_5_4();
+    static const OsSpec& freebsd_5_2_1();
+};
+
+}  // namespace capbench::capture

@@ -1,0 +1,36 @@
+#include "capbench/capture/tap.hpp"
+
+#include <vector>
+
+#include "capbench/net/headers.hpp"
+#include "capbench/net/wire.hpp"
+
+namespace capbench::capture {
+
+std::span<const std::byte> FilterRunner::synthetic_template() {
+    // Matches pktgen::GenConfig's defaults: UDP 192.168.10.100 ->
+    // 192.168.10.12, source MAC 00:00:00:00:00:00.
+    static const std::vector<std::byte> frame = [] {
+        std::vector<std::byte> f(net::kMaxFrameBytes);
+        net::EthernetHeader eth;
+        eth.dst = net::MacAddr::parse("00:0e:0c:01:02:03");
+        eth.src = net::MacAddr::parse("00:00:00:00:00:00");
+        eth.ether_type = net::kEtherTypeIpv4;
+        eth.encode(f);
+        net::Ipv4Header ip;
+        ip.total_length = static_cast<std::uint16_t>(f.size() - net::kEthernetHeaderLen);
+        ip.protocol = net::kIpProtoUdp;
+        ip.src = net::Ipv4Addr::parse("192.168.10.100");
+        ip.dst = net::Ipv4Addr::parse("192.168.10.12");
+        ip.encode(std::span{f}.subspan(net::kEthernetHeaderLen));
+        net::UdpHeader udp;
+        udp.src_port = 9;
+        udp.dst_port = 9;
+        udp.length = static_cast<std::uint16_t>(ip.total_length - net::kIpv4MinHeaderLen);
+        udp.encode(std::span{f}.subspan(net::kEthernetHeaderLen + net::kIpv4MinHeaderLen));
+        return f;
+    }();
+    return frame;
+}
+
+}  // namespace capbench::capture

@@ -1,0 +1,111 @@
+// Interfaces between the driver (kernel side) and capture stacks, and
+// between capture stacks and application threads (reader side).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "capbench/bpf/insn.hpp"
+#include "capbench/bpf/vm.hpp"
+#include "capbench/hostsim/arch.hpp"
+#include "capbench/hostsim/machine.hpp"
+#include "capbench/net/packet.hpp"
+
+namespace capbench::capture {
+
+/// Per-consumer capture statistics (the pcap_stats analog).
+struct CaptureStats {
+    std::uint64_t kernel_seen = 0;     // packets offered to this tap
+    std::uint64_t accepted = 0;        // passed the filter
+    std::uint64_t dropped_filter = 0;  // rejected by the filter
+    std::uint64_t dropped_buffer = 0;  // accepted but no buffer space (ps_drop)
+    std::uint64_t delivered = 0;       // handed to the application (ps_recv)
+    std::uint64_t delivered_bytes = 0;
+};
+
+/// Kernel-side interface: the driver asks each tap to plan (cost) and then,
+/// when the kernel work for the packet completes, to commit (buffer state
+/// mutation + reader wakeup).  plan/commit are called strictly in FIFO
+/// pairs per tap.
+class PacketTap {
+public:
+    virtual ~PacketTap() = default;
+
+    /// Runs the filter and returns the kernel work this tap adds for the
+    /// packet (filter interpretation, clone/enqueue, buffer copy).
+    virtual hostsim::Work plan(const net::PacketPtr& packet) = 0;
+
+    /// Applies the planned action: enqueue/copy into the consumer's buffer
+    /// or count a drop; wakes the reader when data becomes available.
+    virtual void commit(const net::PacketPtr& packet) = 0;
+};
+
+/// Reader-side interface used by capture application threads.
+class StackEndpoint {
+public:
+    struct Batch {
+        std::vector<net::PacketPtr> packets;
+        std::uint64_t bytes = 0;        // captured bytes (after snaplen)
+        hostsim::Work fetch_work;       // syscall + copy cost to charge
+    };
+
+    virtual ~StackEndpoint() = default;
+
+    /// Non-blocking read of up to `max_packets`.  std::nullopt means "no
+    /// data yet" — the reader should block; it is woken via its thread.
+    virtual std::optional<Batch> fetch(std::size_t max_packets) = 0;
+
+    /// Registers the application thread to wake when data arrives.
+    virtual void set_reader(hostsim::Thread* reader) = 0;
+
+    /// Installs a BPF filter (validated by the caller).
+    virtual void install_filter(bpf::Program program) = 0;
+
+    [[nodiscard]] virtual const CaptureStats& stats() const = 0;
+};
+
+/// Shared filter-execution helper.  Runs the real BPF VM when packet bytes
+/// are available.  Synthetic (size-only) packets are evaluated against a
+/// template of the generator's default frame truncated to the packet's
+/// length, so header-based filters (like the Figure 6.5 chain, which
+/// matches every generated packet only after evaluating all instructions)
+/// produce the right verdict and the real instruction-path cost.
+class FilterRunner {
+public:
+    struct Verdict {
+        bool accept = true;
+        std::uint32_t caplen = 0;
+        std::uint32_t insns = 0;
+    };
+
+    void install(bpf::Program program) { program_ = std::move(program); }
+    [[nodiscard]] bool has_filter() const { return !program_.empty(); }
+
+    [[nodiscard]] Verdict run(const net::Packet& packet, std::uint32_t snaplen) const {
+        Verdict v;
+        const std::uint32_t whole = packet.frame_len();
+        if (program_.empty()) {
+            v.caplen = std::min(snaplen, whole);
+            return v;
+        }
+        const std::span<const std::byte> data =
+            packet.has_bytes()
+                ? packet.bytes()
+                : synthetic_template().subspan(
+                      0, std::min<std::size_t>(whole, synthetic_template().size()));
+        const auto r = bpf::Vm::run(program_, data, whole);
+        v.accept = r.accept_len > 0;
+        v.caplen = std::min({snaplen, whole, v.accept ? r.accept_len : 0u});
+        v.insns = r.insns_executed;
+        return v;
+    }
+
+private:
+    /// A full-size frame with the generator's default addressing.
+    static std::span<const std::byte> synthetic_template();
+
+    bpf::Program program_;
+};
+
+}  // namespace capbench::capture

@@ -1,0 +1,35 @@
+#include "capbench/core/calibration.hpp"
+
+namespace capbench::core {
+
+const std::vector<CalibrationTarget>& calibration_targets() {
+    static const std::vector<CalibrationTarget> targets = {
+        {"moorhen-best",
+         "FreeBSD 5.4/Opteron loses nearly no packets single-CPU and none dual-CPU (Sec. 7.1)"},
+        {"linux-default-buffer-knee",
+         "With default buffers Linux drops from ~225 Mbit/s; 128 MB buffers move the knee to "
+         "~650 Mbit/s (Sec. 6.3.1)"},
+        {"freebsd-big-buffer-single-cpu",
+         "Large BPF buffers deteriorate single-CPU FreeBSD but help dual-CPU (Fig. 6.4)"},
+        {"filter-cheap",
+         "The 50-instruction filter costs almost nothing; only Linux loses up to ~10 % more at "
+         "the highest rates (Fig. 6.6)"},
+        {"multiapp-linux-collapse",
+         "With 4-8 applications Linux collapses towards zero past an overload threshold while "
+         "FreeBSD degrades gracefully and shares evenly (Figs. 6.7-6.9)"},
+        {"memcpy-opteron-wins", "With 50 extra copies the Opterons win single-CPU (Fig. 6.10)"},
+        {"gzip-intel-wins",
+         "With zlib-level-3 compression each Intel system beats the corresponding AMD system "
+         "(Fig. 6.11) — the only experiment Intel wins"},
+        {"disk-headers-cheap",
+         "No system writes full packets at line speed; writing 76-byte headers is nearly free "
+         "(FreeBSD) or costs ~10 % (Linux) (Figs. 6.13/6.14)"},
+        {"mmap-linux-improves",
+         "The mmap libpcap removes nearly all Linux drops (Fig. 6.15)"},
+        {"hyperthreading-neutral",
+         "Hyperthreading neither helps nor hurts (Fig. 6.16)"},
+    };
+    return targets;
+}
+
+}  // namespace capbench::core

@@ -1,0 +1,19 @@
+// Calibration targets: the qualitative results of Chapter 6 that the cost
+// model (capture/os.cpp, hostsim/arch.cpp) must reproduce.  Checked by
+// tests/calibration_test.cpp; bench binaries print the same shapes.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace capbench::core {
+
+struct CalibrationTarget {
+    std::string id;          // e.g. "moorhen-dual-lossless"
+    std::string description; // the thesis finding being matched
+};
+
+/// The documented target list (for reports and the README).
+const std::vector<CalibrationTarget>& calibration_targets();
+
+}  // namespace capbench::core

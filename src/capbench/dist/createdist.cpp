@@ -1,0 +1,160 @@
+#include "capbench/dist/createdist.hpp"
+
+#include <istream>
+
+#include "capbench/net/headers.hpp"
+#include "capbench/pcap/file.hpp"
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace capbench::dist {
+
+namespace {
+
+/// Strips an optional pgset "..." wrapper from a procfs line.
+std::string unwrap_pgset(const std::string& line) {
+    const auto start = line.find("pgset");
+    if (start == std::string::npos) return line;
+    const auto open = line.find('"', start);
+    const auto close = line.rfind('"');
+    if (open == std::string::npos || close == std::string::npos || close <= open)
+        throw std::runtime_error("createdist: malformed pgset line: " + line);
+    return line.substr(open + 1, close - open - 1);
+}
+
+bool blank(const std::string& line) {
+    return line.find_first_not_of(" \t\r\n") == std::string::npos;
+}
+
+}  // namespace
+
+SizeHistogram read_sizes(std::istream& in, std::uint32_t max_size) {
+    SizeHistogram hist{max_size};
+    std::string line;
+    std::size_t line_no = 0;
+    while (std::getline(in, line)) {
+        ++line_no;
+        if (blank(line)) continue;
+        std::istringstream ss{line};
+        std::int64_t size = -1;
+        if (!(ss >> size) || size < 0)
+            throw std::runtime_error("createdist: bad size at line " + std::to_string(line_no));
+        hist.add(static_cast<std::uint32_t>(size));
+    }
+    return hist;
+}
+
+SizeHistogram read_dist(std::istream& in, char field_sep, std::uint32_t max_size) {
+    SizeHistogram hist{max_size};
+    std::string line;
+    std::size_t line_no = 0;
+    while (std::getline(in, line)) {
+        ++line_no;
+        if (blank(line)) continue;
+        const auto sep = line.find(field_sep);
+        if (sep == std::string::npos)
+            throw std::runtime_error("createdist: missing separator at line " +
+                                     std::to_string(line_no));
+        try {
+            const auto size = std::stoul(line.substr(0, sep));
+            const auto count = std::stoull(line.substr(sep + 1));
+            hist.add(static_cast<std::uint32_t>(size), count);
+        } catch (const std::exception&) {
+            throw std::runtime_error("createdist: bad dist entry at line " +
+                                     std::to_string(line_no));
+        }
+    }
+    return hist;
+}
+
+SizeHistogram read_pcap_trace(std::istream& in, std::uint32_t max_size) {
+    SizeHistogram hist{max_size};
+    pcap::FileReader reader{in};
+    while (const auto rec = reader.next()) {
+        // The callback of the original tool "simply discards all non-IP
+        // packets and increases the counter according to the length of the
+        // IP packet" (Appendix A.1.2).
+        if (rec->data.size() < net::kEthernetHeaderLen) continue;
+        if (net::load_be16(rec->data, 12) != net::kEtherTypeIpv4) continue;
+        if (rec->wire_len < net::kEthernetHeaderLen) continue;
+        hist.add(rec->wire_len - net::kEthernetHeaderLen);
+    }
+    return hist;
+}
+
+void write_dist(std::ostream& out, const SizeHistogram& hist, char field_sep) {
+    for (const auto& [size, count] : hist.entries()) out << size << field_sep << count << '\n';
+}
+
+void write_sizes(std::ostream& out, const TwoStageDist& dist, sim::Rng& rng, std::uint64_t n) {
+    for (std::uint64_t i = 0; i < n; ++i) out << dist.sample(rng) << '\n';
+}
+
+void write_procfs(std::ostream& out, const TwoStageDist& dist, bool pgset_wrapped) {
+    const auto emit = [&](const std::string& cmd) {
+        if (pgset_wrapped)
+            out << "pgset \"" << cmd << "\"\n";
+        else
+            out << cmd << '\n';
+    };
+    const auto& p = dist.params();
+    std::ostringstream header;
+    header << "dist " << p.precision << ' ' << p.bin_size << ' ' << p.max_size << ' '
+           << dist.outlier_entries().size() << ' ' << dist.bin_entries().size();
+    emit(header.str());
+    for (const auto& [size, cells] : dist.outlier_entries())
+        emit("outl " + std::to_string(size) + ' ' + std::to_string(cells));
+    for (const auto& [base, cells] : dist.bin_entries())
+        emit("hist " + std::to_string(base) + ' ' + std::to_string(cells));
+}
+
+TwoStageDist read_procfs(std::istream& in) {
+    TwoStageParams params;
+    std::vector<std::pair<std::uint32_t, std::uint32_t>> outliers;
+    std::vector<std::pair<std::uint32_t, std::uint32_t>> bins;
+    bool have_header = false;
+    std::size_t want_outl = 0;
+    std::size_t want_hist = 0;
+
+    std::string raw;
+    std::size_t line_no = 0;
+    while (std::getline(in, raw)) {
+        ++line_no;
+        if (blank(raw)) continue;
+        std::istringstream ss{unwrap_pgset(raw)};
+        std::string cmd;
+        ss >> cmd;
+        if (cmd == "dist") {
+            if (have_header)
+                throw std::runtime_error("createdist: duplicate dist header at line " +
+                                         std::to_string(line_no));
+            if (!(ss >> params.precision >> params.bin_size >> params.max_size >> want_outl >>
+                  want_hist))
+                throw std::runtime_error("createdist: bad dist header at line " +
+                                         std::to_string(line_no));
+            have_header = true;
+        } else if (cmd == "outl" || cmd == "hist") {
+            if (!have_header)
+                throw std::runtime_error("createdist: entry before dist header at line " +
+                                         std::to_string(line_no));
+            std::uint32_t size = 0;
+            std::uint32_t cells = 0;
+            if (!(ss >> size >> cells))
+                throw std::runtime_error("createdist: bad entry at line " +
+                                         std::to_string(line_no));
+            (cmd == "outl" ? outliers : bins).emplace_back(size, cells);
+        } else {
+            throw std::runtime_error("createdist: unknown command '" + cmd + "' at line " +
+                                     std::to_string(line_no));
+        }
+    }
+    if (!have_header) throw std::runtime_error("createdist: missing dist header");
+    if (outliers.size() != want_outl || bins.size() != want_hist)
+        throw std::runtime_error("createdist: entry count does not match dist header");
+    return TwoStageDist{params, outliers, bins};
+}
+
+}  // namespace capbench::dist

@@ -1,0 +1,54 @@
+// createDist conversions (Appendix A.1): sizes <-> dist <-> procfs.
+//
+// The original tool converts between three textual representations:
+//  * "sizes":  one packet size per line (output of trace analysis);
+//  * "dist":   lines of "<size><sep><count>";
+//  * "procfs": the command stream fed to the enhanced Linux Kernel Packet
+//              Generator (Appendix A.2.2):
+//                  dist <precision> <binwidth> <maxsize> <n_outl> <n_hist>
+//                  outl <size> <cells>      (n_outl lines)
+//                  hist <size> <cells>      (n_hist lines)
+//
+// This module implements the same conversions over C++ streams; the
+// examples/createdist_tool.cpp executable wraps them in the original
+// command-line interface.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "capbench/dist/size_histogram.hpp"
+#include "capbench/dist/two_stage_dist.hpp"
+#include "capbench/sim/random.hpp"
+
+namespace capbench::dist {
+
+/// Reads one packet size per line; ignores blank lines.
+/// Throws std::runtime_error on malformed input.
+SizeHistogram read_sizes(std::istream& in, std::uint32_t max_size = 1500);
+
+/// Reads "<size><sep><count>" lines.  `field_sep` mirrors the -fs option.
+SizeHistogram read_dist(std::istream& in, char field_sep = ' ', std::uint32_t max_size = 1500);
+
+/// Reads a pcap trace (the -I trace mode): counts the IP packet size of
+/// every IPv4 frame, skipping non-IP packets like the original tool.
+/// Sizes use the record's wire length minus the Ethernet header.
+SizeHistogram read_pcap_trace(std::istream& in, std::uint32_t max_size = 1500);
+
+/// Writes "<size><sep><count>" lines for all non-zero sizes.
+void write_dist(std::ostream& out, const SizeHistogram& hist, char field_sep = ' ');
+
+/// Writes N sampled sizes, one per line (output type "sizes" acts like the
+/// generator, Appendix A.1.2).
+void write_sizes(std::ostream& out, const TwoStageDist& dist, sim::Rng& rng, std::uint64_t n);
+
+/// Serialises the two-stage representation in procfs command format.
+/// When `pgset_wrapped` is set, each line is wrapped in pgset "..." (the -s
+/// option) for use with the pktgen control script.
+void write_procfs(std::ostream& out, const TwoStageDist& dist, bool pgset_wrapped = false);
+
+/// Parses the procfs command format back into a distribution.
+/// Accepts both bare and pgset-wrapped lines.
+TwoStageDist read_procfs(std::istream& in);
+
+}  // namespace capbench::dist

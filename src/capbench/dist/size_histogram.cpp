@@ -1,0 +1,55 @@
+#include "capbench/dist/size_histogram.hpp"
+
+#include <algorithm>
+
+namespace capbench::dist {
+
+void SizeHistogram::add(std::uint32_t size, std::uint64_t count) {
+    const std::uint32_t clamped = std::min(size, max_size());
+    counts_[clamped] += count;
+    total_ += count;
+}
+
+std::uint64_t SizeHistogram::count(std::uint32_t size) const {
+    if (size >= counts_.size()) return 0;
+    return counts_[size];
+}
+
+double SizeHistogram::fraction(std::uint32_t size) const {
+    if (total_ == 0) return 0.0;
+    return static_cast<double>(count(size)) / static_cast<double>(total_);
+}
+
+double SizeHistogram::mean() const {
+    if (total_ == 0) return 0.0;
+    double sum = 0.0;
+    for (std::size_t size = 0; size < counts_.size(); ++size)
+        sum += static_cast<double>(size) * static_cast<double>(counts_[size]);
+    return sum / static_cast<double>(total_);
+}
+
+std::vector<std::pair<std::uint32_t, std::uint64_t>> SizeHistogram::top_sizes(
+    std::size_t n) const {
+    auto all = entries();
+    std::stable_sort(all.begin(), all.end(),
+                     [](const auto& a, const auto& b) { return a.second > b.second; });
+    if (all.size() > n) all.resize(n);
+    return all;
+}
+
+double SizeHistogram::top_fraction(std::size_t n) const {
+    if (total_ == 0) return 0.0;
+    std::uint64_t covered = 0;
+    for (const auto& [size, count] : top_sizes(n)) covered += count;
+    return static_cast<double>(covered) / static_cast<double>(total_);
+}
+
+std::vector<std::pair<std::uint32_t, std::uint64_t>> SizeHistogram::entries() const {
+    std::vector<std::pair<std::uint32_t, std::uint64_t>> out;
+    for (std::size_t size = 0; size < counts_.size(); ++size) {
+        if (counts_[size] != 0) out.emplace_back(static_cast<std::uint32_t>(size), counts_[size]);
+    }
+    return out;
+}
+
+}  // namespace capbench::dist

@@ -1,0 +1,51 @@
+// Packet-size histograms (the "dist" data type of Appendix A.1.1).
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace capbench::dist {
+
+/// Counts packets per size in [0, max_size].  Sizes here are IP packet
+/// sizes, matching the thesis's analysis of the MWN traces (Section 4.2.1).
+class SizeHistogram {
+public:
+    explicit SizeHistogram(std::uint32_t max_size = 1500) : counts_(max_size + 1, 0) {}
+
+    /// Records one packet of the given size.  Sizes above max_size() are
+    /// clamped to max_size() (the thesis found no jumbo frames at all).
+    void add(std::uint32_t size, std::uint64_t count = 1);
+
+    [[nodiscard]] std::uint32_t max_size() const {
+        return static_cast<std::uint32_t>(counts_.size() - 1);
+    }
+
+    [[nodiscard]] std::uint64_t count(std::uint32_t size) const;
+
+    /// Total number of packets recorded (c_all of Section 4.2.3).
+    [[nodiscard]] std::uint64_t total() const { return total_; }
+
+    /// Fraction p_i = c_i / c_all (Equation 4.1); 0 when empty.
+    [[nodiscard]] double fraction(std::uint32_t size) const;
+
+    /// Mean packet size; 0 when empty.
+    [[nodiscard]] double mean() const;
+
+    /// The n most frequent sizes, most frequent first, ties by size
+    /// ascending.  Used for the Figure 4.2 "top 20" analysis.
+    [[nodiscard]] std::vector<std::pair<std::uint32_t, std::uint64_t>> top_sizes(
+        std::size_t n) const;
+
+    /// Cumulative fraction covered by the n most frequent sizes.
+    [[nodiscard]] double top_fraction(std::size_t n) const;
+
+    /// All (size, count) entries with non-zero count, ascending by size.
+    [[nodiscard]] std::vector<std::pair<std::uint32_t, std::uint64_t>> entries() const;
+
+private:
+    std::vector<std::uint64_t> counts_;
+    std::uint64_t total_ = 0;
+};
+
+}  // namespace capbench::dist

@@ -1,0 +1,175 @@
+#include "capbench/dist/two_stage_dist.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace capbench::dist {
+
+namespace {
+
+void validate_params(const TwoStageParams& p) {
+    if (p.precision == 0) throw std::invalid_argument("TwoStageDist: precision must be > 0");
+    if (p.bin_size == 0) throw std::invalid_argument("TwoStageDist: bin_size must be > 0");
+    if (p.max_size == 0) throw std::invalid_argument("TwoStageDist: max_size must be > 0");
+    if (p.outlier_bound < 0.0 || p.outlier_bound > 1.0)
+        throw std::invalid_argument("TwoStageDist: outlier_bound outside [0,1]");
+}
+
+/// Distributes exactly `cells` array cells over weights using the
+/// largest-remainder method, so the array is filled completely.
+std::vector<std::uint32_t> apportion(const std::vector<double>& weights, std::uint32_t cells) {
+    const double total = std::accumulate(weights.begin(), weights.end(), 0.0);
+    std::vector<std::uint32_t> out(weights.size(), 0);
+    if (total <= 0.0) return out;
+    std::vector<std::pair<double, std::size_t>> remainders;
+    std::uint64_t assigned = 0;
+    for (std::size_t i = 0; i < weights.size(); ++i) {
+        const double exact = weights[i] / total * static_cast<double>(cells);
+        out[i] = static_cast<std::uint32_t>(exact);
+        assigned += out[i];
+        remainders.emplace_back(exact - std::floor(exact), i);
+    }
+    std::stable_sort(remainders.begin(), remainders.end(),
+                     [](const auto& a, const auto& b) { return a.first > b.first; });
+    for (std::size_t k = 0; assigned < cells && k < remainders.size(); ++k, ++assigned)
+        ++out[remainders[k].second];
+    return out;
+}
+
+}  // namespace
+
+TwoStageDist::TwoStageDist(const SizeHistogram& hist, const TwoStageParams& params)
+    : params_(params) {
+    validate_params(params_);
+    if (hist.total() == 0) throw std::invalid_argument("TwoStageDist: empty histogram");
+
+    const auto total = static_cast<double>(hist.total());
+    const std::uint32_t max_size = std::min(params_.max_size, hist.max_size());
+
+    // Stage 1: heavy hitters (Equation 4.2).
+    std::vector<bool> is_outlier(max_size + 1, false);
+    for (std::uint32_t size = 0; size <= max_size; ++size) {
+        const double p = static_cast<double>(hist.count(size)) / total;
+        if (p >= params_.outlier_bound && hist.count(size) > 0) {
+            is_outlier[size] = true;
+            const auto cells =
+                static_cast<std::uint32_t>(std::lround(p * static_cast<double>(params_.precision)));
+            if (cells > 0) outlier_entries_.emplace_back(size, cells);
+        }
+    }
+
+    // Stage 2: bins over the remaining (non-outlier) sizes (Equations
+    // 4.3-4.5): bin j covers [j*sigma, (j+1)*sigma), weight b_j is the sum
+    // of the counts of the contained non-outlier sizes.
+    const std::uint32_t n_bins = (max_size + params_.bin_size) / params_.bin_size;
+    std::vector<double> bin_weights(n_bins, 0.0);
+    double bin_mass = 0.0;
+    for (std::uint32_t size = 0; size <= max_size; ++size) {
+        if (is_outlier[size] || hist.count(size) == 0) continue;
+        bin_weights[size / params_.bin_size] += static_cast<double>(hist.count(size));
+        bin_mass += static_cast<double>(hist.count(size));
+    }
+    if (bin_mass > 0.0) {
+        const auto cells = apportion(bin_weights, params_.precision);
+        for (std::uint32_t j = 0; j < n_bins; ++j) {
+            if (cells[j] > 0) bin_entries_.emplace_back(j * params_.bin_size, cells[j]);
+        }
+    }
+
+    fill_arrays();
+}
+
+TwoStageDist::TwoStageDist(
+    const TwoStageParams& params,
+    const std::vector<std::pair<std::uint32_t, std::uint32_t>>& outliers,
+    const std::vector<std::pair<std::uint32_t, std::uint32_t>>& bins)
+    : params_(params), outlier_entries_(outliers), bin_entries_(bins) {
+    validate_params(params_);
+    std::sort(outlier_entries_.begin(), outlier_entries_.end());
+    std::sort(bin_entries_.begin(), bin_entries_.end());
+    fill_arrays();
+}
+
+void TwoStageDist::fill_arrays() {
+    std::uint64_t outlier_cells = 0;
+    for (const auto& [size, cells] : outlier_entries_) {
+        if (size > params_.max_size)
+            throw std::invalid_argument("TwoStageDist: outlier size exceeds max_size");
+        outlier_cells += cells;
+    }
+    if (outlier_cells > params_.precision)
+        throw std::invalid_argument("TwoStageDist: outlier cells exceed precision");
+
+    std::uint64_t bin_cells = 0;
+    for (const auto& [base, cells] : bin_entries_) {
+        if (base > params_.max_size)
+            throw std::invalid_argument("TwoStageDist: bin base exceeds max_size");
+        bin_cells += cells;
+    }
+    if (bin_cells > params_.precision)
+        throw std::invalid_argument("TwoStageDist: bin cells exceed precision");
+    if (outlier_entries_.empty() && bin_entries_.empty())
+        throw std::invalid_argument("TwoStageDist: no entries at all");
+
+    outlier_array_.assign(params_.precision, -1);
+    std::size_t pos = 0;
+    for (const auto& [size, cells] : outlier_entries_) {
+        for (std::uint32_t c = 0; c < cells; ++c)
+            outlier_array_[pos++] = static_cast<std::int32_t>(size);
+    }
+
+    bin_array_.clear();
+    bin_array_.reserve(bin_cells);
+    for (const auto& [base, cells] : bin_entries_) {
+        for (std::uint32_t c = 0; c < cells; ++c) bin_array_.push_back(base);
+    }
+}
+
+std::uint32_t TwoStageDist::sample(sim::Rng& rng) const {
+    // Figure 4.3: stage 1 lookup; on -1 fall through to stage 2 + jitter.
+    for (;;) {
+        const auto idx = rng.next_below(outlier_array_.size());
+        const std::int32_t size = outlier_array_[idx];
+        if (size >= 0) return static_cast<std::uint32_t>(size);
+        if (bin_array_.empty()) continue;  // all mass is in stage 1; redraw
+        const auto bin_idx = rng.next_below(bin_array_.size());
+        const std::uint32_t base = bin_array_[bin_idx];
+        const auto jitter = static_cast<std::uint32_t>(rng.next_below(params_.bin_size));
+        return std::min(base + jitter, params_.max_size);
+    }
+}
+
+double TwoStageDist::probability_of(std::uint32_t size) const {
+    if (size > params_.max_size) return 0.0;
+    const double precision = static_cast<double>(params_.precision);
+    double p_exact = 0.0;
+    double claimed = 0.0;
+    for (const auto& [s, cells] : outlier_entries_) {
+        claimed += cells;
+        if (s == size) p_exact = static_cast<double>(cells) / precision;
+    }
+    const double p_fall = 1.0 - claimed / precision;
+    if (bin_array_.empty()) {
+        // Stage 1 redraws until it hits an exact size.
+        return claimed > 0.0 ? p_exact / (claimed / precision) : 0.0;
+    }
+    double p_bin = 0.0;
+    const std::uint32_t base = size / params_.bin_size * params_.bin_size;
+    for (const auto& [b, cells] : bin_entries_) {
+        if (b == base)
+            p_bin = static_cast<double>(cells) / static_cast<double>(bin_array_.size()) /
+                    static_cast<double>(params_.bin_size);
+    }
+    return p_exact + p_fall * p_bin;
+}
+
+double TwoStageDist::expected_mean() const {
+    double mean = 0.0;
+    for (std::uint32_t size = 0; size <= params_.max_size; ++size)
+        mean += probability_of(size) * static_cast<double>(size);
+    return mean;
+}
+
+}  // namespace capbench::dist

@@ -1,0 +1,86 @@
+// Two-stage packet-size distribution representation (Section 4.2.2/4.2.3).
+//
+// The representation consists of two arrays of `precision` cells each:
+//
+//  * the OUTLIERS array holds exact sizes for the "heavy hitter" packet
+//    sizes (those with fraction >= outlier_bound); cells not claimed by an
+//    outlier contain -1;
+//  * the BINS array covers everything else: sequential sizes are merged
+//    into bins of width `bin_size`; a sampled bin yields its base size plus
+//    uniform jitter in [0, bin_size).
+//
+// Sampling (Figure 4.3): draw a random cell from the outliers array; if it
+// is an exact size, done; otherwise draw a random cell from the bins array
+// and add jitter.  This makes frequent sizes exact and rare sizes cheap —
+// two array lookups per packet, no hashing.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "capbench/dist/size_histogram.hpp"
+#include "capbench/sim/random.hpp"
+
+namespace capbench::dist {
+
+/// Tunables of Section 4.2.2 with their thesis defaults.
+struct TwoStageParams {
+    std::uint32_t precision = 1000;   // rho: cells per array
+    std::uint32_t bin_size = 20;      // sigma_bin: sizes merged per bin
+    std::uint32_t max_size = 1500;    // N_ps: largest considered size
+    double outlier_bound = 0.0020;    // p_Omega_bound: heavy-hitter threshold
+};
+
+class TwoStageDist {
+public:
+    /// Builds the representation from a measured histogram.
+    /// Throws std::invalid_argument for empty histograms or bad parameters.
+    TwoStageDist(const SizeHistogram& hist, const TwoStageParams& params = {});
+
+    /// Reconstructs a distribution from raw arrays (the procfs interface of
+    /// Appendix A.2.2: `dist` + `outl` + `hist` lines).  Each pair is
+    /// (size, cells).  Throws if the cells do not fit the precision.
+    TwoStageDist(const TwoStageParams& params,
+                 const std::vector<std::pair<std::uint32_t, std::uint32_t>>& outliers,
+                 const std::vector<std::pair<std::uint32_t, std::uint32_t>>& bins);
+
+    /// Draws the next packet size (Figure 4.3 flow).
+    [[nodiscard]] std::uint32_t sample(sim::Rng& rng) const;
+
+    [[nodiscard]] const TwoStageParams& params() const { return params_; }
+
+    /// Number of heavy-hitter sizes (n_Omega).
+    [[nodiscard]] std::size_t outlier_count() const { return outlier_entries_.size(); }
+
+    /// Number of non-empty bins.
+    [[nodiscard]] std::size_t bin_count() const { return bin_entries_.size(); }
+
+    /// (size, cells) pairs for the outliers array, ascending by size.
+    [[nodiscard]] const std::vector<std::pair<std::uint32_t, std::uint32_t>>& outlier_entries()
+        const {
+        return outlier_entries_;
+    }
+
+    /// (bin base size, cells) pairs for the bins array, ascending by size.
+    [[nodiscard]] const std::vector<std::pair<std::uint32_t, std::uint32_t>>& bin_entries() const {
+        return bin_entries_;
+    }
+
+    /// Expected mean packet size implied by the representation.
+    [[nodiscard]] double expected_mean() const;
+
+    /// Probability that sampling yields exactly `size` (for accuracy tests).
+    [[nodiscard]] double probability_of(std::uint32_t size) const;
+
+private:
+    void fill_arrays();
+
+    TwoStageParams params_;
+    std::vector<std::pair<std::uint32_t, std::uint32_t>> outlier_entries_;
+    std::vector<std::pair<std::uint32_t, std::uint32_t>> bin_entries_;
+    // Generation arrays; outlier cells hold -1 where the second stage applies.
+    std::vector<std::int32_t> outlier_array_;
+    std::vector<std::uint32_t> bin_array_;
+};
+
+}  // namespace capbench::dist

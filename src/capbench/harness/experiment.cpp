@@ -1,0 +1,88 @@
+#include "capbench/harness/experiment.hpp"
+
+#include <cstdlib>
+#include <sstream>
+
+namespace capbench::harness {
+
+std::vector<double> default_rate_grid() {
+    std::vector<double> rates;
+    for (int r = 50; r <= 950; r += 50) rates.push_back(static_cast<double>(r));
+    return rates;
+}
+
+std::uint64_t packets_per_run() {
+    if (const char* env = std::getenv("CAPBENCH_PACKETS")) {
+        const auto v = std::strtoull(env, nullptr, 10);
+        if (v > 0) return v;
+    }
+    return 300'000;
+}
+
+int default_reps() {
+    if (const char* env = std::getenv("CAPBENCH_REPS")) {
+        const auto v = std::strtol(env, nullptr, 10);
+        if (v > 0) return static_cast<int>(v);
+    }
+    return 1;
+}
+
+std::vector<SutConfig> standard_suts() {
+    return {standard_sut("swan"), standard_sut("snipe"), standard_sut("moorhen"),
+            standard_sut("flamingo")};
+}
+
+void apply_increased_buffers(std::vector<SutConfig>& suts) {
+    for (auto& sut : suts) {
+        sut.buffer_bytes = sut.os->family == capture::OsFamily::kFreeBsd
+                               ? 10ull * 1024 * 1024    // 10 MB per half
+                               : 128ull * 1024 * 1024;  // 128 MB rmem
+    }
+}
+
+void apply_single_cpu(std::vector<SutConfig>& suts) {
+    for (auto& sut : suts) sut.cores = 1;
+}
+
+std::string fig_6_5_filter_expression() {
+    std::ostringstream out;
+    out << "ether[6:4]=0x00000000 and ether[10]=0x00 and not tcp";
+    for (int i = 1; i <= 19; ++i)
+        out << " and not ip src " << i * 10 << ".11.12." << 12 + i;
+    for (int i = 1; i <= 19; ++i) {
+        // The thesis listing has a typo at line 25 ("990.99..."); we keep
+        // the valid octets.
+        out << " and not ip dst " << i * 10 << ".99.12." << 12 + i;
+    }
+    return out.str();
+}
+
+std::vector<SweepRow> rate_sweep(const std::vector<SutConfig>& suts, const RunConfig& base,
+                                 const std::vector<double>& rates, int reps) {
+    std::vector<SweepRow> rows;
+    for (const double rate : rates) {
+        RunConfig cfg = base;
+        cfg.rate_mbps = rate;
+        rows.push_back(SweepRow{rate, run_repeated(suts, cfg, reps)});
+    }
+    return rows;
+}
+
+std::vector<SweepRow> buffer_sweep(std::vector<SutConfig> suts, const RunConfig& base,
+                                   const std::vector<std::uint64_t>& buffer_kb, int reps) {
+    std::vector<SweepRow> rows;
+    for (const std::uint64_t kb : buffer_kb) {
+        for (auto& sut : suts) {
+            // "The buffer size was reduced by a factor of two for FreeBSD"
+            // so the effective (double-buffered) space matches Linux.
+            const bool freebsd = sut.os->family == capture::OsFamily::kFreeBsd;
+            sut.buffer_bytes = kb * 1024 / (freebsd ? 2 : 1);
+        }
+        RunConfig cfg = base;
+        cfg.rate_mbps = 0.0;  // highest possible rate, no inter-packet gap
+        rows.push_back(SweepRow{static_cast<double>(kb), run_repeated(suts, cfg, reps)});
+    }
+    return rows;
+}
+
+}  // namespace capbench::harness

@@ -1,0 +1,54 @@
+// Experiment descriptors shared by the figure benches (the influencing
+// variables of Section 6.1 and the measurement parameters of Section 6.2).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "capbench/harness/measurement.hpp"
+
+namespace capbench::harness {
+
+/// The data-rate grid of the Chapter 6 plots: 50..950 Mbit/s in 50 Mbit/s
+/// steps.
+std::vector<double> default_rate_grid();
+
+/// Packets generated per run.  The thesis uses 1,000,000; benches default
+/// to a smaller count so the whole suite runs in minutes.  Override with
+/// the CAPBENCH_PACKETS environment variable.
+std::uint64_t packets_per_run();
+
+/// Measurement repetitions per point (thesis: 7).  Override with
+/// CAPBENCH_REPS.
+int default_reps();
+
+/// The four sniffers of Figure 2.4 in plot order.
+std::vector<SutConfig> standard_suts();
+
+/// Section 6.3.1's increased buffers: 10 MB BPF double-buffer halves for
+/// FreeBSD, 128 MB socket buffers for Linux.
+void apply_increased_buffers(std::vector<SutConfig>& suts);
+
+/// Single processor mode ("no SMP").
+void apply_single_cpu(std::vector<SutConfig>& suts);
+
+/// The 50-instruction BPF filter expression of Figure 6.5 (accepts every
+/// generated packet, but only after evaluating the full chain).
+std::string fig_6_5_filter_expression();
+
+struct SweepRow {
+    double rate_mbps = 0.0;
+    RunResult result;
+};
+
+/// Runs the measurement cycle across a rate grid.
+std::vector<SweepRow> rate_sweep(const std::vector<SutConfig>& suts, const RunConfig& base,
+                                 const std::vector<double>& rates, int reps);
+
+/// Runs a sweep over capture buffer sizes at maximum data rate (the
+/// Figure 6.4 experiment).  `buffer_kb` values apply to all SUTs; FreeBSD
+/// halves them per Section 6.3.1's fairness note (double buffer).
+std::vector<SweepRow> buffer_sweep(std::vector<SutConfig> suts, const RunConfig& base,
+                                   const std::vector<std::uint64_t>& buffer_kb, int reps);
+
+}  // namespace capbench::harness

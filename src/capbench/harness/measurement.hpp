@@ -1,0 +1,65 @@
+// The measurement cycle of Section 3.4 / Figure 3.2:
+//   1. start capturing + profiling applications on all sniffers,
+//   2. read the switch packet counters,
+//   3. run the packet generation,
+//   4. read the counters again,
+//   5. stop the applications and collect statistics.
+// Repeated several times per data rate to avoid outliers; the capture rate
+// is the percentage of generated packets each application received
+// (Section 6.2.2).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "capbench/harness/testbed.hpp"
+#include "capbench/sim/stats.hpp"
+
+namespace capbench::harness {
+
+struct RunConfig {
+    double rate_mbps = 0.0;        // 0 = maximum speed (no inter-packet gap)
+    std::uint64_t packets = 100'000;
+    std::uint64_t seed = 1;
+    bool full_bytes = false;       // real frame contents (filter experiments)
+    bool use_mwn_dist = true;      // thesis workload; false = fixed size
+    std::uint32_t fixed_size = 1500;
+    /// Link speed in Gbit/s (10 for the Section 7.2 10-GbE extension).
+    double link_gbps = 1.0;
+    /// Round-robin load distribution instead of the passive splitter
+    /// (Section 7.2's distributed-analysis extension).
+    bool distribute_round_robin = false;
+    sim::Duration warmup = sim::milliseconds(50);
+    /// Time between the last generated packet and stopping the capture
+    /// applications (step 5 of Figure 3.2 follows generation immediately;
+    /// this models the ssh/stop.sh delay).  Packets still queued in capture
+    /// buffers when the applications stop do not count as captured.
+    sim::Duration drain = sim::milliseconds(100);
+};
+
+struct SutRunResult {
+    std::string name;
+    std::vector<double> per_app_capture_pct;  // delivered / generated * 100
+    double capture_worst_pct = 0.0;
+    double capture_avg_pct = 0.0;
+    double capture_best_pct = 0.0;
+    double cpu_pct = 0.0;  // machine utilization during the generation window
+    std::uint64_t nic_ring_drops = 0;
+    std::uint64_t backlog_drops = 0;
+    std::uint64_t buffer_drops = 0;  // summed over apps
+};
+
+struct RunResult {
+    std::uint64_t generated = 0;     // from the switch counters
+    double offered_mbps = 0.0;       // achieved generator rate
+    std::vector<SutRunResult> suts;
+};
+
+/// One complete measurement (steps 1-5) on a freshly built testbed.
+RunResult run_once(const std::vector<SutConfig>& suts, const RunConfig& config);
+
+/// Repeats run_once `reps` times with varied seeds and averages.  This is
+/// the "repeat measurement n times" loop of Figure 3.2 (the thesis uses 7).
+RunResult run_repeated(const std::vector<SutConfig>& suts, const RunConfig& config, int reps);
+
+}  // namespace capbench::harness

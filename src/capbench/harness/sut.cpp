@@ -1,0 +1,210 @@
+#include "capbench/harness/sut.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace capbench::harness {
+
+SutConfig standard_sut(const std::string& name) {
+    SutConfig cfg;
+    cfg.name = name;
+    if (name == "swan") {
+        cfg.arch = &hostsim::ArchSpec::amd_opteron();
+        cfg.os = &capture::OsSpec::linux_2_6_11();
+    } else if (name == "moorhen") {
+        cfg.arch = &hostsim::ArchSpec::amd_opteron();
+        cfg.os = &capture::OsSpec::freebsd_5_4();
+    } else if (name == "snipe") {
+        cfg.arch = &hostsim::ArchSpec::intel_xeon();
+        cfg.os = &capture::OsSpec::linux_2_6_11();
+    } else if (name == "flamingo") {
+        cfg.arch = &hostsim::ArchSpec::intel_xeon();
+        cfg.os = &capture::OsSpec::freebsd_5_4();
+    } else {
+        throw std::invalid_argument("standard_sut: unknown sniffer " + name);
+    }
+    return cfg;
+}
+
+Sut::Sut(sim::Simulator& sim, SutConfig config) : config_(std::move(config)) {
+    const auto& os = *config_.os;
+    machine_ = std::make_unique<hostsim::Machine>(
+        sim,
+        hostsim::MachineSpec{*config_.arch, config_.cores, config_.hyperthreading},
+        os.sched);
+    driver_ = std::make_unique<capture::Driver>(*machine_, os);
+    nic_ = std::make_unique<capture::Nic>(*machine_, os, config_.nic, *driver_);
+
+    const std::uint64_t buffer =
+        config_.buffer_bytes > 0 ? config_.buffer_bytes : os.default_buffer_bytes;
+    if (config_.app_count < 1) throw std::invalid_argument("Sut: app_count must be >= 1");
+
+    const bool needs_disk = config_.app_load.disk_bytes_per_packet > 0;
+    if (needs_disk) disk_ = std::make_unique<load::DiskModel>(*machine_, load::disk_spec_for(config_.name));
+    if (config_.app_load.pipe_to_gzip) {
+        pipe_ = std::make_unique<load::FifoPipe>(*machine_, 64 * 1024);
+        gzip_ = std::make_shared<load::GzipThread>(*pipe_, config_.app_load.pipe_gzip_level);
+    }
+
+    for (int i = 0; i < config_.app_count; ++i) {
+        std::unique_ptr<capture::StackEndpoint> endpoint;
+        capture::PacketTap* tap = nullptr;
+        bool is_mmap = false;
+        if (config_.stack == StackKind::kMmap || config_.stack == StackKind::kZeroCopyBpf) {
+            if (config_.stack == StackKind::kMmap && os.family != capture::OsFamily::kLinux)
+                throw std::invalid_argument(
+                    "Sut: the mmap patch exists only for Linux (use kZeroCopyBpf for the "
+                    "FreeBSD extension)");
+            if (config_.stack == StackKind::kZeroCopyBpf &&
+                os.family != capture::OsFamily::kFreeBsd)
+                throw std::invalid_argument("Sut: kZeroCopyBpf is the FreeBSD extension");
+            auto ring = std::make_unique<capture::MmapRing>(*machine_, os, buffer,
+                                                            config_.snaplen);
+            tap = ring.get();
+            endpoint = std::move(ring);
+            is_mmap = true;
+        } else if (os.family == capture::OsFamily::kLinux) {
+            if (!skb_pool_) skb_pool_ = std::make_unique<capture::SkbPool>();
+            auto sock = std::make_unique<capture::LinuxPacketSocket>(
+                *machine_, os, buffer, config_.snaplen, skb_pool_.get());
+            tap = sock.get();
+            endpoint = std::move(sock);
+        } else {
+            auto dev = std::make_unique<capture::BsdBpfDev>(*machine_, os, buffer,
+                                                            config_.snaplen);
+            dev->enable_read_timeout(sim::milliseconds(20));
+            tap = dev.get();
+            endpoint = std::move(dev);
+        }
+        driver_->attach(*tap);
+        sessions_.push_back(std::make_unique<pcap::Session>(
+            *endpoint, config_.name + ":if0", config_.snaplen, is_mmap));
+        if (!config_.filter_expression.empty())
+            sessions_.back()->set_filter(config_.filter_expression);
+        endpoints_.push_back(std::move(endpoint));
+    }
+}
+
+Sut::~Sut() = default;
+
+void Sut::start() {
+    for (std::size_t i = 0; i < endpoints_.size(); ++i) {
+        auto app = std::make_shared<CaptureApp>(
+            config_.name + "-app" + std::to_string(i), *endpoints_[i], *sessions_[i],
+            *config_.os, config_.app_load, config_.snaplen, disk_.get(), pipe_.get());
+        apps_.push_back(app);
+        machine_->spawn(app);
+    }
+    if (gzip_) machine_->spawn(gzip_);
+}
+
+std::uint64_t Sut::delivered(std::size_t app_index) const {
+    return endpoints_[app_index]->stats().delivered;
+}
+
+// ---- CaptureApp ---------------------------------------------------------------
+
+namespace {
+constexpr std::size_t kFetchBatch = 64;
+constexpr std::size_t kProcessChunk = 32;
+}  // namespace
+
+CaptureApp::CaptureApp(std::string name, capture::StackEndpoint& endpoint,
+                       pcap::Session& session, const capture::OsSpec& os,
+                       const load::AppLoad& app_load, std::uint32_t snaplen,
+                       load::DiskModel* disk, load::FifoPipe* pipe)
+    : hostsim::Thread(std::move(name)),
+      endpoint_(&endpoint),
+      session_(&session),
+      os_(&os),
+      app_load_(app_load),
+      snaplen_(snaplen),
+      disk_(disk),
+      pipe_(pipe) {}
+
+void CaptureApp::main() {
+    endpoint_->set_reader(this);
+    fetch_loop();
+}
+
+void CaptureApp::fetch_loop() {
+    auto batch = endpoint_->fetch(kFetchBatch);
+    if (!batch) {
+        block([this] { fetch_loop(); });
+        return;
+    }
+    auto work = batch->fetch_work;
+    exec(work, hostsim::CpuState::kSystem,
+         [this, b = std::move(*batch)]() mutable { process(std::move(b), 0); });
+}
+
+void CaptureApp::process(capture::StackEndpoint::Batch batch, std::size_t index) {
+    const std::size_t end = std::min(index + kProcessChunk, batch.packets.size());
+
+    hostsim::Work work;
+    std::uint64_t disk_bytes = 0;
+    std::uint64_t pipe_bytes = 0;
+    for (std::size_t i = index; i < end; ++i) {
+        const auto& pkt = batch.packets[i];
+        const std::uint32_t caplen = std::min(snaplen_, pkt->frame_len());
+        work += load::per_packet_app_base();
+        work += load::per_packet_load_work(app_load_, caplen);
+        if (app_load_.disk_bytes_per_packet > 0)
+            disk_bytes += std::min(caplen, app_load_.disk_bytes_per_packet);
+        if (app_load_.pipe_to_gzip) pipe_bytes += caplen;
+        if (session_->handler()) session_->handler()(pkt, caplen);
+        ++processed_;
+        bytes_processed_ += caplen;
+    }
+    if (disk_bytes > 0 && disk_ != nullptr) {
+        work += os_->write_syscall;
+        work += disk_->write_work(disk_bytes);
+    }
+    if (pipe_bytes > 0 && pipe_ != nullptr) work += os_->write_syscall;
+
+    exec(work, hostsim::CpuState::kUser,
+         [this, b = std::move(batch), end, disk_bytes, pipe_bytes]() mutable {
+             after_loads(std::move(b), end, disk_bytes, pipe_bytes);
+         });
+}
+
+void CaptureApp::after_loads(capture::StackEndpoint::Batch batch, std::size_t end,
+                             std::uint64_t disk_bytes, std::uint64_t pipe_bytes) {
+    // Disk / pipe back-pressure: write() returning false means the bytes
+    // will be accepted later and we are woken then — retry with the
+    // corresponding amount cleared.
+    if (disk_bytes > 0 && disk_ != nullptr && !disk_->write(disk_bytes, *this)) {
+        block([this, b = std::move(batch), end, pipe_bytes]() mutable {
+            after_loads(std::move(b), end, 0, pipe_bytes);
+        });
+        return;
+    }
+    if (pipe_bytes > 0 && pipe_ != nullptr && !pipe_->write(pipe_bytes, *this)) {
+        block([this, b = std::move(batch), end]() mutable {
+            after_loads(std::move(b), end, 0, 0);
+        });
+        return;
+    }
+    if (end < batch.packets.size()) {
+        // Timeslice emulation: long batches (a full BPF HOLD buffer can be
+        // tens of thousands of packets) must not monopolize a CPU while
+        // other applications wait.
+        if (++chunks_since_yield_ >= 8 && machine().ready_pending()) {
+            chunks_since_yield_ = 0;
+            yield([this, b = std::move(batch), end]() mutable {
+                process(std::move(b), end);
+            });
+            return;
+        }
+        process(std::move(batch), end);
+        return;
+    }
+    if (++batches_since_yield_ >= os_->sched.yield_every_batches) {
+        batches_since_yield_ = 0;
+        yield([this] { fetch_loop(); });
+    } else {
+        fetch_loop();
+    }
+}
+
+}  // namespace capbench::harness

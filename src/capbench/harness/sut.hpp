@@ -1,0 +1,132 @@
+// System under test: one sniffer machine with its OS, capture stack(s) and
+// capturing application(s), assembled per the thesis's configuration matrix
+// (Figure 2.4 + the influencing variables of Section 6.1).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "capbench/capture/bsd_bpf.hpp"
+#include "capbench/capture/driver.hpp"
+#include "capbench/capture/linux_socket.hpp"
+#include "capbench/capture/mmap_ring.hpp"
+#include "capbench/capture/nic.hpp"
+#include "capbench/load/disk.hpp"
+#include "capbench/load/loads.hpp"
+#include "capbench/pcap/session.hpp"
+#include "capbench/profiling/cpusage.hpp"
+
+namespace capbench::harness {
+
+enum class StackKind {
+    kNative,       // FreeBSD BPF or Linux PF_PACKET, per the OS
+    kMmap,         // Linux with the mmap libpcap patch (Section 6.3.6)
+    kZeroCopyBpf,  // EXTENSION: "a memory-mapped libpcap for FreeBSD"
+                   // (future work, Section 7.2) -- a shared ring replacing
+                   // the double buffer and the whole-buffer copyout
+};
+
+struct SutConfig {
+    std::string name = "custom";
+    const hostsim::ArchSpec* arch = &hostsim::ArchSpec::amd_opteron();
+    const capture::OsSpec* os = &capture::OsSpec::freebsd_5_4();
+    int cores = 2;               // 1 = single processor mode (no SMP)
+    bool hyperthreading = false;
+    StackKind stack = StackKind::kNative;
+    /// Capture buffer size: BPF half-buffer (FreeBSD) or socket rmem
+    /// (Linux); 0 = the OS default of Figure 6.2.
+    std::uint64_t buffer_bytes = 0;
+    int app_count = 1;
+    std::string filter_expression;  // empty = no filter
+    /// Receive NIC behaviour; NicModel::interrupt_moderation=false gives
+    /// one interrupt per packet (the receive-livelock ablation).
+    capture::NicModel nic;
+    load::AppLoad app_load;
+    std::uint32_t snaplen = 1515;  // the thesis captures whole packets
+};
+
+/// The four sniffers of Figure 2.4.  Name must be one of swan, moorhen,
+/// snipe, flamingo.
+SutConfig standard_sut(const std::string& name);
+
+class CaptureApp;
+
+class Sut {
+public:
+    Sut(sim::Simulator& sim, SutConfig config);
+    ~Sut();
+
+    Sut(const Sut&) = delete;
+    Sut& operator=(const Sut&) = delete;
+
+    /// The NIC, to attach to the optical splitter.
+    [[nodiscard]] net::FrameSink& nic_sink() { return *nic_; }
+
+    /// Spawns the capturing application threads (start.sh, Section 3.4).
+    void start();
+
+    [[nodiscard]] const SutConfig& config() const { return config_; }
+    [[nodiscard]] hostsim::Machine& machine() { return *machine_; }
+    [[nodiscard]] const capture::Nic& nic() const { return *nic_; }
+
+    /// Per-application sessions (filter installation, stats).
+    [[nodiscard]] const std::vector<std::unique_ptr<pcap::Session>>& sessions() const {
+        return sessions_;
+    }
+
+    /// Packets delivered to application i so far.
+    [[nodiscard]] std::uint64_t delivered(std::size_t app_index) const;
+
+    [[nodiscard]] load::DiskModel* disk() { return disk_.get(); }
+
+private:
+    SutConfig config_;
+    std::unique_ptr<hostsim::Machine> machine_;
+    std::unique_ptr<capture::Driver> driver_;
+    std::unique_ptr<capture::Nic> nic_;
+    // One endpoint per application; concrete type depends on OS/stack.
+    std::vector<std::unique_ptr<capture::StackEndpoint>> endpoints_;
+    std::vector<std::unique_ptr<pcap::Session>> sessions_;
+    std::vector<std::shared_ptr<CaptureApp>> apps_;
+    std::unique_ptr<load::DiskModel> disk_;
+    std::unique_ptr<load::FifoPipe> pipe_;
+    std::shared_ptr<load::GzipThread> gzip_;
+    std::unique_ptr<capture::SkbPool> skb_pool_;
+};
+
+/// The capturing application (createDist in capture mode, Appendix A.1):
+/// fetches packets from its stack endpoint, charges per-packet analysis
+/// load, optionally writes headers to disk or pipes packets to gzip, and
+/// counts everything.
+class CaptureApp final : public hostsim::Thread {
+public:
+    CaptureApp(std::string name, capture::StackEndpoint& endpoint, pcap::Session& session,
+               const capture::OsSpec& os, const load::AppLoad& app_load, std::uint32_t snaplen,
+               load::DiskModel* disk, load::FifoPipe* pipe);
+
+    void main() override;
+
+    [[nodiscard]] std::uint64_t processed() const { return processed_; }
+    [[nodiscard]] std::uint64_t bytes_processed() const { return bytes_processed_; }
+
+private:
+    void fetch_loop();
+    void process(capture::StackEndpoint::Batch batch, std::size_t index);
+    void after_loads(capture::StackEndpoint::Batch batch, std::size_t end,
+                     std::uint64_t disk_bytes, std::uint64_t pipe_bytes);
+
+    capture::StackEndpoint* endpoint_;
+    pcap::Session* session_;
+    const capture::OsSpec* os_;
+    load::AppLoad app_load_;
+    std::uint32_t snaplen_;
+    load::DiskModel* disk_;
+    load::FifoPipe* pipe_;
+    std::uint64_t processed_ = 0;
+    std::uint64_t bytes_processed_ = 0;
+    int batches_since_yield_ = 0;
+    int chunks_since_yield_ = 0;
+};
+
+}  // namespace capbench::harness

@@ -1,0 +1,46 @@
+// One logical CPU with time accounting by state.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "capbench/sim/time.hpp"
+
+namespace capbench::hostsim {
+
+class Thread;
+
+/// The CPU states tracked by cpusage (Chapter 5): user code, system
+/// (syscalls / softirq), hardware interrupt handling, idle.
+enum class CpuState : std::uint8_t { kUser = 0, kSystem, kInterrupt, kIdle };
+inline constexpr std::size_t kCpuStateCount = 4;
+
+class Cpu {
+public:
+    /// Adds `d` to the accumulated time of `state`.
+    void account(CpuState state, sim::Duration d) {
+        ns_[static_cast<std::size_t>(state)] += d.ns();
+    }
+
+    /// Accumulated time in `state` (idle is not tracked directly; see
+    /// busy_ns()).
+    [[nodiscard]] sim::Duration in_state(CpuState state) const {
+        return sim::Duration{ns_[static_cast<std::size_t>(state)]};
+    }
+
+    /// Total non-idle time.
+    [[nodiscard]] sim::Duration busy() const {
+        return sim::Duration{ns_[0] + ns_[1] + ns_[2]};
+    }
+
+    // -- kernel work queue tail (irq/softirq has absolute priority) --
+    sim::SimTime kernel_busy_until{};
+
+    // -- thread currently dispatched here (nullptr when none) --
+    Thread* current = nullptr;
+
+private:
+    std::array<std::int64_t, kCpuStateCount> ns_{};
+};
+
+}  // namespace capbench::hostsim

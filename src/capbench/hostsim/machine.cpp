@@ -1,0 +1,290 @@
+#include "capbench/hostsim/machine.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace capbench::hostsim {
+
+void Thread::exec(const Work& work, CpuState st, std::function<void()> then) {
+    machine_->thread_exec(*this, work, st, std::move(then));
+}
+
+void Thread::block(std::function<void()> on_wake) {
+    machine_->thread_block(*this, std::move(on_wake));
+}
+
+void Thread::yield(std::function<void()> then) {
+    machine_->thread_yield(*this, std::move(then));
+}
+
+Machine::Machine(sim::Simulator& sim, MachineSpec spec, SchedPolicy policy)
+    : sim_(&sim), spec_(std::move(spec)), policy_(policy) {
+    if (spec_.cores < 1) throw std::invalid_argument("Machine: cores must be >= 1");
+    if (spec_.hyperthreading && !spec_.arch.ht_capable)
+        throw std::invalid_argument("Machine: architecture is not Hyperthreading-capable");
+    const int logical = spec_.hyperthreading ? spec_.cores * 2 : spec_.cores;
+    cpus_.resize(static_cast<std::size_t>(logical));
+    chunks_.resize(static_cast<std::size_t>(logical));
+}
+
+// ---- CPU state inspection ----------------------------------------------------
+
+bool Machine::cpu_busy(int i) const {
+    const auto& cpu = cpus_[static_cast<std::size_t>(i)];
+    return cpu.current != nullptr || cpu.kernel_busy_until > sim_->now();
+}
+
+bool Machine::any_other_cpu_busy(int i) const {
+    for (int c = 0; c < logical_cpus(); ++c) {
+        if (c != i && cpu_busy(c)) return true;
+    }
+    return false;
+}
+
+bool Machine::sibling_busy(int i) const {
+    if (!spec_.hyperthreading) return false;
+    const int sibling = i ^ 1;
+    return sibling < logical_cpus() && cpu_busy(sibling);
+}
+
+int Machine::pick_idle_cpu() const {
+    int best = -1;
+    int best_score = 1 << 30;
+    // Under heavy interrupt load CPU 0 makes no thread progress; a real
+    // scheduler migrates tasks away from a saturated CPU, so skip it while
+    // the kernel queue runs deep (unless it is the only CPU).
+    const bool cpu0_saturated =
+        logical_cpus() > 1 && kernel_backlog() > sim::microseconds(30);
+    for (int c = 0; c < logical_cpus(); ++c) {
+        if (c == 0 && cpu0_saturated) continue;
+        if (cpus_[static_cast<std::size_t>(c)].current != nullptr) continue;
+        // Prefer CPUs away from the interrupt CPU and with an idle sibling.
+        int score = 0;
+        if (c == 0 && logical_cpus() > 1) score += 4;
+        if (cpus_[static_cast<std::size_t>(c)].kernel_busy_until > sim_->now()) score += 2;
+        if (sibling_busy(c)) score += 1;
+        if (score < best_score) {
+            best_score = score;
+            best = c;
+        }
+    }
+    return best;
+}
+
+sim::Duration Machine::work_duration(const Work& work, int cpu_index) const {
+    const double ns =
+        work_duration_ns(spec_.arch, work, any_other_cpu_busy(cpu_index), sibling_busy(cpu_index));
+    return sim::Duration{static_cast<std::int64_t>(ns + 0.5)};
+}
+
+// ---- kernel work --------------------------------------------------------------
+
+void Machine::post_kernel_work(const Work& work, CpuState kind, std::function<void()> done) {
+    auto& cpu0 = cpus_[0];
+    const sim::Duration dur = work_duration(work, 0);
+    const sim::SimTime start = std::max(sim_->now(), cpu0.kernel_busy_until);
+    const sim::SimTime end = start + dur;
+    cpu0.kernel_busy_until = end;
+    ++kernel_queue_len_;
+    sim_->schedule_at(end, [this, kind, dur, done = std::move(done)] {
+        cpus_[0].account(kind, dur);
+        --kernel_queue_len_;
+        if (done) done();
+    });
+
+    // Kernel work preempts the thread chunk in flight on CPU 0: push its
+    // completion out by the stolen time.  A chunk starved for too long is
+    // migrated to the ready queue instead (the load balancer pulling a
+    // task off a saturated CPU).
+    auto& chunk = chunks_[0];
+    if (chunk.active) {
+        chunk.stolen += dur;
+        if (logical_cpus() > 1 && chunk.stolen > sim::milliseconds(2)) {
+            migrate_chunk(0);
+        } else {
+            chunk.event.cancel();
+            chunk.end = chunk.end + dur;
+            chunk.event = sim_->schedule_at(chunk.end, [this] { chunk_complete(0); });
+        }
+    }
+}
+
+sim::Duration Machine::kernel_backlog() const {
+    const auto until = cpus_[0].kernel_busy_until;
+    return until > sim_->now() ? until - sim_->now() : sim::Duration::zero();
+}
+
+// ---- scheduling ----------------------------------------------------------------
+
+void Machine::spawn(std::shared_ptr<Thread> thread) {
+    if (thread->machine_ != nullptr) throw std::logic_error("Machine::spawn: thread reused");
+    thread->machine_ = this;
+    Thread* raw = thread.get();
+    threads_.push_back(std::move(thread));
+    raw->state_ = Thread::State::kReady;
+    raw->resume_ = [raw] { raw->main(); };
+    enqueue_ready(*raw, /*woken=*/false);
+    try_dispatch();
+}
+
+void Machine::wake(Thread& thread) {
+    if (thread.state_ != Thread::State::kBlocked || thread.wake_pending_) return;
+    thread.wake_pending_ = true;
+    sim_->schedule_in(policy_.wakeup_latency, [this, &thread] {
+        thread.wake_pending_ = false;
+        if (thread.state_ != Thread::State::kBlocked) return;
+        thread.state_ = Thread::State::kReady;
+        enqueue_ready(thread, /*woken=*/true);
+        try_dispatch();
+    });
+}
+
+void Machine::wake_now(Thread& thread) {
+    if (thread.state_ != Thread::State::kBlocked) return;
+    thread.state_ = Thread::State::kReady;
+    enqueue_ready(thread, /*woken=*/true);
+    try_dispatch();
+}
+
+void Machine::enqueue_ready(Thread& thread, bool woken) {
+    if (woken && policy_.lifo_wakeup)
+        ready_.push_front(&thread);
+    else
+        ready_.push_back(&thread);
+}
+
+void Machine::try_dispatch() {
+    while (!ready_.empty()) {
+        const int cpu_index = pick_idle_cpu();
+        if (cpu_index < 0) return;
+        Thread* thread = ready_.front();
+        ready_.pop_front();
+        thread->state_ = Thread::State::kRunning;
+        thread->cpu_ = cpu_index;
+        cpus_[static_cast<std::size_t>(cpu_index)].current = thread;
+        auto resume = std::move(thread->resume_);
+        thread->resume_ = nullptr;
+        run_continuation(*thread, resume);
+    }
+}
+
+void Machine::run_continuation(Thread& thread, const std::function<void()>& body) {
+    thread.action_taken_ = false;
+    body();
+    if (!thread.action_taken_) {
+        // Continuation ended without exec/block/yield: thread is done.
+        thread.state_ = Thread::State::kDone;
+        release_cpu(thread);
+        try_dispatch();
+    }
+}
+
+void Machine::release_cpu(Thread& thread) {
+    if (thread.cpu_ >= 0) {
+        cpus_[static_cast<std::size_t>(thread.cpu_)].current = nullptr;
+        thread.cpu_ = -1;
+    }
+}
+
+void Machine::thread_exec(Thread& thread, const Work& work, CpuState st,
+                          std::function<void()> then) {
+    if (thread.state_ != Thread::State::kRunning)
+        throw std::logic_error("Thread::exec outside running state");
+    thread.action_taken_ = true;
+    const int cpu_index = thread.cpu_;
+    auto& cpu = cpus_[static_cast<std::size_t>(cpu_index)];
+    auto& chunk = chunks_[static_cast<std::size_t>(cpu_index)];
+    if (chunk.active) throw std::logic_error("Thread::exec: chunk already in flight");
+
+    const sim::Duration dur = work_duration(work, cpu_index);
+    // Pending kernel work on this CPU runs first (it has priority).
+    const sim::Duration head_of_line =
+        cpu.kernel_busy_until > sim_->now() ? cpu.kernel_busy_until - sim_->now()
+                                            : sim::Duration::zero();
+    chunk.active = true;
+    chunk.busy = dur;
+    chunk.stolen = sim::Duration::zero();
+    chunk.state = st;
+    chunk.work = work;
+    chunk.then = std::move(then);
+    chunk.end = sim_->now() + head_of_line + dur;
+    chunk.event = sim_->schedule_at(chunk.end, [this, cpu_index] { chunk_complete(cpu_index); });
+}
+
+void Machine::chunk_complete(int cpu_index) {
+    auto& chunk = chunks_[static_cast<std::size_t>(cpu_index)];
+    auto& cpu = cpus_[static_cast<std::size_t>(cpu_index)];
+    Thread* thread = cpu.current;
+    if (!chunk.active || thread == nullptr)
+        throw std::logic_error("Machine::chunk_complete: no chunk in flight");
+    if (sim_->now() != chunk.end)
+        throw std::logic_error("Machine::chunk_complete: completion time mismatch");
+    chunk.active = false;
+    cpu.account(chunk.state, chunk.busy);
+    auto then = std::move(chunk.then);
+    chunk.then = nullptr;
+    run_continuation(*thread, then);
+}
+
+void Machine::migrate_chunk(int cpu_index) {
+    auto& chunk = chunks_[static_cast<std::size_t>(cpu_index)];
+    auto& cpu = cpus_[static_cast<std::size_t>(cpu_index)];
+    Thread* thread = cpu.current;
+    if (!chunk.active || thread == nullptr)
+        throw std::logic_error("Machine::migrate_chunk: no chunk in flight");
+    chunk.event.cancel();
+    chunk.active = false;
+    // Re-execute the chunk's work when re-dispatched (progress made in the
+    // interrupt gaps is conservatively discarded).
+    thread->resume_ = [this, thread, work = chunk.work, st = chunk.state,
+                       then = std::move(chunk.then)]() mutable {
+        thread_exec(*thread, work, st, std::move(then));
+    };
+    chunk.then = nullptr;
+    thread->state_ = Thread::State::kReady;
+    release_cpu(*thread);
+    ready_.push_back(thread);
+    sim_->schedule_in(sim::Duration::zero(), [this] { try_dispatch(); });
+}
+
+void Machine::thread_block(Thread& thread, std::function<void()> on_wake) {
+    if (thread.state_ != Thread::State::kRunning)
+        throw std::logic_error("Thread::block outside running state");
+    thread.action_taken_ = true;
+    thread.state_ = Thread::State::kBlocked;
+    thread.resume_ = std::move(on_wake);
+    release_cpu(thread);
+    // Give other ready threads the CPU we just freed.  Dispatch from a
+    // fresh event to keep the current continuation's stack shallow.
+    sim_->schedule_in(sim::Duration::zero(), [this] { try_dispatch(); });
+}
+
+void Machine::thread_yield(Thread& thread, std::function<void()> then) {
+    if (thread.state_ != Thread::State::kRunning)
+        throw std::logic_error("Thread::yield outside running state");
+    thread.action_taken_ = true;
+    thread.state_ = Thread::State::kReady;
+    thread.resume_ = std::move(then);
+    release_cpu(thread);
+    if (policy_.lifo_yield)
+        ready_.push_front(&thread);
+    else
+        ready_.push_back(&thread);
+    sim_->schedule_in(sim::Duration::zero(), [this] { try_dispatch(); });
+}
+
+// ---- accounting ---------------------------------------------------------------
+
+sim::Duration Machine::total_busy() const {
+    sim::Duration sum{};
+    for (const auto& cpu : cpus_) sum += cpu.busy();
+    return sum;
+}
+
+double Machine::utilization_since(sim::Duration busy_at_start, sim::Duration window) const {
+    if (window <= sim::Duration::zero()) return 0.0;
+    const auto busy = total_busy() - busy_at_start;
+    return std::min(1.0, busy.seconds() / (window.seconds() * logical_cpus()));
+}
+
+}  // namespace capbench::hostsim

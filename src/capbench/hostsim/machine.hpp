@@ -1,0 +1,195 @@
+// Machine model: logical CPUs, kernel work queue, and a small preemptive
+// scheduler for capture-application threads.
+//
+// Execution model (Section 2.2.1 "receive interrupt load"):
+//  * Kernel work (interrupt handlers, softirq processing) is serialized on
+//    CPU 0 — as on the 2005 systems, where the NIC's interrupt line was
+//    serviced by one processor — and has absolute priority: while kernel
+//    work is pending, the thread running on CPU 0 makes no progress.  This
+//    is what produces receive livelock on single-processor configurations
+//    and the large benefit of the second processor.
+//  * Threads are cooperative units that issue work chunks (exec) and block
+//    on kernel objects (buffers, queues, pipes, disks); the scheduler
+//    dispatches ready threads onto idle CPUs.  Wakeup order is a policy
+//    knob: FreeBSD inserts woken threads at the tail of the ready queue
+//    (even sharing, Section 1.2), Linux at the head (the "one application
+//    sees five percent, another nearly all" behaviour under overload).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "capbench/hostsim/arch.hpp"
+#include "capbench/hostsim/cpu.hpp"
+#include "capbench/sim/simulator.hpp"
+
+namespace capbench::hostsim {
+
+class Machine;
+
+/// Cooperative thread written in continuation-passing style: each
+/// continuation must end by calling exactly one of exec() / block() /
+/// yield(), or return without any of them to terminate the thread.
+class Thread {
+public:
+    explicit Thread(std::string name) : name_(std::move(name)) {}
+    virtual ~Thread() = default;
+
+    Thread(const Thread&) = delete;
+    Thread& operator=(const Thread&) = delete;
+
+    /// Entry point, run when the thread is first dispatched.
+    virtual void main() = 0;
+
+    enum class State : std::uint8_t { kNew, kReady, kRunning, kBlocked, kDone };
+
+    [[nodiscard]] State state() const { return state_; }
+    [[nodiscard]] const std::string& name() const { return name_; }
+
+protected:
+    /// Consumes CPU for `work`, accounted as `st`, then continues with
+    /// `then`.  Only legal while running.
+    void exec(const Work& work, CpuState st, std::function<void()> then);
+
+    /// Deschedules until wake(); `on_wake` runs when re-dispatched.
+    void block(std::function<void()> on_wake);
+
+    /// Goes to the back of the ready queue; `then` runs when re-dispatched.
+    void yield(std::function<void()> then);
+
+    [[nodiscard]] Machine& machine() const { return *machine_; }
+
+private:
+    friend class Machine;
+    std::string name_;
+    Machine* machine_ = nullptr;
+    State state_ = State::kNew;
+    int cpu_ = -1;
+    bool action_taken_ = false;   // set by exec/block/yield within a continuation
+    bool wake_pending_ = false;   // a delayed wakeup is in flight
+    std::function<void()> resume_;
+};
+
+struct MachineSpec {
+    ArchSpec arch;
+    int cores = 2;
+    bool hyperthreading = false;
+};
+
+struct SchedPolicy {
+    bool lifo_wakeup = false;             // Linux: true; FreeBSD: false
+    sim::Duration wakeup_latency{500'000};  // block() -> runnable delay
+    /// Linux 2.6 keeps the running task running (long timeslices, LIFO
+    /// requeue): a thread that yields goes back to the FRONT of the ready
+    /// queue and keeps its CPU while it has work.  FreeBSD round-robins.
+    bool lifo_yield = false;
+    /// How many batches an application processes before voluntarily
+    /// yielding: 1 approximates FreeBSD's tight round-robin; larger values
+    /// approximate Linux 2.6's long timeslices, which is what lets one
+    /// capturing application starve the others under overload
+    /// (Section 6.3.3).
+    int yield_every_batches = 1;
+};
+
+class Machine {
+public:
+    Machine(sim::Simulator& sim, MachineSpec spec, SchedPolicy policy);
+
+    [[nodiscard]] sim::Simulator& sim() const { return *sim_; }
+    [[nodiscard]] const MachineSpec& spec() const { return spec_; }
+    [[nodiscard]] int logical_cpus() const { return static_cast<int>(cpus_.size()); }
+    [[nodiscard]] const Cpu& cpu(int i) const { return cpus_[static_cast<std::size_t>(i)]; }
+
+    // ---- kernel side -------------------------------------------------------
+
+    /// Queues `work` on CPU 0 with absolute priority; `done` runs at its
+    /// completion time (delivery semantics: a packet reaches the capture
+    /// stack only once its processing is paid for).
+    void post_kernel_work(const Work& work, CpuState kind, std::function<void()> done);
+
+    /// Number of kernel work items queued but not yet completed (the netdev
+    /// backlog / ifqueue occupancy).
+    [[nodiscard]] std::size_t kernel_queue_len() const { return kernel_queue_len_; }
+
+    /// How far CPU 0's kernel queue tail is ahead of now.
+    [[nodiscard]] sim::Duration kernel_backlog() const;
+
+    // ---- threads -----------------------------------------------------------
+
+    /// Registers and readies a thread.  The machine keeps it alive.
+    void spawn(std::shared_ptr<Thread> thread);
+
+    /// Makes a blocked thread runnable after the policy's wakeup latency.
+    /// No-op when the thread is already runnable or has a wakeup in flight.
+    void wake(Thread& thread);
+
+    /// Immediate wakeup (timer expiry path).
+    void wake_now(Thread& thread);
+
+    /// True when runnable threads are waiting for a CPU (used by
+    /// cooperative threads to decide whether a timeslice has "expired").
+    [[nodiscard]] bool ready_pending() const { return !ready_.empty(); }
+
+    // ---- accounting --------------------------------------------------------
+
+    /// Sum of busy time over all CPUs (for utilization: divide by
+    /// logical_cpus() * window).
+    [[nodiscard]] sim::Duration total_busy() const;
+
+    /// Machine-wide utilization in [0, 1] over a window given a snapshot of
+    /// total_busy() taken at the window start.
+    [[nodiscard]] double utilization_since(sim::Duration busy_at_start,
+                                           sim::Duration window) const;
+
+    /// Nanoseconds `work` takes right now on CPU `cpu_index` (contention
+    /// and HT sibling state are sampled at call time).
+    [[nodiscard]] sim::Duration work_duration(const Work& work, int cpu_index) const;
+
+private:
+    friend class Thread;
+
+    [[nodiscard]] bool cpu_busy(int i) const;
+    [[nodiscard]] bool any_other_cpu_busy(int i) const;
+    [[nodiscard]] bool sibling_busy(int i) const;
+    [[nodiscard]] int pick_idle_cpu() const;  // -1 when none
+
+    void enqueue_ready(Thread& thread, bool woken);
+    void try_dispatch();
+    void run_continuation(Thread& thread, const std::function<void()>& body);
+    void release_cpu(Thread& thread);
+    void chunk_complete(int cpu_index);
+
+    void thread_exec(Thread& thread, const Work& work, CpuState st, std::function<void()> then);
+    void thread_block(Thread& thread, std::function<void()> on_wake);
+    void thread_yield(Thread& thread, std::function<void()> then);
+
+    struct RunningChunk {
+        bool active = false;
+        sim::SimTime end{};
+        sim::Duration busy{};
+        sim::Duration stolen{};  // time taken by preempting kernel work
+        CpuState state = CpuState::kUser;
+        Work work;               // for re-execution after migration
+        std::function<void()> then;
+        sim::EventHandle event;
+    };
+
+    /// Moves the thread whose chunk on `cpu_index` has been starved by
+    /// kernel work back to the ready queue (load-balancer migration).
+    void migrate_chunk(int cpu_index);
+
+    sim::Simulator* sim_;
+    MachineSpec spec_;
+    SchedPolicy policy_;
+    std::vector<Cpu> cpus_;
+    std::vector<RunningChunk> chunks_;  // one per cpu
+    std::deque<Thread*> ready_;
+    std::vector<std::shared_ptr<Thread>> threads_;
+    std::size_t kernel_queue_len_ = 0;
+};
+
+}  // namespace capbench::hostsim

@@ -1,0 +1,69 @@
+#include "capbench/load/disk.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace capbench::load {
+
+DiskModel::DiskModel(hostsim::Machine& machine, DiskSpec spec)
+    : machine_(&machine), spec_(spec) {
+    if (spec_.write_mbytes_per_sec <= 0) throw std::invalid_argument("DiskModel: bad write speed");
+}
+
+hostsim::Work DiskModel::write_work(std::uint64_t bytes) const {
+    hostsim::Work w;
+    w.cycles = spec_.cpu_cycles_per_byte * static_cast<double>(bytes);
+    // One copy into the page cache.
+    w.copy_bytes = static_cast<double>(bytes);
+    return w;
+}
+
+bool DiskModel::write(std::uint64_t bytes, hostsim::Thread& writer) {
+    if (queued_ + bytes <= spec_.queue_bytes) {
+        queued_ += bytes;
+        ensure_draining();
+        return true;
+    }
+    waiters_.push_back(Waiter{&writer, bytes});
+    ensure_draining();
+    return false;
+}
+
+void DiskModel::ensure_draining() {
+    if (draining_ || (queued_ == 0 && waiters_.empty())) return;
+    draining_ = true;
+    machine_->sim().schedule_in(sim::milliseconds(1), [this] { drain_step(); });
+}
+
+void DiskModel::drain_step() {
+    draining_ = false;
+    // Bytes the spindles retire per millisecond.
+    const auto per_ms = static_cast<std::uint64_t>(spec_.write_mbytes_per_sec * 1e6 / 1000.0);
+    const std::uint64_t drained = std::min(queued_, per_ms);
+    queued_ -= drained;
+    bytes_written_ += drained;
+
+    // Admit blocked writers in FIFO order while space allows.
+    std::size_t admitted = 0;
+    for (auto& waiter : waiters_) {
+        if (queued_ + waiter.bytes > spec_.queue_bytes) break;
+        queued_ += waiter.bytes;
+        machine_->wake(*waiter.thread);
+        ++admitted;
+    }
+    waiters_.erase(waiters_.begin(), waiters_.begin() + static_cast<std::ptrdiff_t>(admitted));
+    ensure_draining();
+}
+
+DiskSpec disk_spec_for(const std::string& sut_name) {
+    // Shapes from Figure 6.13: every system is below the ~119 MB/s line
+    // speed; the Linux boxes write a bit faster than the FreeBSD ones, and
+    // writing costs a visible slice of CPU.
+    if (sut_name == "swan") return DiskSpec{92.0, 5.0, 8ull << 20};
+    if (sut_name == "snipe") return DiskSpec{84.0, 5.5, 8ull << 20};
+    if (sut_name == "moorhen") return DiskSpec{73.0, 6.0, 8ull << 20};
+    if (sut_name == "flamingo") return DiskSpec{68.0, 6.5, 8ull << 20};
+    return DiskSpec{};
+}
+
+}  // namespace capbench::load

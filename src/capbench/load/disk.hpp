@@ -1,0 +1,61 @@
+// RAID disk write model (Sections 6.3.5 / Figure 6.13).
+//
+// A bounded write-back queue drains at the system's measured sequential
+// write speed (the bonnie++ numbers).  Writers that would overflow the
+// queue block until space frees up — exactly how a capture process stalls
+// behind a slow disk.  CPU cost of writing is charged by the writer thread
+// itself (cycles per byte from the spec).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "capbench/hostsim/machine.hpp"
+
+namespace capbench::load {
+
+struct DiskSpec {
+    double write_mbytes_per_sec = 80.0;   // sequential throughput
+    double cpu_cycles_per_byte = 1.1;     // filesystem + driver CPU cost
+    std::uint64_t queue_bytes = 8ull * 1024 * 1024;  // write-back cache
+};
+
+class DiskModel {
+public:
+    DiskModel(hostsim::Machine& machine, DiskSpec spec);
+
+    /// Tries to queue `bytes` for writing.  Returns true when accepted
+    /// immediately; otherwise the writer is registered and woken once the
+    /// bytes have been accepted (the caller must block()).
+    bool write(std::uint64_t bytes, hostsim::Thread& writer);
+
+    /// CPU work the writer must charge for handing `bytes` to the kernel.
+    [[nodiscard]] hostsim::Work write_work(std::uint64_t bytes) const;
+
+    [[nodiscard]] std::uint64_t bytes_written() const { return bytes_written_; }
+    [[nodiscard]] std::uint64_t queued() const { return queued_; }
+    [[nodiscard]] const DiskSpec& spec() const { return spec_; }
+
+private:
+    void ensure_draining();
+    void drain_step();
+
+    struct Waiter {
+        hostsim::Thread* thread = nullptr;
+        std::uint64_t bytes = 0;
+    };
+
+    hostsim::Machine* machine_;
+    DiskSpec spec_;
+    std::uint64_t queued_ = 0;
+    std::uint64_t bytes_written_ = 0;
+    std::vector<Waiter> waiters_;
+    bool draining_ = false;
+};
+
+/// The four sniffers' disk subsystems (3ware 7000-series ATA RAID).  None
+/// reaches gigabit line speed (~119 MB/s of frame data), the key finding of
+/// Figure 6.13 that forces header-only traces.
+DiskSpec disk_spec_for(const std::string& sut_name);
+
+}  // namespace capbench::load

@@ -1,0 +1,86 @@
+#include "capbench/load/loads.hpp"
+
+#include <algorithm>
+
+#include "capbench/load/minideflate.hpp"
+
+namespace capbench::load {
+
+hostsim::Work per_packet_app_base() {
+    // Callback dispatch, counters, header touch.
+    return hostsim::Work{.cycles = 700, .mem_misses = 2.5};
+}
+
+hostsim::Work per_packet_load_work(const AppLoad& cfg, std::uint32_t caplen) {
+    hostsim::Work w;
+    if (cfg.memcpy_count > 0) {
+        // n sequential memcpy() calls over the packet (Section 6.3.4):
+        // bandwidth-bound on the copy path plus a small per-call overhead.
+        w.copy_bytes += static_cast<double>(cfg.memcpy_count) * caplen;
+        w.cycles += 45.0 * cfg.memcpy_count;
+    }
+    if (cfg.compress_level >= 0) {
+        w.cycles += compression_cycles_per_byte(cfg.compress_level) * caplen;
+        w.cycles += 350.0;  // gzwrite() call overhead
+    }
+    if (cfg.pipe_to_gzip) {
+        // Copy into the FIFO; the write() syscall is charged per batch by
+        // the application loop.
+        w.copy_bytes += caplen;
+        w.cycles += 120.0;
+    }
+    return w;
+}
+
+bool FifoPipe::write(std::uint64_t bytes, hostsim::Thread& writer) {
+    // Pipe wakeups take the scheduler fast path (both ends are hot in
+    // cache; no device latency), hence wake_now.
+    if (buffered_ + bytes <= capacity_) {
+        buffered_ += bytes;
+        if (waiting_reader_ != nullptr) {
+            machine_->wake_now(*waiting_reader_);
+            waiting_reader_ = nullptr;
+        }
+        return true;
+    }
+    blocked_writer_ = &writer;
+    blocked_bytes_ = bytes;
+    if (waiting_reader_ != nullptr) {
+        machine_->wake_now(*waiting_reader_);
+        waiting_reader_ = nullptr;
+    }
+    return false;
+}
+
+std::uint64_t FifoPipe::read(std::uint64_t max_bytes, hostsim::Thread& reader) {
+    if (buffered_ == 0) {
+        waiting_reader_ = &reader;
+        return 0;
+    }
+    const std::uint64_t taken = std::min(buffered_, max_bytes);
+    buffered_ -= taken;
+    if (blocked_writer_ != nullptr && buffered_ + blocked_bytes_ <= capacity_) {
+        buffered_ += blocked_bytes_;
+        machine_->wake_now(*blocked_writer_);
+        blocked_writer_ = nullptr;
+        blocked_bytes_ = 0;
+    }
+    return taken;
+}
+
+void GzipThread::main() { loop(); }
+
+void GzipThread::loop() {
+    const std::uint64_t taken = pipe_->read(64 * 1024, *this);
+    if (taken == 0) {
+        block([this] { loop(); });
+        return;
+    }
+    bytes_compressed_ += taken;
+    hostsim::Work w;
+    w.cycles = compression_cycles_per_byte(level_) * static_cast<double>(taken) + 350.0;
+    w.copy_bytes = static_cast<double>(taken);
+    exec(w, hostsim::CpuState::kUser, [this] { loop(); });
+}
+
+}  // namespace capbench::load

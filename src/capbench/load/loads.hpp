@@ -1,0 +1,83 @@
+// Per-packet application loads (Section 6.3.4/6.3.5) and the FIFO pipe used
+// for the "pipe to gzip" experiment (Figure 6.12).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "capbench/capture/os.hpp"
+#include "capbench/hostsim/machine.hpp"
+
+namespace capbench::load {
+
+/// What the capture application does with each packet beyond counting it
+/// (the createDist capture-mode options -c / -z / -t / -tsl).
+struct AppLoad {
+    /// Extra memcpy() calls per packet (-c): Figure 6.10 uses 50, B.2 25.
+    int memcpy_count = 0;
+    /// gzwrite() compression level (-z): Figure 6.11 uses 3, B.3 uses 9.
+    /// Negative disables compression.
+    int compress_level = -1;
+    /// Bytes of every packet written to disk (-tsl): 76 for the header
+    /// traces of Figure 6.14; 0 disables the trace file.
+    std::uint32_t disk_bytes_per_packet = 0;
+    /// Pipe whole packets to a separate gzip process (Figure 6.12).
+    bool pipe_to_gzip = false;
+    /// gzip level used by the pipe consumer.
+    int pipe_gzip_level = 3;
+};
+
+/// CPU work one packet of `size` bytes costs the application given `cfg`
+/// (excluding the fetch/syscall work, which the stack endpoint reports, and
+/// excluding disk/pipe waiting, which is modelled by blocking).
+hostsim::Work per_packet_load_work(const AppLoad& cfg, std::uint32_t caplen);
+
+/// Base per-packet application cost: libpcap callback dispatch plus the
+/// statistics bookkeeping the measurement application performs.
+hostsim::Work per_packet_app_base();
+
+/// Bounded byte FIFO connecting the capture process to the gzip process.
+class FifoPipe {
+public:
+    FifoPipe(hostsim::Machine& machine, std::uint64_t capacity_bytes)
+        : machine_(&machine), capacity_(capacity_bytes) {}
+
+    /// Appends `bytes`; returns false (and remembers the writer for a
+    /// wakeup) when the pipe is full — the writer must block().
+    bool write(std::uint64_t bytes, hostsim::Thread& writer);
+
+    /// Removes up to `max_bytes`; 0 means empty (reader should block).
+    std::uint64_t read(std::uint64_t max_bytes, hostsim::Thread& reader);
+
+    [[nodiscard]] std::uint64_t buffered() const { return buffered_; }
+    [[nodiscard]] std::uint64_t capacity() const { return capacity_; }
+
+private:
+    hostsim::Machine* machine_;
+    std::uint64_t capacity_;
+    std::uint64_t buffered_ = 0;
+    hostsim::Thread* blocked_writer_ = nullptr;
+    std::uint64_t blocked_bytes_ = 0;
+    hostsim::Thread* waiting_reader_ = nullptr;
+};
+
+/// The gzip process of the pipe experiment: drains the FIFO and compresses.
+class GzipThread final : public hostsim::Thread {
+public:
+    GzipThread(FifoPipe& pipe, int level)
+        : hostsim::Thread("gzip"), pipe_(&pipe), level_(level) {}
+
+    void main() override;
+
+    [[nodiscard]] std::uint64_t bytes_compressed() const { return bytes_compressed_; }
+
+private:
+    void loop();
+
+    FifoPipe* pipe_;
+    int level_;
+    std::uint64_t bytes_compressed_ = 0;
+};
+
+}  // namespace capbench::load

@@ -1,0 +1,60 @@
+// MiniDeflate: a real LZ77 compressor standing in for zlib (Section 6.3.4).
+//
+// The capture application of the thesis calls gzwrite() on every packet to
+// simulate analysis load; compression levels 0-9 trade speed for ratio.  We
+// cannot ship zlib, so this module implements a small but genuine LZ77
+// compressor with hash-chain match search whose search depth scales with
+// the level — the same speed/ratio mechanism as deflate.  Its work counters
+// (bytes scanned, hash-chain steps, literals/matches emitted) feed the
+// simulated per-packet CPU cost via compression_cycles_per_byte().
+//
+// The stream format is private to capbench (not zlib-compatible):
+//   token 0x00 llllllll        -> literal run of l+1 bytes following
+//   token 0x01 llllllll dddddddd dddddddd -> match of l+3 bytes at distance d
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace capbench::load {
+
+struct CompressResult {
+    std::vector<std::byte> output;
+    std::uint64_t literals = 0;
+    std::uint64_t matches = 0;
+    std::uint64_t search_steps = 0;  // hash-chain probes (the level-dependent cost)
+
+    [[nodiscard]] double ratio(std::size_t input_size) const {
+        return input_size == 0 ? 1.0
+                               : static_cast<double>(output.size()) /
+                                     static_cast<double>(input_size);
+    }
+};
+
+class MiniDeflate {
+public:
+    /// `level` 0..9: 0 stores uncompressed, 9 searches deepest.
+    explicit MiniDeflate(int level);
+
+    [[nodiscard]] int level() const { return level_; }
+
+    /// Compresses `input`; deterministic for identical inputs.
+    [[nodiscard]] CompressResult compress(std::span<const std::byte> input) const;
+
+    /// Inverse of compress(); throws std::runtime_error on corrupt streams.
+    [[nodiscard]] static std::vector<std::byte> decompress(std::span<const std::byte> input);
+
+private:
+    int level_;
+    std::size_t max_chain_;  // search depth, derived from the level
+};
+
+/// Estimated CPU cycles per input byte for the given level, derived from
+/// MiniDeflate's work counters on a deterministic mixed corpus (computed
+/// once, cached).  Used by the app-load model so per-packet compression
+/// cost reflects the real algorithm rather than a guessed constant.
+double compression_cycles_per_byte(int level);
+
+}  // namespace capbench::load

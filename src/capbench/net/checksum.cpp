@@ -1,0 +1,29 @@
+#include "capbench/net/checksum.hpp"
+
+namespace capbench::net {
+
+namespace {
+
+std::uint32_t raw_sum(std::span<const std::byte> data) {
+    std::uint32_t sum = 0;
+    std::size_t i = 0;
+    for (; i + 1 < data.size(); i += 2) {
+        sum += static_cast<std::uint32_t>((std::to_integer<std::uint32_t>(data[i]) << 8) |
+                                          std::to_integer<std::uint32_t>(data[i + 1]));
+    }
+    if (i < data.size()) sum += std::to_integer<std::uint32_t>(data[i]) << 8;
+    while (sum >> 16) sum = (sum & 0xFFFF) + (sum >> 16);
+    return sum;
+}
+
+}  // namespace
+
+std::uint16_t internet_checksum(std::span<const std::byte> data) {
+    return static_cast<std::uint16_t>(~raw_sum(data) & 0xFFFF);
+}
+
+bool checksum_ok(std::span<const std::byte> data) {
+    return raw_sum(data) == 0xFFFF;
+}
+
+}  // namespace capbench::net

@@ -1,0 +1,18 @@
+// RFC 1071 Internet checksum.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+namespace capbench::net {
+
+/// Computes the one's-complement Internet checksum over `data`.
+/// The returned value is ready to be stored in a header checksum field.
+std::uint16_t internet_checksum(std::span<const std::byte> data);
+
+/// Verifies a buffer whose checksum field is already filled in:
+/// the sum over the whole buffer must be zero.
+bool checksum_ok(std::span<const std::byte> data);
+
+}  // namespace capbench::net

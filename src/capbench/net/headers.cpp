@@ -1,0 +1,194 @@
+#include "capbench/net/headers.hpp"
+
+#include <charconv>
+#include <cstdio>
+#include <stdexcept>
+
+#include "capbench/net/checksum.hpp"
+
+namespace capbench::net {
+
+namespace {
+
+int hex_digit(char c) {
+    if (c >= '0' && c <= '9') return c - '0';
+    if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+    if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+    return -1;
+}
+
+}  // namespace
+
+std::uint16_t load_be16(std::span<const std::byte> in, std::size_t off) {
+    if (off + 2 > in.size()) throw std::out_of_range("load_be16: offset out of range");
+    return static_cast<std::uint16_t>((std::to_integer<std::uint16_t>(in[off]) << 8) |
+                                      std::to_integer<std::uint16_t>(in[off + 1]));
+}
+
+std::uint32_t load_be32(std::span<const std::byte> in, std::size_t off) {
+    if (off + 4 > in.size()) throw std::out_of_range("load_be32: offset out of range");
+    return (std::to_integer<std::uint32_t>(in[off]) << 24) |
+           (std::to_integer<std::uint32_t>(in[off + 1]) << 16) |
+           (std::to_integer<std::uint32_t>(in[off + 2]) << 8) |
+           std::to_integer<std::uint32_t>(in[off + 3]);
+}
+
+void store_be16(std::span<std::byte> out, std::size_t off, std::uint16_t v) {
+    if (off + 2 > out.size()) throw std::out_of_range("store_be16: offset out of range");
+    out[off] = static_cast<std::byte>(v >> 8);
+    out[off + 1] = static_cast<std::byte>(v & 0xFF);
+}
+
+void store_be32(std::span<std::byte> out, std::size_t off, std::uint32_t v) {
+    if (off + 4 > out.size()) throw std::out_of_range("store_be32: offset out of range");
+    out[off] = static_cast<std::byte>(v >> 24);
+    out[off + 1] = static_cast<std::byte>((v >> 16) & 0xFF);
+    out[off + 2] = static_cast<std::byte>((v >> 8) & 0xFF);
+    out[off + 3] = static_cast<std::byte>(v & 0xFF);
+}
+
+MacAddr MacAddr::parse(const std::string& text) {
+    std::array<std::uint8_t, 6> octets{};
+    std::size_t pos = 0;
+    for (std::size_t i = 0; i < 6; ++i) {
+        if (pos + 2 > text.size()) throw std::invalid_argument("MacAddr::parse: too short: " + text);
+        const int hi = hex_digit(text[pos]);
+        const int lo = hex_digit(text[pos + 1]);
+        if (hi < 0 || lo < 0) throw std::invalid_argument("MacAddr::parse: bad hex: " + text);
+        octets[i] = static_cast<std::uint8_t>(hi * 16 + lo);
+        pos += 2;
+        if (i < 5) {
+            if (pos >= text.size() || text[pos] != ':')
+                throw std::invalid_argument("MacAddr::parse: expected ':': " + text);
+            ++pos;
+        }
+    }
+    if (pos != text.size()) throw std::invalid_argument("MacAddr::parse: trailing junk: " + text);
+    return MacAddr{octets};
+}
+
+std::string MacAddr::to_string() const {
+    char buf[18];
+    std::snprintf(buf, sizeof buf, "%02x:%02x:%02x:%02x:%02x:%02x", octets_[0], octets_[1],
+                  octets_[2], octets_[3], octets_[4], octets_[5]);
+    return buf;
+}
+
+MacAddr MacAddr::plus(std::uint64_t n) const {
+    std::uint64_t v = 0;
+    for (const auto o : octets_) v = (v << 8) | o;
+    v = (v + n) & 0xFFFFFFFFFFFFULL;
+    std::array<std::uint8_t, 6> octets{};
+    for (int i = 5; i >= 0; --i) {
+        octets[static_cast<std::size_t>(i)] = static_cast<std::uint8_t>(v & 0xFF);
+        v >>= 8;
+    }
+    return MacAddr{octets};
+}
+
+Ipv4Addr Ipv4Addr::parse(const std::string& text) {
+    std::uint32_t value = 0;
+    const char* p = text.data();
+    const char* end = text.data() + text.size();
+    for (int i = 0; i < 4; ++i) {
+        unsigned octet = 0;
+        auto [next, ec] = std::from_chars(p, end, octet);
+        if (ec != std::errc{} || octet > 255 || next == p)
+            throw std::invalid_argument("Ipv4Addr::parse: bad octet: " + text);
+        value = (value << 8) | octet;
+        p = next;
+        if (i < 3) {
+            if (p >= end || *p != '.')
+                throw std::invalid_argument("Ipv4Addr::parse: expected '.': " + text);
+            ++p;
+        }
+    }
+    if (p != end) throw std::invalid_argument("Ipv4Addr::parse: trailing junk: " + text);
+    return Ipv4Addr{value};
+}
+
+std::string Ipv4Addr::to_string() const {
+    char buf[16];
+    std::snprintf(buf, sizeof buf, "%u.%u.%u.%u", (value_ >> 24) & 0xFF, (value_ >> 16) & 0xFF,
+                  (value_ >> 8) & 0xFF, value_ & 0xFF);
+    return buf;
+}
+
+void EthernetHeader::encode(std::span<std::byte> out) const {
+    if (out.size() < kEthernetHeaderLen)
+        throw std::invalid_argument("EthernetHeader::encode: buffer too small");
+    for (std::size_t i = 0; i < 6; ++i) out[i] = static_cast<std::byte>(dst.octets()[i]);
+    for (std::size_t i = 0; i < 6; ++i) out[6 + i] = static_cast<std::byte>(src.octets()[i]);
+    store_be16(out, 12, ether_type);
+}
+
+EthernetHeader EthernetHeader::decode(std::span<const std::byte> in) {
+    if (in.size() < kEthernetHeaderLen)
+        throw std::invalid_argument("EthernetHeader::decode: buffer too small");
+    EthernetHeader h;
+    std::array<std::uint8_t, 6> dst{};
+    std::array<std::uint8_t, 6> src{};
+    for (std::size_t i = 0; i < 6; ++i) dst[i] = std::to_integer<std::uint8_t>(in[i]);
+    for (std::size_t i = 0; i < 6; ++i) src[i] = std::to_integer<std::uint8_t>(in[6 + i]);
+    h.dst = MacAddr{dst};
+    h.src = MacAddr{src};
+    h.ether_type = load_be16(in, 12);
+    return h;
+}
+
+void Ipv4Header::encode(std::span<std::byte> out) const {
+    if (out.size() < kIpv4MinHeaderLen)
+        throw std::invalid_argument("Ipv4Header::encode: buffer too small");
+    out[0] = static_cast<std::byte>(0x45);  // version 4, IHL 5
+    out[1] = static_cast<std::byte>(tos);
+    store_be16(out, 2, total_length);
+    store_be16(out, 4, identification);
+    store_be16(out, 6, flags_fragment);
+    out[8] = static_cast<std::byte>(ttl);
+    out[9] = static_cast<std::byte>(protocol);
+    store_be16(out, 10, 0);  // checksum placeholder
+    store_be32(out, 12, src.value());
+    store_be32(out, 16, dst.value());
+    const std::uint16_t sum = internet_checksum(out.first(kIpv4MinHeaderLen));
+    store_be16(out, 10, sum);
+}
+
+Ipv4Header Ipv4Header::decode(std::span<const std::byte> in) {
+    if (in.size() < kIpv4MinHeaderLen)
+        throw std::invalid_argument("Ipv4Header::decode: buffer too small");
+    const auto version_ihl = std::to_integer<std::uint8_t>(in[0]);
+    if ((version_ihl >> 4) != 4) throw std::invalid_argument("Ipv4Header::decode: not IPv4");
+    Ipv4Header h;
+    h.tos = std::to_integer<std::uint8_t>(in[1]);
+    h.total_length = load_be16(in, 2);
+    h.identification = load_be16(in, 4);
+    h.flags_fragment = load_be16(in, 6);
+    h.ttl = std::to_integer<std::uint8_t>(in[8]);
+    h.protocol = std::to_integer<std::uint8_t>(in[9]);
+    h.checksum = load_be16(in, 10);
+    h.src = Ipv4Addr{load_be32(in, 12)};
+    h.dst = Ipv4Addr{load_be32(in, 16)};
+    return h;
+}
+
+void UdpHeader::encode(std::span<std::byte> out) const {
+    if (out.size() < kUdpHeaderLen)
+        throw std::invalid_argument("UdpHeader::encode: buffer too small");
+    store_be16(out, 0, src_port);
+    store_be16(out, 2, dst_port);
+    store_be16(out, 4, length);
+    store_be16(out, 6, checksum);
+}
+
+UdpHeader UdpHeader::decode(std::span<const std::byte> in) {
+    if (in.size() < kUdpHeaderLen)
+        throw std::invalid_argument("UdpHeader::decode: buffer too small");
+    UdpHeader h;
+    h.src_port = load_be16(in, 0);
+    h.dst_port = load_be16(in, 2);
+    h.length = load_be16(in, 4);
+    h.checksum = load_be16(in, 6);
+    return h;
+}
+
+}  // namespace capbench::net

@@ -1,0 +1,111 @@
+// Ethernet / IPv4 / UDP header types with encode/decode to raw bytes.
+//
+// The generator uses these to synthesise real frames; the BPF filter
+// compiler uses the field offsets; tests round-trip them.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+
+namespace capbench::net {
+
+/// 48-bit Ethernet MAC address.
+class MacAddr {
+public:
+    constexpr MacAddr() = default;
+    constexpr explicit MacAddr(std::array<std::uint8_t, 6> octets) : octets_(octets) {}
+
+    /// Parses "aa:bb:cc:dd:ee:ff" (case-insensitive). Throws on bad input.
+    static MacAddr parse(const std::string& text);
+
+    [[nodiscard]] std::string to_string() const;
+    [[nodiscard]] const std::array<std::uint8_t, 6>& octets() const { return octets_; }
+
+    /// Returns the address incremented by `n` (wrapping), used for the
+    /// generator's MAC-cycling feature.
+    [[nodiscard]] MacAddr plus(std::uint64_t n) const;
+
+    friend constexpr bool operator==(const MacAddr&, const MacAddr&) = default;
+
+private:
+    std::array<std::uint8_t, 6> octets_{};
+};
+
+/// IPv4 address in host byte order internally.
+class Ipv4Addr {
+public:
+    constexpr Ipv4Addr() = default;
+    constexpr explicit Ipv4Addr(std::uint32_t host_order) : value_(host_order) {}
+
+    /// Parses dotted-quad "a.b.c.d". Throws on bad input.
+    static Ipv4Addr parse(const std::string& text);
+
+    [[nodiscard]] std::string to_string() const;
+    [[nodiscard]] std::uint32_t value() const { return value_; }
+
+    friend constexpr bool operator==(const Ipv4Addr&, const Ipv4Addr&) = default;
+
+private:
+    std::uint32_t value_ = 0;
+};
+
+inline constexpr std::uint16_t kEtherTypeIpv4 = 0x0800;
+inline constexpr std::uint16_t kEtherTypeArp = 0x0806;
+inline constexpr std::uint16_t kEtherTypeRarp = 0x8035;
+
+inline constexpr std::uint8_t kIpProtoIcmp = 1;
+inline constexpr std::uint8_t kIpProtoTcp = 6;
+inline constexpr std::uint8_t kIpProtoUdp = 17;
+
+inline constexpr std::size_t kEthernetHeaderLen = 14;
+inline constexpr std::size_t kIpv4MinHeaderLen = 20;
+inline constexpr std::size_t kUdpHeaderLen = 8;
+
+struct EthernetHeader {
+    MacAddr dst;
+    MacAddr src;
+    std::uint16_t ether_type = kEtherTypeIpv4;
+
+    void encode(std::span<std::byte> out) const;  // needs >= 14 bytes
+    static EthernetHeader decode(std::span<const std::byte> in);
+};
+
+struct Ipv4Header {
+    std::uint8_t tos = 0;
+    std::uint16_t total_length = 0;  // header + payload
+    std::uint16_t identification = 0;
+    std::uint16_t flags_fragment = 0;  // 3-bit flags + 13-bit offset
+    std::uint8_t ttl = 64;
+    std::uint8_t protocol = kIpProtoUdp;
+    std::uint16_t checksum = 0;  // filled by encode()
+    Ipv4Addr src;
+    Ipv4Addr dst;
+
+    /// Encodes a 20-byte header (IHL=5), computing the checksum.
+    void encode(std::span<std::byte> out) const;
+    static Ipv4Header decode(std::span<const std::byte> in);
+
+    [[nodiscard]] bool more_fragments() const { return (flags_fragment & 0x2000) != 0; }
+    [[nodiscard]] std::uint16_t fragment_offset() const { return flags_fragment & 0x1FFF; }
+};
+
+struct UdpHeader {
+    std::uint16_t src_port = 0;
+    std::uint16_t dst_port = 0;
+    std::uint16_t length = 0;  // header + payload
+    std::uint16_t checksum = 0;
+
+    void encode(std::span<std::byte> out) const;  // needs >= 8 bytes
+    static UdpHeader decode(std::span<const std::byte> in);
+};
+
+/// Big-endian load/store helpers used across the packet code.
+std::uint16_t load_be16(std::span<const std::byte> in, std::size_t off);
+std::uint32_t load_be32(std::span<const std::byte> in, std::size_t off);
+void store_be16(std::span<std::byte> out, std::size_t off, std::uint16_t v);
+void store_be32(std::span<std::byte> out, std::size_t off, std::uint32_t v);
+
+}  // namespace capbench::net

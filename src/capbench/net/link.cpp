@@ -1,0 +1,18 @@
+#include "capbench/net/link.hpp"
+
+#include <algorithm>
+
+namespace capbench::net {
+
+sim::SimTime Link::transmit(PacketPtr packet) {
+    const sim::SimTime start = std::max(sim_->now(), busy_until_);
+    const sim::SimTime done = start + wire_time_at(packet->frame_len(), gbps_);
+    busy_until_ = done;
+    ++frames_sent_;
+    sim_->schedule_at(done, [this, packet = std::move(packet)] {
+        for (auto* sink : sinks_) sink->on_frame(packet);
+    });
+    return done;
+}
+
+}  // namespace capbench::net

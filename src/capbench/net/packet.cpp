@@ -1,0 +1,7 @@
+#include "capbench/net/packet.hpp"
+
+// Packet is header-only; this translation unit anchors the FrameSink vtable.
+
+namespace capbench::net {
+
+}  // namespace capbench::net

@@ -1,0 +1,71 @@
+// Packet representation.
+//
+// Packets flow from the generator through the switch and splitter into the
+// NICs of the systems under test.  Two modes are supported:
+//
+//  * full mode: the packet owns its frame bytes (needed whenever a BPF
+//    filter inspects packet contents or packets are written to pcap files);
+//  * synthetic mode: only the sizes are carried (fast path for the pure
+//    capture-rate experiments where contents are irrelevant; the thesis
+//    notes "type and content of the packets have no influence on the
+//    process of capturing", Section 3.2).
+//
+// Packets are shared immutably (like cloned skbs): the splitter hands the
+// same underlying packet to all four sniffers.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "capbench/sim/time.hpp"
+
+namespace capbench::net {
+
+class Packet {
+public:
+    /// Creates a synthetic packet: sizes only, no payload bytes.
+    /// `frame_len` is the Ethernet frame length without FCS.
+    Packet(std::uint64_t id, std::uint32_t frame_len, sim::SimTime sent_at)
+        : id_(id), frame_len_(frame_len), sent_at_(sent_at) {}
+
+    /// Creates a full packet owning its frame bytes (without FCS).
+    Packet(std::uint64_t id, std::vector<std::byte> frame, sim::SimTime sent_at)
+        : id_(id),
+          frame_len_(static_cast<std::uint32_t>(frame.size())),
+          sent_at_(sent_at),
+          data_(std::move(frame)) {}
+
+    [[nodiscard]] std::uint64_t id() const { return id_; }
+
+    /// Ethernet frame length in bytes, excluding preamble and FCS.
+    [[nodiscard]] std::uint32_t frame_len() const { return frame_len_; }
+
+    [[nodiscard]] sim::SimTime sent_at() const { return sent_at_; }
+
+    [[nodiscard]] bool has_bytes() const { return !data_.empty(); }
+
+    /// Frame bytes; empty span for synthetic packets.
+    [[nodiscard]] std::span<const std::byte> bytes() const { return data_; }
+
+private:
+    std::uint64_t id_ = 0;
+    std::uint32_t frame_len_ = 0;
+    sim::SimTime sent_at_{};
+    std::vector<std::byte> data_;
+};
+
+using PacketPtr = std::shared_ptr<const Packet>;
+
+/// Consumer interface for frame delivery (switch ports, splitter taps, NICs).
+class FrameSink {
+public:
+    virtual ~FrameSink() = default;
+
+    /// Called at the simulated time the frame has fully arrived.
+    virtual void on_frame(const PacketPtr& packet) = 0;
+};
+
+}  // namespace capbench::net

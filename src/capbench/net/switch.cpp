@@ -1,0 +1,5 @@
+#include "capbench/net/switch.hpp"
+
+namespace capbench::net {
+
+}  // namespace capbench::net

@@ -1,0 +1,49 @@
+// Monitoring switch (Cisco C3500XL stand-in, Figure 3.1).
+//
+// The generator feeds one port; a monitor port mirrors the traffic towards
+// the optical splitter.  The measurement cycle reads the SNMP-style packet
+// and byte counters before and after each run to learn exactly how many
+// packets were put on the fiber (Section 3.4 steps 2 and 4).
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+#include "capbench/net/packet.hpp"
+
+namespace capbench::net {
+
+struct PortCounters {
+    std::uint64_t packets = 0;
+    std::uint64_t bytes = 0;
+};
+
+class MonitorSwitch : public FrameSink {
+public:
+    /// Attaches the sink reached through the monitor (mirror) port.
+    void attach_monitor(FrameSink& sink) { monitor_sinks_.push_back(&sink); }
+
+    void on_frame(const PacketPtr& packet) override {
+        ingress_.packets += 1;
+        ingress_.bytes += packet->frame_len();
+        for (auto* sink : monitor_sinks_) {
+            egress_.packets += 1;
+            egress_.bytes += packet->frame_len();
+            sink->on_frame(packet);
+        }
+    }
+
+    /// SNMP-style counter read for the generator-facing port.
+    [[nodiscard]] const PortCounters& ingress_counters() const { return ingress_; }
+
+    /// SNMP-style counter read for the monitor port (per attached sink sum).
+    [[nodiscard]] const PortCounters& egress_counters() const { return egress_; }
+
+private:
+    std::vector<FrameSink*> monitor_sinks_;
+    PortCounters ingress_;
+    PortCounters egress_;
+};
+
+}  // namespace capbench::net

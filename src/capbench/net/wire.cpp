@@ -1,0 +1,3 @@
+#include "capbench/net/wire.hpp"
+
+// wire.hpp is header-only; this TU exists to compile its definitions once.

@@ -1,0 +1,58 @@
+// Gigabit Ethernet wire timing.
+//
+// Frame layout on the wire: 7 B preamble + 1 B SFD + frame (>= 60 B padded)
+// + 4 B FCS + 12 B inter-frame gap.  The "data rate" reported by the
+// generator and plotted in the thesis counts frame bytes (header + payload,
+// no preamble/FCS/IFG), which is why the maximum achievable data rate with
+// 1500-byte frames is below 1000 Mbit/s even on an ideal link.
+#pragma once
+
+#include <cstdint>
+
+#include "capbench/sim/time.hpp"
+
+namespace capbench::net {
+
+inline constexpr std::uint32_t kPreambleSfdBytes = 8;
+inline constexpr std::uint32_t kFcsBytes = 4;
+inline constexpr std::uint32_t kInterFrameGapBytes = 12;
+inline constexpr std::uint32_t kMinFrameBytes = 60;    // without FCS
+inline constexpr std::uint32_t kMaxFrameBytes = 1514;  // without FCS (no jumbo frames; Sec. 4.2.1)
+inline constexpr double kGigabitBitsPerSecond = 1e9;
+
+/// Frame length after minimum-size padding (still without FCS).
+constexpr std::uint32_t padded_frame_len(std::uint32_t frame_len) {
+    return frame_len < kMinFrameBytes ? kMinFrameBytes : frame_len;
+}
+
+/// Total bytes a frame occupies on the wire including overhead.
+constexpr std::uint32_t wire_bytes(std::uint32_t frame_len) {
+    return padded_frame_len(frame_len) + kPreambleSfdBytes + kFcsBytes + kInterFrameGapBytes;
+}
+
+/// Time one frame occupies a 1 Gbit/s link (serialization + gap).
+constexpr sim::Duration wire_time(std::uint32_t frame_len) {
+    // 1 Gbit/s = 1 bit per ns, so 8 ns per byte.
+    return sim::Duration{static_cast<std::int64_t>(wire_bytes(frame_len)) * 8};
+}
+
+/// Frame time on a faster link (the 10-Gigabit future-work scenario of
+/// Section 7.2).  `gbps` must be >= 1.
+constexpr sim::Duration wire_time_at(std::uint32_t frame_len, double gbps) {
+    return sim::Duration{
+        static_cast<std::int64_t>(static_cast<double>(wire_bytes(frame_len)) * 8.0 / gbps)};
+}
+
+/// Maximum achievable frame-data rate in Mbit/s for fixed-size frames of
+/// `frame_len` bytes on an ideal gigabit link.
+constexpr double max_data_rate_mbps(std::uint32_t frame_len) {
+    return 8.0 * static_cast<double>(frame_len) /
+           (8.0 * static_cast<double>(wire_bytes(frame_len))) * 1000.0;
+}
+
+/// Packets per second for a given frame-data rate (Mbit/s) and frame size.
+constexpr double packets_per_second(double data_rate_mbps, std::uint32_t frame_len) {
+    return data_rate_mbps * 1e6 / (8.0 * static_cast<double>(frame_len));
+}
+
+}  // namespace capbench::net

@@ -1,0 +1,7 @@
+#include "capbench/pcap/session.hpp"
+
+// Session is header-only; this TU anchors the translation unit.
+
+namespace capbench::pcap {
+
+}  // namespace capbench::pcap

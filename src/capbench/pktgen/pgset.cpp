@@ -1,0 +1,124 @@
+// pgset command parsing: the /proc control interface of the (enhanced)
+// Linux Kernel Packet Generator (Appendix A.2.2).
+//
+// Supported commands:
+//   count N                      packets per run
+//   pkt_size N                   fixed IP packet size
+//   delay N                      extra inter-packet gap in nanoseconds
+//   dst A.B.C.D / src A.B.C.D    IP addresses
+//   dst_mac M / src_mac M        Ethernet addresses
+//   src_mac_count N              cycle the source MAC over N addresses
+//   udp_src_port N / udp_dst_port N
+//   dist <prec> <binw> <max> <n_outl> <n_hist>   begin distribution input
+//   outl <size> <cells>          stage-1 entry (n_outl lines)
+//   hist <size> <cells>          stage-2 entry (n_hist lines)
+//   flag PKTSIZE_REAL            activate the distribution (requires
+//                                DIST_READY, i.e. all entries entered)
+#include "capbench/pktgen/pktgen.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace capbench::pktgen {
+
+namespace {
+
+/// Distribution input in progress; lives in the generator between `dist`
+/// and the final outl/hist line.
+struct PendingDist {
+    dist::TwoStageParams params;
+    std::size_t want_outl = 0;
+    std::size_t want_hist = 0;
+    std::vector<std::pair<std::uint32_t, std::uint32_t>> outliers;
+    std::vector<std::pair<std::uint32_t, std::uint32_t>> bins;
+
+    [[nodiscard]] bool complete() const {
+        return outliers.size() == want_outl && bins.size() == want_hist;
+    }
+};
+
+}  // namespace
+
+void Generator::apply_pgset(const std::string& line) {
+    // Accept pgset "..." wrappers as produced by createDist -s.
+    std::string cmd_line = line;
+    if (const auto open = line.find('"'); open != std::string::npos) {
+        const auto close = line.rfind('"');
+        if (close > open) cmd_line = line.substr(open + 1, close - open - 1);
+    }
+    std::istringstream ss{cmd_line};
+    std::string cmd;
+    if (!(ss >> cmd)) throw std::runtime_error("pgset: empty command");
+
+    const auto need_u64 = [&](const char* what) {
+        std::uint64_t v = 0;
+        if (!(ss >> v)) throw std::runtime_error(std::string("pgset: expected number for ") + what);
+        return v;
+    };
+    const auto need_str = [&](const char* what) {
+        std::string v;
+        if (!(ss >> v)) throw std::runtime_error(std::string("pgset: expected value for ") + what);
+        return v;
+    };
+
+    if (cmd == "count") {
+        config_.count = need_u64("count");
+    } else if (cmd == "pkt_size") {
+        config_.packet_size = static_cast<std::uint32_t>(need_u64("pkt_size"));
+    } else if (cmd == "delay") {
+        config_.delay_ns = static_cast<std::int64_t>(need_u64("delay"));
+    } else if (cmd == "dst") {
+        config_.dst_ip = net::Ipv4Addr::parse(need_str("dst"));
+    } else if (cmd == "src") {
+        config_.src_ip = net::Ipv4Addr::parse(need_str("src"));
+    } else if (cmd == "dst_mac") {
+        config_.dst_mac = net::MacAddr::parse(need_str("dst_mac"));
+    } else if (cmd == "src_mac") {
+        config_.src_mac = net::MacAddr::parse(need_str("src_mac"));
+    } else if (cmd == "src_mac_count") {
+        config_.src_mac_count = static_cast<std::uint32_t>(need_u64("src_mac_count"));
+    } else if (cmd == "udp_src_port") {
+        config_.udp_src_port = static_cast<std::uint16_t>(need_u64("udp_src_port"));
+    } else if (cmd == "udp_dst_port") {
+        config_.udp_dst_port = static_cast<std::uint16_t>(need_u64("udp_dst_port"));
+    } else if (cmd == "dist") {
+        PendingDist pending;
+        pending.params.precision = static_cast<std::uint32_t>(need_u64("precision"));
+        pending.params.bin_size = static_cast<std::uint32_t>(need_u64("bin width"));
+        pending.params.max_size = static_cast<std::uint32_t>(need_u64("max size"));
+        pending.want_outl = need_u64("outlier count");
+        pending.want_hist = need_u64("bin count");
+        pending_dist_ = std::make_shared<PendingDist>(std::move(pending));
+        config_.size_dist.reset();
+        config_.use_dist = false;
+    } else if (cmd == "outl" || cmd == "hist") {
+        if (!pending_dist_)
+            throw std::runtime_error("pgset: " + cmd + " before dist header");
+        auto& pending = *std::static_pointer_cast<PendingDist>(pending_dist_);
+        const auto size = static_cast<std::uint32_t>(need_u64("size"));
+        const auto cells = static_cast<std::uint32_t>(need_u64("cells"));
+        auto& list = cmd == "outl" ? pending.outliers : pending.bins;
+        auto& want = cmd == "outl" ? pending.want_outl : pending.want_hist;
+        if (list.size() >= want)
+            throw std::runtime_error("pgset: more " + cmd + " lines than announced");
+        list.emplace_back(size, cells);
+        if (pending.complete()) {
+            // DIST_READY: build the sampling arrays (calculate_ra_arrays()).
+            config_.size_dist.emplace(pending.params, pending.outliers, pending.bins);
+        }
+    } else if (cmd == "flag") {
+        const auto flag = need_str("flag");
+        if (flag == "PKTSIZE_REAL") {
+            if (!config_.size_dist)
+                throw std::runtime_error(
+                    "pgset: flag PKTSIZE_REAL requires a complete distribution (DIST_READY)");
+            config_.use_dist = true;
+        } else {
+            throw std::runtime_error("pgset: unknown flag " + flag);
+        }
+    } else {
+        throw std::runtime_error("pgset: unknown command " + cmd);
+    }
+}
+
+}  // namespace capbench::pktgen

@@ -1,0 +1,59 @@
+#include "capbench/profiling/cpusage.hpp"
+
+#include <ostream>
+
+namespace capbench::profiling {
+
+namespace {
+
+std::array<sim::Duration, hostsim::kCpuStateCount> totals(const hostsim::Machine& machine) {
+    std::array<sim::Duration, hostsim::kCpuStateCount> out{};
+    for (int c = 0; c < machine.logical_cpus(); ++c) {
+        out[0] += machine.cpu(c).in_state(hostsim::CpuState::kUser);
+        out[1] += machine.cpu(c).in_state(hostsim::CpuState::kSystem);
+        out[2] += machine.cpu(c).in_state(hostsim::CpuState::kInterrupt);
+    }
+    return out;
+}
+
+}  // namespace
+
+CpuSage::CpuSage(hostsim::Machine& machine, sim::Duration interval)
+    : machine_(&machine), interval_(interval) {}
+
+void CpuSage::start() {
+    if (running_) return;
+    running_ = true;
+    last_ = totals(*machine_);
+    machine_->sim().schedule_in(interval_, [this] { sample_now(); });
+}
+
+void CpuSage::sample_now() {
+    if (!running_) return;
+    const auto now = totals(*machine_);
+    const double window =
+        interval_.seconds() * static_cast<double>(machine_->logical_cpus());
+    UsageSample s;
+    s.user_pct = (now[0] - last_[0]).seconds() / window * 100.0;
+    s.system_pct = (now[1] - last_[1]).seconds() / window * 100.0;
+    s.interrupt_pct = (now[2] - last_[2]).seconds() / window * 100.0;
+    s.idle_pct = 100.0 - s.user_pct - s.system_pct - s.interrupt_pct;
+    if (s.idle_pct < 0.0) s.idle_pct = 0.0;
+    samples_.push_back(s);
+    last_ = now;
+    machine_->sim().schedule_in(interval_, [this] { sample_now(); });
+}
+
+void CpuSage::print(std::ostream& out, bool machine_readable) const {
+    for (const auto& s : samples_) {
+        if (machine_readable) {
+            out << s.user_pct << ':' << s.system_pct << ':' << s.interrupt_pct << ':'
+                << s.idle_pct << '\n';
+        } else {
+            out << "user " << s.user_pct << "  system " << s.system_pct << "  interrupt "
+                << s.interrupt_pct << "  idle " << s.idle_pct << '\n';
+        }
+    }
+}
+
+}  // namespace capbench::profiling

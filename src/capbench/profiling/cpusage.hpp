@@ -1,0 +1,55 @@
+// cpusage: CPU state sampling (Chapter 5, Appendix A.3).
+//
+// The original tool reads the kernel's CPU state tick counters every half
+// second and prints the percentage spent in each state.  The simulated
+// version reads the Machine's per-CPU accounting — with zero perturbation,
+// which trivially satisfies the "impact on the system load should be
+// small" requirement of Section 3.2.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <vector>
+
+#include "capbench/hostsim/machine.hpp"
+
+namespace capbench::profiling {
+
+/// One sampling interval's percentages (machine-wide, averaged over CPUs).
+struct UsageSample {
+    double user_pct = 0.0;
+    double system_pct = 0.0;
+    double interrupt_pct = 0.0;
+    double idle_pct = 100.0;
+
+    [[nodiscard]] double busy_pct() const { return 100.0 - idle_pct; }
+};
+
+class CpuSage {
+public:
+    /// Samples `machine` every `interval` once start() is called.
+    CpuSage(hostsim::Machine& machine, sim::Duration interval = sim::milliseconds(500));
+
+    /// Begins sampling (schedules the recurring read).
+    void start();
+
+    /// Stops after the current interval.
+    void stop() { running_ = false; }
+
+    [[nodiscard]] const std::vector<UsageSample>& samples() const { return samples_; }
+
+    /// Writes the human-readable cpusage output; `machine_readable` is the
+    /// -o option (colon separated, no state names).
+    void print(std::ostream& out, bool machine_readable = false) const;
+
+private:
+    void sample_now();
+
+    hostsim::Machine* machine_;
+    sim::Duration interval_;
+    bool running_ = false;
+    std::array<sim::Duration, hostsim::kCpuStateCount> last_{};
+    std::vector<UsageSample> samples_;
+};
+
+}  // namespace capbench::profiling

@@ -1,0 +1,44 @@
+#include "capbench/profiling/trimusage.hpp"
+
+namespace capbench::profiling {
+
+std::optional<TrimResult> trim_usage(const std::vector<UsageSample>& samples,
+                                     double idle_limit_pct) {
+    // Longest run of samples with idle below the limit (the awk script's
+    // set/longestset logic).
+    std::size_t best_start = 0;
+    std::size_t best_len = 0;
+    std::size_t run_start = 0;
+    std::size_t run_len = 0;
+    for (std::size_t i = 0; i < samples.size(); ++i) {
+        if (samples[i].idle_pct < idle_limit_pct) {
+            if (run_len == 0) run_start = i;
+            ++run_len;
+            if (run_len > best_len) {
+                best_len = run_len;
+                best_start = run_start;
+            }
+        } else {
+            run_len = 0;
+        }
+    }
+    if (best_len == 0) return std::nullopt;
+
+    TrimResult result;
+    result.run_length = best_len;
+    result.run_start = best_start;
+    UsageSample sum;
+    sum.idle_pct = 0.0;
+    for (std::size_t i = best_start; i < best_start + best_len; ++i) {
+        sum.user_pct += samples[i].user_pct;
+        sum.system_pct += samples[i].system_pct;
+        sum.interrupt_pct += samples[i].interrupt_pct;
+        sum.idle_pct += samples[i].idle_pct;
+    }
+    const auto n = static_cast<double>(best_len);
+    result.average = UsageSample{sum.user_pct / n, sum.system_pct / n, sum.interrupt_pct / n,
+                                 sum.idle_pct / n};
+    return result;
+}
+
+}  // namespace capbench::profiling

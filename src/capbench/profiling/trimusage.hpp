@@ -1,0 +1,26 @@
+// trimusage: postprocessing of cpusage output (Section 5.2, Appendix A.4).
+//
+// The original awk script finds the longest consecutive run of samples
+// whose idle percentage is below a limit (default 95 %) — i.e. the window
+// in which the measurement was actually running — and averages the CPU
+// states over that run, discarding ramp-up and ramp-down samples.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "capbench/profiling/cpusage.hpp"
+
+namespace capbench::profiling {
+
+struct TrimResult {
+    UsageSample average;       // averaged over the longest busy run
+    std::size_t run_length = 0;
+    std::size_t run_start = 0;  // index of the first sample of the run
+};
+
+/// Returns std::nullopt when no sample is below the idle limit.
+std::optional<TrimResult> trim_usage(const std::vector<UsageSample>& samples,
+                                     double idle_limit_pct = 95.0);
+
+}  // namespace capbench::profiling

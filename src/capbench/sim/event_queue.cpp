@@ -1,0 +1,47 @@
+#include "capbench/sim/event_queue.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace capbench::sim {
+
+EventHandle EventQueue::push(SimTime t, Action action) {
+    auto cancelled = std::make_shared<bool>(false);
+    EventHandle handle{cancelled};
+    heap_.push(Event{t, next_seq_++, std::move(action), std::move(cancelled)});
+    return handle;
+}
+
+void EventQueue::drop_cancelled() {
+    while (!heap_.empty() && *heap_.top().cancelled) heap_.pop();
+}
+
+bool EventQueue::empty() {
+    drop_cancelled();
+    return heap_.empty();
+}
+
+SimTime EventQueue::next_time() {
+    drop_cancelled();
+    if (heap_.empty()) throw std::logic_error("EventQueue::next_time on empty queue");
+    return heap_.top().time;
+}
+
+SimTime EventQueue::pop_and_run() {
+    drop_cancelled();
+    if (heap_.empty()) throw std::logic_error("EventQueue::pop_and_run on empty queue");
+    // Copy out before popping: the action may schedule new events.
+    Event ev = heap_.top();
+    heap_.pop();
+    // Mark as no longer pending so EventHandle::pending() is accurate while
+    // the action runs.
+    *ev.cancelled = true;
+    ev.action();
+    return ev.time;
+}
+
+void EventQueue::clear() {
+    heap_ = {};
+}
+
+}  // namespace capbench::sim

@@ -1,0 +1,87 @@
+// Priority event queue for the discrete-event simulator.
+//
+// Events are ordered by (time, sequence number) so that simultaneous events
+// run in insertion order, which keeps runs deterministic.  Events can be
+// cancelled lazily via the handle returned from push(); cancelled events are
+// discarded when they reach the head of the queue.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "capbench/sim/time.hpp"
+
+namespace capbench::sim {
+
+/// Handle to a scheduled event; allows cancellation.
+class EventHandle {
+public:
+    EventHandle() = default;
+
+    /// Cancels the event if it has not fired yet.  Safe to call repeatedly.
+    void cancel() {
+        if (auto c = cancelled_.lock()) *c = true;
+    }
+
+    /// True while the event is still scheduled (not fired, not cancelled).
+    [[nodiscard]] bool pending() const {
+        auto c = cancelled_.lock();
+        return c && !*c;
+    }
+
+private:
+    friend class EventQueue;
+    explicit EventHandle(std::weak_ptr<bool> cancelled) : cancelled_(std::move(cancelled)) {}
+    std::weak_ptr<bool> cancelled_;
+};
+
+class EventQueue {
+public:
+    using Action = std::function<void()>;
+
+    /// Schedules `action` to run at absolute time `t`.
+    EventHandle push(SimTime t, Action action);
+
+    /// True when no live events remain (cancelled events do not count).
+    [[nodiscard]] bool empty();
+
+    /// Number of queued entries, including not-yet-discarded cancelled ones.
+    [[nodiscard]] std::size_t size() const { return heap_.size(); }
+
+    /// Time of the earliest live event.  Requires !empty().
+    [[nodiscard]] SimTime next_time();
+
+    /// Pops and runs the earliest live event, returning its time.
+    /// Requires !empty().
+    SimTime pop_and_run();
+
+    /// Drops every pending event.
+    void clear();
+
+private:
+    struct Event {
+        SimTime time;
+        std::uint64_t seq = 0;
+        Action action;
+        std::shared_ptr<bool> cancelled;
+    };
+    struct Later {
+        bool operator()(const Event& a, const Event& b) const {
+            if (a.time != b.time) return a.time > b.time;
+            return a.seq > b.seq;
+        }
+    };
+
+    // Removes cancelled events from the head until the head is live (or the
+    // heap is empty).  Afterwards heap_.empty() <=> "no live events", because
+    // cancellation is detected whenever an event surfaces.
+    void drop_cancelled();
+
+    std::priority_queue<Event, std::vector<Event>, Later> heap_;
+    std::uint64_t next_seq_ = 0;
+};
+
+}  // namespace capbench::sim

@@ -1,0 +1,84 @@
+#include "capbench/sim/random.hpp"
+
+#include <bit>
+#include <cmath>
+#include <stdexcept>
+
+namespace capbench::sim {
+
+std::uint64_t Rng::splitmix64(std::uint64_t& x) {
+    x += 0x9E3779B97F4A7C15ULL;
+    std::uint64_t z = x;
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    return z ^ (z >> 31);
+}
+
+Rng::Rng(std::uint64_t seed) {
+    // Seed the full 256-bit state from splitmix64, as recommended by the
+    // xoshiro authors; guarantees a non-zero state.
+    std::uint64_t x = seed;
+    for (auto& w : s_) w = splitmix64(x);
+    if (s_[0] == 0 && s_[1] == 0 && s_[2] == 0 && s_[3] == 0) s_[0] = 1;
+}
+
+std::uint64_t Rng::next_u64() {
+    const std::uint64_t result = std::rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = std::rotl(s_[3], 45);
+    return result;
+}
+
+std::uint64_t Rng::next_below(std::uint64_t bound) {
+    if (bound == 0) throw std::invalid_argument("Rng::next_below(0)");
+    // Lemire's multiply-shift rejection method.
+    std::uint64_t x = next_u64();
+    __uint128_t m = static_cast<__uint128_t>(x) * bound;
+    auto lo = static_cast<std::uint64_t>(m);
+    if (lo < bound) {
+        const std::uint64_t threshold = -bound % bound;
+        while (lo < threshold) {
+            x = next_u64();
+            m = static_cast<__uint128_t>(x) * bound;
+            lo = static_cast<std::uint64_t>(m);
+        }
+    }
+    return static_cast<std::uint64_t>(m >> 64);
+}
+
+double Rng::next_double() {
+    // 53 random bits into [0, 1).
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+std::int64_t Rng::next_in(std::int64_t lo, std::int64_t hi) {
+    if (lo > hi) throw std::invalid_argument("Rng::next_in: lo > hi");
+    const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+    return lo + static_cast<std::int64_t>(next_below(span));
+}
+
+double Rng::next_exponential(double mean) {
+    if (mean <= 0) throw std::invalid_argument("Rng::next_exponential: mean <= 0");
+    double u = next_double();
+    // Avoid log(0).
+    if (u <= 0) u = 0x1.0p-53;
+    return -mean * std::log(u);
+}
+
+double Rng::next_pareto(double alpha, double xm) {
+    if (alpha <= 0 || xm <= 0) throw std::invalid_argument("Rng::next_pareto: bad parameters");
+    double u = next_double();
+    if (u <= 0) u = 0x1.0p-53;
+    return xm / std::pow(u, 1.0 / alpha);
+}
+
+bool Rng::next_bool(double p_true) {
+    return next_double() < p_true;
+}
+
+}  // namespace capbench::sim

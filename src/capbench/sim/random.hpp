@@ -1,0 +1,46 @@
+// Deterministic pseudo-random number generation for reproducible runs.
+//
+// The thesis requires that "the sequence of packets should be identical
+// across different measurements" (Section 3.2, Reproducibility).  We use
+// xoshiro256**, seeded explicitly, so identical seeds give identical packet
+// streams on every platform.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace capbench::sim {
+
+/// xoshiro256** 1.0 by Blackman & Vigna (public domain reference algorithm).
+class Rng {
+public:
+    explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ULL);
+
+    /// Uniform 64-bit value.
+    std::uint64_t next_u64();
+
+    /// Uniform in [0, bound) without modulo bias (Lemire's method).
+    std::uint64_t next_below(std::uint64_t bound);
+
+    /// Uniform double in [0, 1).
+    double next_double();
+
+    /// Uniform integer in [lo, hi] inclusive.
+    std::int64_t next_in(std::int64_t lo, std::int64_t hi);
+
+    /// Exponentially distributed value with the given mean (> 0).
+    double next_exponential(double mean);
+
+    /// Pareto distributed value with shape alpha (> 0) and scale xm (> 0).
+    /// Used by the self-similar traffic source (Section 2.5).
+    double next_pareto(double alpha, double xm);
+
+    /// Bernoulli trial.
+    bool next_bool(double p_true);
+
+private:
+    static std::uint64_t splitmix64(std::uint64_t& x);
+    std::array<std::uint64_t, 4> s_{};
+};
+
+}  // namespace capbench::sim

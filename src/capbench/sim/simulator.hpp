@@ -1,0 +1,58 @@
+// Discrete-event simulator run loop.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <stdexcept>
+
+#include "capbench/sim/event_queue.hpp"
+#include "capbench/sim/time.hpp"
+
+namespace capbench::sim {
+
+/// Owns the clock and the event queue; components schedule callbacks on it.
+class Simulator {
+public:
+    [[nodiscard]] SimTime now() const { return now_; }
+
+    /// Schedules `action` to run `delay` after the current time.
+    EventHandle schedule_in(Duration delay, EventQueue::Action action) {
+        return queue_.push(now_ + delay, std::move(action));
+    }
+
+    /// Schedules `action` at absolute time `t` (must not be in the past).
+    EventHandle schedule_at(SimTime t, EventQueue::Action action) {
+        if (t < now_) throw std::logic_error("Simulator::schedule_at in the past");
+        return queue_.push(t, std::move(action));
+    }
+
+    /// Runs until the queue drains or the clock passes `until`.
+    /// Returns the number of events executed.
+    std::uint64_t run(SimTime until = SimTime::max()) {
+        std::uint64_t executed = 0;
+        while (!queue_.empty() && queue_.next_time() <= until) {
+            // Advance the clock before the action runs so it observes now().
+            now_ = queue_.next_time();
+            queue_.pop_and_run();
+            ++executed;
+        }
+        if (until != SimTime::max() && until > now_) now_ = until;
+        return executed;
+    }
+
+    /// Runs a single event if one exists.  Returns false when idle.
+    bool step() {
+        if (queue_.empty()) return false;
+        now_ = queue_.next_time();
+        queue_.pop_and_run();
+        return true;
+    }
+
+    EventQueue& queue() { return queue_; }
+
+private:
+    EventQueue queue_;
+    SimTime now_{};
+};
+
+}  // namespace capbench::sim

@@ -1,0 +1,55 @@
+#include "capbench/sim/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace capbench::sim {
+
+void RunningStats::add(double x) {
+    ++n_;
+    sum_ += x;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+}
+
+double RunningStats::variance() const {
+    if (n_ < 2) return 0.0;
+    return m2_ / static_cast<double>(n_ - 1);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+double SampleSet::min() const {
+    if (samples_.empty()) throw std::logic_error("SampleSet::min on empty set");
+    return *std::min_element(samples_.begin(), samples_.end());
+}
+
+double SampleSet::max() const {
+    if (samples_.empty()) throw std::logic_error("SampleSet::max on empty set");
+    return *std::max_element(samples_.begin(), samples_.end());
+}
+
+double SampleSet::mean() const {
+    if (samples_.empty()) throw std::logic_error("SampleSet::mean on empty set");
+    return std::accumulate(samples_.begin(), samples_.end(), 0.0) /
+           static_cast<double>(samples_.size());
+}
+
+double SampleSet::quantile(double q) const {
+    if (samples_.empty()) throw std::logic_error("SampleSet::quantile on empty set");
+    if (q < 0.0 || q > 1.0) throw std::invalid_argument("SampleSet::quantile: q outside [0,1]");
+    std::vector<double> sorted = samples_;
+    std::sort(sorted.begin(), sorted.end());
+    const double pos = q * static_cast<double>(sorted.size() - 1);
+    const auto lo = static_cast<std::size_t>(pos);
+    const auto hi = std::min(lo + 1, sorted.size() - 1);
+    const double frac = pos - static_cast<double>(lo);
+    return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+}  // namespace capbench::sim

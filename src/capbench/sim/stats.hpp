@@ -1,0 +1,52 @@
+// Small statistics helpers used throughout the measurement harness.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+namespace capbench::sim {
+
+/// Running min / max / mean / variance (Welford) without storing samples.
+class RunningStats {
+public:
+    void add(double x);
+
+    [[nodiscard]] std::uint64_t count() const { return n_; }
+    [[nodiscard]] double mean() const { return n_ ? mean_ : 0.0; }
+    [[nodiscard]] double min() const { return n_ ? min_ : 0.0; }
+    [[nodiscard]] double max() const { return n_ ? max_ : 0.0; }
+    /// Sample variance (n-1 denominator); 0 with fewer than two samples.
+    [[nodiscard]] double variance() const;
+    [[nodiscard]] double stddev() const;
+    [[nodiscard]] double sum() const { return sum_; }
+
+private:
+    std::uint64_t n_ = 0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+    double sum_ = 0.0;
+    double min_ = std::numeric_limits<double>::infinity();
+    double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Stores samples and answers quantile queries; used for per-app capture
+/// rate spreads (worst/avg/best lines of Figures 6.7-6.9).
+class SampleSet {
+public:
+    void add(double x) { samples_.push_back(x); }
+
+    [[nodiscard]] std::size_t size() const { return samples_.size(); }
+    [[nodiscard]] bool empty() const { return samples_.empty(); }
+
+    [[nodiscard]] double min() const;
+    [[nodiscard]] double max() const;
+    [[nodiscard]] double mean() const;
+    /// Linear-interpolation quantile, q in [0, 1].
+    [[nodiscard]] double quantile(double q) const;
+
+private:
+    std::vector<double> samples_;
+};
+
+}  // namespace capbench::sim

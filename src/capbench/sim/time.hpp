@@ -1,0 +1,72 @@
+// Simulated-time strong types.
+//
+// All simulation time is kept in integer nanoseconds to make runs exactly
+// reproducible (no floating-point drift in the event queue ordering).
+#pragma once
+
+#include <cstdint>
+#include <compare>
+#include <limits>
+
+namespace capbench::sim {
+
+/// A point in simulated time, in nanoseconds since the start of the run.
+class SimTime {
+public:
+    constexpr SimTime() = default;
+    constexpr explicit SimTime(std::int64_t ns) : ns_(ns) {}
+
+    [[nodiscard]] constexpr std::int64_t ns() const { return ns_; }
+    [[nodiscard]] constexpr double seconds() const { return static_cast<double>(ns_) * 1e-9; }
+
+    friend constexpr auto operator<=>(SimTime, SimTime) = default;
+
+    static constexpr SimTime max() { return SimTime{std::numeric_limits<std::int64_t>::max()}; }
+
+private:
+    std::int64_t ns_ = 0;
+};
+
+/// A span of simulated time, in nanoseconds.
+class Duration {
+public:
+    constexpr Duration() = default;
+    constexpr explicit Duration(std::int64_t ns) : ns_(ns) {}
+
+    [[nodiscard]] constexpr std::int64_t ns() const { return ns_; }
+    [[nodiscard]] constexpr double seconds() const { return static_cast<double>(ns_) * 1e-9; }
+
+    friend constexpr auto operator<=>(Duration, Duration) = default;
+
+    constexpr Duration& operator+=(Duration d) { ns_ += d.ns_; return *this; }
+    constexpr Duration& operator-=(Duration d) { ns_ -= d.ns_; return *this; }
+
+    static constexpr Duration zero() { return Duration{0}; }
+    static constexpr Duration max() { return Duration{std::numeric_limits<std::int64_t>::max()}; }
+
+private:
+    std::int64_t ns_ = 0;
+};
+
+constexpr Duration operator+(Duration a, Duration b) { return Duration{a.ns() + b.ns()}; }
+constexpr Duration operator-(Duration a, Duration b) { return Duration{a.ns() - b.ns()}; }
+constexpr Duration operator*(Duration a, std::int64_t k) { return Duration{a.ns() * k}; }
+constexpr Duration operator*(std::int64_t k, Duration a) { return a * k; }
+constexpr Duration operator/(Duration a, std::int64_t k) { return Duration{a.ns() / k}; }
+
+constexpr SimTime operator+(SimTime t, Duration d) { return SimTime{t.ns() + d.ns()}; }
+constexpr SimTime operator-(SimTime t, Duration d) { return SimTime{t.ns() - d.ns()}; }
+constexpr Duration operator-(SimTime a, SimTime b) { return Duration{a.ns() - b.ns()}; }
+
+/// Convenience factories.
+constexpr Duration nanoseconds(std::int64_t v) { return Duration{v}; }
+constexpr Duration microseconds(std::int64_t v) { return Duration{v * 1'000}; }
+constexpr Duration milliseconds(std::int64_t v) { return Duration{v * 1'000'000}; }
+constexpr Duration seconds(std::int64_t v) { return Duration{v * 1'000'000'000}; }
+
+/// Converts a floating-point number of seconds, rounding to nearest ns.
+constexpr Duration from_seconds(double s) {
+    return Duration{static_cast<std::int64_t>(s * 1e9 + (s >= 0 ? 0.5 : -0.5))};
+}
+
+}  // namespace capbench::sim

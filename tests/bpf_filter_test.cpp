@@ -1,0 +1,379 @@
+// Tests for the tcpdump-dialect filter compiler: lexer, parser, code
+// generation, and end-to-end semantics against constructed packets.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "capbench/bpf/asm_text.hpp"
+#include "capbench/bpf/filter/codegen.hpp"
+#include "capbench/bpf/filter/lexer.hpp"
+#include "capbench/bpf/filter/parser.hpp"
+#include "capbench/bpf/validator.hpp"
+#include "capbench/bpf/vm.hpp"
+#include "capbench/net/headers.hpp"
+
+namespace capbench::bpf::filter {
+namespace {
+
+using net::Ipv4Addr;
+using net::MacAddr;
+
+/// Builds an Ethernet/IPv4/transport frame for semantic tests.
+struct FrameBuilder {
+    MacAddr src_mac = MacAddr::parse("00:00:00:00:00:01");
+    MacAddr dst_mac = MacAddr::parse("00:0e:0c:01:02:03");
+    std::uint16_t ether_type = net::kEtherTypeIpv4;
+    std::uint8_t protocol = net::kIpProtoUdp;
+    Ipv4Addr src_ip = Ipv4Addr::parse("192.168.10.100");
+    Ipv4Addr dst_ip = Ipv4Addr::parse("192.168.10.12");
+    std::uint16_t src_port = 1234;
+    std::uint16_t dst_port = 80;
+    std::uint16_t frag = 0;
+    std::uint32_t payload = 20;
+
+    [[nodiscard]] std::vector<std::byte> build() const {
+        std::vector<std::byte> frame(net::kEthernetHeaderLen + net::kIpv4MinHeaderLen +
+                                     net::kUdpHeaderLen + payload);
+        net::EthernetHeader eth{dst_mac, src_mac, ether_type};
+        eth.encode(frame);
+        net::Ipv4Header ip;
+        ip.total_length =
+            static_cast<std::uint16_t>(frame.size() - net::kEthernetHeaderLen);
+        ip.protocol = protocol;
+        ip.flags_fragment = frag;
+        ip.src = src_ip;
+        ip.dst = dst_ip;
+        ip.encode(std::span{frame}.subspan(net::kEthernetHeaderLen));
+        net::UdpHeader udp{src_port, dst_port,
+                           static_cast<std::uint16_t>(net::kUdpHeaderLen + payload), 0};
+        udp.encode(
+            std::span{frame}.subspan(net::kEthernetHeaderLen + net::kIpv4MinHeaderLen));
+        return frame;
+    }
+};
+
+bool matches(const std::string& expr, const std::vector<std::byte>& frame) {
+    const auto prog = compile_filter(expr);
+    validate_or_throw(prog);
+    return Vm::run(prog, frame).accept_len > 0;
+}
+
+// ---- lexer -------------------------------------------------------------------
+
+TEST(Lexer, TokenizesKeywordsAndNumbers) {
+    const auto tokens = tokenize("ip and port 80");
+    ASSERT_EQ(tokens.size(), 5u);  // ip and port 80 END
+    EXPECT_EQ(tokens[0].kind, TokenKind::kIdent);
+    EXPECT_EQ(tokens[0].text, "ip");
+    EXPECT_EQ(tokens[3].kind, TokenKind::kNumber);
+    EXPECT_EQ(tokens[3].number, 80u);
+}
+
+TEST(Lexer, DistinguishesMacFromBracketIndices) {
+    const auto mac = tokenize("00:00:00:00:00:02");
+    EXPECT_EQ(mac[0].kind, TokenKind::kMac);
+    const auto idx = tokenize("ether[6:4]");
+    ASSERT_GE(idx.size(), 6u);
+    EXPECT_EQ(idx[0].kind, TokenKind::kIdent);
+    EXPECT_EQ(idx[1].kind, TokenKind::kLBracket);
+    EXPECT_EQ(idx[2].kind, TokenKind::kNumber);
+    EXPECT_EQ(idx[3].kind, TokenKind::kColon);
+    EXPECT_EQ(idx[4].kind, TokenKind::kNumber);
+    EXPECT_EQ(idx[5].kind, TokenKind::kRBracket);
+}
+
+TEST(Lexer, HexNumbersAndIpv4) {
+    const auto hex = tokenize("0x00000800");
+    EXPECT_EQ(hex[0].kind, TokenKind::kNumber);
+    EXPECT_EQ(hex[0].number, 0x800u);
+    const auto ip = tokenize("10.11.12.13");
+    EXPECT_EQ(ip[0].kind, TokenKind::kIpv4);
+    EXPECT_EQ(ip[0].text, "10.11.12.13");
+}
+
+TEST(Lexer, OperatorsAndAliases) {
+    const auto tokens = tokenize("!= >= <= > < = == && ||");
+    EXPECT_EQ(tokens[0].kind, TokenKind::kNeq);
+    EXPECT_EQ(tokens[1].kind, TokenKind::kGe);
+    EXPECT_EQ(tokens[2].kind, TokenKind::kLe);
+    EXPECT_EQ(tokens[3].kind, TokenKind::kGt);
+    EXPECT_EQ(tokens[4].kind, TokenKind::kLt);
+    EXPECT_EQ(tokens[5].kind, TokenKind::kEq);
+    EXPECT_EQ(tokens[6].kind, TokenKind::kEq);
+    EXPECT_EQ(tokens[7].text, "and");
+    EXPECT_EQ(tokens[8].text, "or");
+}
+
+TEST(Lexer, RejectsUnknownCharacters) {
+    EXPECT_THROW(tokenize("ip ~ udp"), FilterError);
+    EXPECT_THROW(tokenize("0x"), FilterError);
+    EXPECT_THROW(tokenize("1.2.3"), FilterError);
+}
+
+// ---- parser ------------------------------------------------------------------
+
+TEST(Parser, EmptyExpressionMeansAcceptAll) {
+    EXPECT_EQ(parse(""), nullptr);
+    EXPECT_EQ(parse("   "), nullptr);
+    const auto prog = compile_filter("");
+    EXPECT_EQ(Vm::run(prog, {}).accept_len, 65535u);
+}
+
+TEST(Parser, RejectsSyntaxErrors) {
+    EXPECT_THROW(compile_filter("ip and"), FilterError);
+    EXPECT_THROW(compile_filter("port"), FilterError);
+    EXPECT_THROW(compile_filter("(ip"), FilterError);
+    EXPECT_THROW(compile_filter("host"), FilterError);
+    EXPECT_THROW(compile_filter("frobnicate"), FilterError);
+    EXPECT_THROW(compile_filter("ip src host"), FilterError);
+    EXPECT_THROW(compile_filter("ether[0:3] = 1"), FilterError);
+    EXPECT_THROW(compile_filter("ip ip"), FilterError);
+}
+
+// ---- semantics ---------------------------------------------------------------
+
+TEST(Semantics, ProtocolPrimitives) {
+    FrameBuilder udp;
+    const auto udp_frame = udp.build();
+    EXPECT_TRUE(matches("ip", udp_frame));
+    EXPECT_TRUE(matches("udp", udp_frame));
+    EXPECT_FALSE(matches("tcp", udp_frame));
+    EXPECT_FALSE(matches("icmp", udp_frame));
+    EXPECT_FALSE(matches("arp", udp_frame));
+
+    FrameBuilder tcp;
+    tcp.protocol = net::kIpProtoTcp;
+    const auto tcp_frame = tcp.build();
+    EXPECT_TRUE(matches("tcp", tcp_frame));
+    EXPECT_TRUE(matches("not udp", tcp_frame));
+
+    FrameBuilder arp;
+    arp.ether_type = net::kEtherTypeArp;
+    EXPECT_TRUE(matches("arp", arp.build()));
+    EXPECT_FALSE(matches("ip", arp.build()));
+
+    FrameBuilder rarp;
+    rarp.ether_type = net::kEtherTypeRarp;
+    EXPECT_TRUE(matches("rarp", rarp.build()));
+}
+
+TEST(Semantics, HostDirections) {
+    FrameBuilder f;
+    const auto frame = f.build();
+    EXPECT_TRUE(matches("src host 192.168.10.100", frame));
+    EXPECT_FALSE(matches("dst host 192.168.10.100", frame));
+    EXPECT_TRUE(matches("dst host 192.168.10.12", frame));
+    EXPECT_TRUE(matches("host 192.168.10.100", frame));
+    EXPECT_TRUE(matches("host 192.168.10.12", frame));
+    EXPECT_FALSE(matches("host 10.0.0.1", frame));
+    EXPECT_TRUE(matches("ip src 192.168.10.100", frame));  // thesis syntax
+    EXPECT_TRUE(matches("ip dst 192.168.10.12", frame));
+    EXPECT_FALSE(matches("ip src 10.11.12.13", frame));
+    EXPECT_TRUE(matches("src or dst host 192.168.10.12", frame));
+    EXPECT_FALSE(matches("src and dst host 192.168.10.12", frame));
+}
+
+TEST(Semantics, HostRequiresIpv4EtherType) {
+    FrameBuilder arp;
+    arp.ether_type = net::kEtherTypeArp;
+    // Would "match" at the raw offset, but the ethertype guard must reject.
+    EXPECT_FALSE(matches("host 192.168.10.100", arp.build()));
+}
+
+TEST(Semantics, Ports) {
+    FrameBuilder f;  // udp 1234 -> 80
+    const auto frame = f.build();
+    EXPECT_TRUE(matches("port 80", frame));
+    EXPECT_TRUE(matches("dst port 80", frame));
+    EXPECT_FALSE(matches("src port 80", frame));
+    EXPECT_TRUE(matches("src port 1234", frame));
+    EXPECT_TRUE(matches("udp port 80", frame));
+    EXPECT_FALSE(matches("tcp port 80", frame));
+    EXPECT_FALSE(matches("port 81", frame));
+}
+
+TEST(Semantics, PortIgnoresFragments) {
+    FrameBuilder f;
+    f.frag = 0x0010;  // non-zero fragment offset: no transport header
+    EXPECT_FALSE(matches("port 80", f.build()));
+}
+
+TEST(Semantics, NetMatching) {
+    FrameBuilder f;
+    const auto frame = f.build();
+    EXPECT_TRUE(matches("net 192.168.10.0/24", frame));
+    EXPECT_TRUE(matches("src net 192.168.0.0/16", frame));
+    EXPECT_FALSE(matches("net 10.0.0.0/8", frame));
+    EXPECT_TRUE(matches("net 192.168.10.0 mask 255.255.255.0", frame));
+    EXPECT_FALSE(matches("dst net 192.168.11.0/24", frame));
+}
+
+TEST(Semantics, EtherHost) {
+    FrameBuilder f;
+    const auto frame = f.build();
+    EXPECT_TRUE(matches("ether src 00:00:00:00:00:01", frame));
+    EXPECT_FALSE(matches("ether src 00:00:00:00:00:02", frame));
+    EXPECT_TRUE(matches("ether dst 00:0e:0c:01:02:03", frame));
+    EXPECT_TRUE(matches("ether host 00:00:00:00:00:01", frame));
+    EXPECT_FALSE(matches("ether host 11:22:33:44:55:66", frame));
+}
+
+TEST(Semantics, LengthComparisons) {
+    FrameBuilder f;
+    f.payload = 100;
+    const auto frame = f.build();  // 142 bytes
+    EXPECT_TRUE(matches("greater 100", frame));
+    EXPECT_FALSE(matches("greater 1000", frame));
+    EXPECT_TRUE(matches("less 1000", frame));
+    EXPECT_FALSE(matches("less 100", frame));
+    EXPECT_TRUE(matches("len > 100", frame));
+    EXPECT_TRUE(matches("len <= 142", frame));
+    EXPECT_FALSE(matches("len = 3", frame));
+}
+
+TEST(Semantics, AccessorRelations) {
+    FrameBuilder f;
+    const auto frame = f.build();
+    EXPECT_TRUE(matches("ether[12:2] = 0x800", frame));
+    EXPECT_TRUE(matches("ip[9] = 17", frame));   // protocol byte
+    EXPECT_FALSE(matches("ip[9] = 6", frame));
+    EXPECT_TRUE(matches("udp[2:2] = 80", frame));  // destination port
+    EXPECT_TRUE(matches("ether[6:4]=0x00000000", frame));
+    EXPECT_TRUE(matches("ip[9] != 6", frame));
+    EXPECT_TRUE(matches("ip[8] > 10", frame));  // default TTL 64
+}
+
+TEST(Semantics, AccessorGuardsNonMatchingProtocols) {
+    FrameBuilder tcp;
+    tcp.protocol = net::kIpProtoTcp;
+    const auto frame = tcp.build();
+    // udp[...] accessors must not match TCP packets.
+    EXPECT_FALSE(matches("udp[2:2] = 80", frame));
+    EXPECT_TRUE(matches("tcp[2:2] = 80", frame));
+}
+
+TEST(Semantics, ArithmeticExpressions) {
+    FrameBuilder f;
+    const auto frame = f.build();
+    EXPECT_TRUE(matches("ip[9] + 3 = 20", frame));
+    EXPECT_TRUE(matches("ip[9] * 2 = 34", frame));
+    EXPECT_TRUE(matches("ip[9] & 0x0f = 1", frame));
+    EXPECT_TRUE(matches("ip[9] - 1 = 16", frame));
+    EXPECT_TRUE(matches("ip[9] / 2 = 8", frame));
+    // Two accessors on both sides.
+    EXPECT_TRUE(matches("ip[9] = ip[9]", frame));
+    EXPECT_FALSE(matches("ip[8] = ip[9]", frame));
+    // Parenthesized arithmetic.
+    EXPECT_TRUE(matches("(ip[9] + 1) / 2 = 9", frame));
+}
+
+TEST(Semantics, BooleanConnectives) {
+    FrameBuilder f;
+    const auto frame = f.build();
+    EXPECT_TRUE(matches("ip and udp", frame));
+    EXPECT_FALSE(matches("ip and tcp", frame));
+    EXPECT_TRUE(matches("tcp or udp", frame));
+    EXPECT_TRUE(matches("not (tcp or icmp)", frame));
+    EXPECT_TRUE(matches("udp and not tcp and port 80", frame));
+    EXPECT_FALSE(matches("not ip", frame));
+    EXPECT_TRUE(matches("(tcp or udp) and (port 80 or port 99)", frame));
+}
+
+TEST(Semantics, TruncatedPacketRejectedNotCrash) {
+    std::vector<std::byte> tiny(10, std::byte{0});
+    EXPECT_FALSE(matches("ip", tiny));
+    EXPECT_FALSE(matches("port 80", tiny));
+}
+
+// ---- the Figure 6.5 filter ----------------------------------------------------
+
+std::string fig65_expression() {
+    std::string expr = "ether[6:4]=0x00000000 and ether[10]=0x00 and not tcp";
+    for (int i = 1; i <= 19; ++i)
+        expr += " and not ip src " + std::to_string(i * 10) + ".11.12." + std::to_string(12 + i);
+    for (int i = 1; i <= 19; ++i)
+        expr += " and not ip dst " + std::to_string(i * 10) + ".99.12." + std::to_string(12 + i);
+    return expr;
+}
+
+TEST(Fig65, CompilesValidatesAndAcceptsGeneratedPackets) {
+    const auto prog = compile_filter(fig65_expression(), 1515);
+    validate_or_throw(prog);
+    // Of the same order as the thesis's 50 instructions (tcpdump's
+    // optimizer is stronger than ours, so allow headroom).
+    EXPECT_GE(prog.size(), 40u);
+    EXPECT_LE(prog.size(), 220u);
+
+    // Generated packets (Section 6.3.2): src 192.168.10.100,
+    // dst 192.168.10.12, src MAC cycling 00..00 to 00..02, UDP.
+    for (int cycle = 0; cycle < 3; ++cycle) {
+        FrameBuilder f;
+        f.src_mac = MacAddr::parse("00:00:00:00:00:0" + std::to_string(cycle));
+        const auto frame = f.build();
+        const auto result = Vm::run(prog, frame);
+        EXPECT_GT(result.accept_len, 0u) << "cycle " << cycle;
+        // The filter only accepts after evaluating the whole chain.
+        EXPECT_GT(result.insns_executed, 40u);
+    }
+
+    // A TCP packet is rejected by the "not tcp" term.
+    FrameBuilder tcp;
+    tcp.protocol = net::kIpProtoTcp;
+    EXPECT_EQ(Vm::run(prog, tcp.build()).accept_len, 0u);
+    // A blacklisted source is rejected.
+    FrameBuilder bad;
+    bad.src_ip = Ipv4Addr::parse("10.11.12.13");
+    EXPECT_EQ(Vm::run(prog, bad.build()).accept_len, 0u);
+    // A blacklisted destination is rejected.
+    FrameBuilder bad_dst;
+    bad_dst.dst_ip = Ipv4Addr::parse("190.99.12.31");
+    EXPECT_EQ(Vm::run(prog, bad_dst.build()).accept_len, 0u);
+}
+
+// ---- long chains / trampolines -------------------------------------------------
+
+TEST(Codegen, VeryLongAndChainCompiles) {
+    // Long enough that naive jt/jf offsets to the shared reject target
+    // would overflow 8 bits without trampolines.
+    std::string expr = "udp";
+    for (int i = 0; i < 400; ++i) {
+        expr += " and not ip src 10.0." + std::to_string(i / 250) + "." +
+                std::to_string(i % 250 + 1);
+    }
+    const auto prog = compile_filter(expr);
+    validate_or_throw(prog);
+    FrameBuilder f;
+    EXPECT_GT(Vm::run(prog, f.build()).accept_len, 0u);
+    FrameBuilder blocked;
+    blocked.src_ip = Ipv4Addr::parse("10.0.0.5");
+    EXPECT_EQ(Vm::run(prog, blocked.build()).accept_len, 0u);
+}
+
+TEST(Codegen, VeryLongOrChainCompiles) {
+    std::string expr = "port 7";
+    for (int i = 0; i < 140; ++i) expr += " or port " + std::to_string(1000 + i);
+    const auto prog = compile_filter(expr);
+    validate_or_throw(prog);
+    FrameBuilder f;
+    f.dst_port = 1100;
+    EXPECT_GT(Vm::run(prog, f.build()).accept_len, 0u);
+    f.dst_port = 2999;
+    f.src_port = 2998;
+    EXPECT_EQ(Vm::run(prog, f.build()).accept_len, 0u);
+}
+
+TEST(Codegen, SnaplenIsReturnedOnAccept) {
+    const auto prog = compile_filter("ip", 96);
+    FrameBuilder f;
+    EXPECT_EQ(Vm::run(prog, f.build()).accept_len, 96u);
+}
+
+TEST(Codegen, OptimizerRemovesJumpChains) {
+    // `not not ip` must not be materially longer than `ip`.
+    const auto plain = compile_filter("ip");
+    const auto doubled = compile_filter("not not ip");
+    EXPECT_EQ(doubled.size(), plain.size());
+}
+
+}  // namespace
+}  // namespace capbench::bpf::filter

@@ -1,0 +1,97 @@
+// Packet-conservation properties: across every configuration, each packet
+// offered to a sniffer must be accounted for exactly once — dropped at the
+// NIC ring, dropped at the kernel backlog, rejected by the filter, dropped
+// for lack of buffer space, delivered to the application, or still queued
+// when the run ends.
+#include <gtest/gtest.h>
+
+#include "capbench/harness/testbed.hpp"
+#include "capbench/dist/builtin.hpp"
+
+namespace capbench::harness {
+namespace {
+
+struct ConservationCase {
+    std::string sut_name;
+    int cores;
+    StackKind stack;
+    std::uint64_t buffer_bytes;
+    int app_count;
+    double rate_mbps;
+    bool moderation;
+};
+
+void PrintTo(const ConservationCase& c, std::ostream* os) {
+    *os << c.sut_name << "/cores" << c.cores << "/apps" << c.app_count << "/rate"
+        << c.rate_mbps << "/buf" << c.buffer_bytes
+        << (c.stack == StackKind::kNative ? "/native" : "/ring")
+        << (c.moderation ? "" : "/noNAPI");
+}
+
+class ConservationTest : public ::testing::TestWithParam<ConservationCase> {};
+
+TEST_P(ConservationTest, EveryPacketAccountedForExactlyOnce) {
+    const auto& param = GetParam();
+
+    TestbedConfig tb;
+    tb.gen.count = 25'000;
+    tb.gen.rate_mbps = param.rate_mbps;
+    tb.gen.size_dist.emplace(dist::mwn_trace_histogram());
+    tb.gen.use_dist = true;
+    auto sut = standard_sut(param.sut_name);
+    sut.cores = param.cores;
+    sut.stack = param.stack;
+    sut.buffer_bytes = param.buffer_bytes;
+    sut.app_count = param.app_count;
+    sut.nic.interrupt_moderation = param.moderation;
+    tb.suts.push_back(std::move(sut));
+
+    Testbed bed{std::move(tb)};
+    bed.start_suts();
+    bool done = false;
+    bed.generator().start(sim::SimTime{}, [&] { done = true; });
+    while (!done) bed.sim().run(bed.sim().now() + sim::seconds(1));
+    bed.sim().run(bed.sim().now() + sim::seconds(3));  // full drain
+
+    auto& s = *bed.suts()[0];
+    const std::uint64_t generated = bed.monitor_switch().egress_counters().packets;
+    ASSERT_EQ(generated, 25'000u);
+
+    // NIC level: everything the splitter sent arrived at the NIC; ring and
+    // backlog drops reduce what the kernel sees.
+    EXPECT_EQ(s.nic().frames_seen(), generated);
+    const std::uint64_t into_kernel =
+        generated - s.nic().ring_drops() - s.nic().backlog_drops();
+
+    for (std::size_t a = 0; a < s.sessions().size(); ++a) {
+        const auto& stats = s.sessions()[a]->endpoint().stats();
+        // Every tap sees exactly what the kernel processed.
+        EXPECT_EQ(stats.kernel_seen, into_kernel) << "app " << a;
+        // Filter verdicts partition what the tap saw.
+        EXPECT_EQ(stats.kernel_seen, stats.accepted + stats.dropped_filter) << "app " << a;
+        // After a full drain nothing remains queued: accepted packets were
+        // either delivered or dropped at the buffer.
+        EXPECT_EQ(stats.accepted, stats.delivered + stats.dropped_buffer) << "app " << a;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Matrix, ConservationTest,
+    ::testing::Values(
+        ConservationCase{"moorhen", 2, StackKind::kNative, 10u << 20, 1, 300.0, true},
+        ConservationCase{"moorhen", 1, StackKind::kNative, 512u << 10, 1, 0.0, true},
+        ConservationCase{"moorhen", 2, StackKind::kNative, 10u << 20, 4, 0.0, true},
+        ConservationCase{"moorhen", 2, StackKind::kZeroCopyBpf, 10u << 20, 1, 700.0, true},
+        ConservationCase{"flamingo", 1, StackKind::kNative, 128u << 20, 1, 0.0, true},
+        ConservationCase{"flamingo", 2, StackKind::kNative, 1u << 20, 2, 800.0, true},
+        ConservationCase{"swan", 2, StackKind::kNative, 128u << 20, 1, 600.0, true},
+        ConservationCase{"swan", 1, StackKind::kNative, 0, 1, 0.0, true},
+        ConservationCase{"swan", 2, StackKind::kMmap, 128u << 20, 1, 900.0, true},
+        ConservationCase{"swan", 2, StackKind::kNative, 128u << 20, 8, 0.0, true},
+        ConservationCase{"snipe", 1, StackKind::kNative, 128u << 20, 1, 900.0, true},
+        ConservationCase{"snipe", 2, StackKind::kNative, 0, 2, 500.0, true},
+        ConservationCase{"moorhen", 1, StackKind::kNative, 10u << 20, 1, 850.0, false},
+        ConservationCase{"snipe", 2, StackKind::kMmap, 4u << 20, 3, 0.0, true}));
+
+}  // namespace
+}  // namespace capbench::harness

@@ -1,0 +1,306 @@
+// Tests for packet-size histograms, the two-stage distribution
+// representation (Section 4.2) and the createDist conversions.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <sstream>
+
+#include "capbench/dist/builtin.hpp"
+#include "capbench/dist/createdist.hpp"
+#include "capbench/dist/size_histogram.hpp"
+#include "capbench/dist/two_stage_dist.hpp"
+
+namespace capbench::dist {
+namespace {
+
+TEST(SizeHistogram, CountsAndFractions) {
+    SizeHistogram hist{1500};
+    hist.add(40, 60);
+    hist.add(1500, 40);
+    EXPECT_EQ(hist.total(), 100u);
+    EXPECT_EQ(hist.count(40), 60u);
+    EXPECT_DOUBLE_EQ(hist.fraction(40), 0.6);
+    EXPECT_DOUBLE_EQ(hist.fraction(1000), 0.0);
+    EXPECT_DOUBLE_EQ(hist.mean(), 0.6 * 40 + 0.4 * 1500);
+}
+
+TEST(SizeHistogram, ClampsOversizedToMax) {
+    SizeHistogram hist{1500};
+    hist.add(9000);  // jumbo frames do not exist in the traces
+    EXPECT_EQ(hist.count(1500), 1u);
+}
+
+TEST(SizeHistogram, TopSizesSortedByFrequency) {
+    SizeHistogram hist{1500};
+    hist.add(40, 10);
+    hist.add(52, 30);
+    hist.add(576, 20);
+    const auto top = hist.top_sizes(2);
+    ASSERT_EQ(top.size(), 2u);
+    EXPECT_EQ(top[0].first, 52u);
+    EXPECT_EQ(top[1].first, 576u);
+    EXPECT_NEAR(hist.top_fraction(2), 50.0 / 60.0, 1e-12);
+}
+
+TEST(SizeHistogram, EntriesAscending) {
+    SizeHistogram hist{100};
+    hist.add(50, 1);
+    hist.add(10, 1);
+    const auto entries = hist.entries();
+    ASSERT_EQ(entries.size(), 2u);
+    EXPECT_EQ(entries[0].first, 10u);
+    EXPECT_EQ(entries[1].first, 50u);
+}
+
+TEST(TwoStageDist, IdentifiesOutliers) {
+    SizeHistogram hist{1500};
+    hist.add(40, 500);    // 50 % -> outlier
+    hist.add(1500, 300);  // 30 % -> outlier
+    hist.add(700, 1);     // 0.1 % -> below the 0.2 % default bound
+    hist.add(800, 199);   // 19.9 % -> outlier
+    const TwoStageDist dist{hist};
+    EXPECT_EQ(dist.outlier_count(), 3u);
+    EXPECT_EQ(dist.bin_count(), 1u);
+    EXPECT_EQ(dist.bin_entries()[0].first, 700u / 20 * 20);
+}
+
+TEST(TwoStageDist, CellsMatchProbabilities) {
+    SizeHistogram hist{1500};
+    hist.add(40, 179);
+    hist.add(1500, 821);
+    const TwoStageDist dist{hist};
+    ASSERT_EQ(dist.outlier_count(), 2u);
+    EXPECT_EQ(dist.outlier_entries()[0].first, 40u);
+    EXPECT_EQ(dist.outlier_entries()[0].second, 179u);  // p=0.179, rho=1000
+    EXPECT_EQ(dist.outlier_entries()[1].second, 821u);
+}
+
+TEST(TwoStageDist, SamplingMatchesProbabilities) {
+    SizeHistogram hist{1500};
+    hist.add(40, 180);
+    hist.add(52, 120);
+    hist.add(1500, 300);
+    for (std::uint32_t s = 200; s < 220; ++s) hist.add(s, 20);  // one bin's worth
+    const TwoStageDist dist{hist};
+    sim::Rng rng{123};
+    constexpr int kDraws = 200'000;
+    std::map<std::uint32_t, int> counts;
+    for (int i = 0; i < kDraws; ++i) ++counts[dist.sample(rng)];
+    EXPECT_NEAR(counts[40] / double(kDraws), dist.probability_of(40), 0.01);
+    EXPECT_NEAR(counts[52] / double(kDraws), dist.probability_of(52), 0.01);
+    EXPECT_NEAR(counts[1500] / double(kDraws), dist.probability_of(1500), 0.01);
+    // Bin sizes together should carry their share.
+    double bin_share = 0;
+    for (std::uint32_t s = 200; s < 220; ++s) bin_share += counts[s] / double(kDraws);
+    EXPECT_NEAR(bin_share, 20.0 * 20 / 1000.0, 0.01);
+}
+
+TEST(TwoStageDist, ProbabilitiesSumToOne) {
+    const TwoStageDist dist{mwn_trace_histogram()};
+    double total = 0.0;
+    for (std::uint32_t s = 0; s <= 1500; ++s) total += dist.probability_of(s);
+    EXPECT_NEAR(total, 1.0, 0.02);
+}
+
+TEST(TwoStageDist, ExpectedMeanTracksInput) {
+    const auto hist = mwn_trace_histogram();
+    const TwoStageDist dist{hist};
+    EXPECT_NEAR(dist.expected_mean(), hist.mean(), 25.0);
+}
+
+TEST(TwoStageDist, AllMassInOutliersStillSamples) {
+    SizeHistogram hist{1500};
+    hist.add(40, 1);
+    const TwoStageDist dist{hist};
+    sim::Rng rng{1};
+    for (int i = 0; i < 100; ++i) EXPECT_EQ(dist.sample(rng), 40u);
+}
+
+TEST(TwoStageDist, RejectsBadInput) {
+    const SizeHistogram empty{1500};
+    EXPECT_THROW((TwoStageDist{empty}), std::invalid_argument);
+    SizeHistogram ok{1500};
+    ok.add(40, 1);
+    TwoStageParams bad;
+    bad.precision = 0;
+    EXPECT_THROW((TwoStageDist{ok, bad}), std::invalid_argument);
+    bad = TwoStageParams{};
+    bad.bin_size = 0;
+    EXPECT_THROW((TwoStageDist{ok, bad}), std::invalid_argument);
+    // Raw-array constructor: cells exceeding precision must be rejected.
+    EXPECT_THROW((TwoStageDist{TwoStageParams{}, {{40, 1200}}, {}}), std::invalid_argument);
+    EXPECT_THROW((TwoStageDist{TwoStageParams{}, {}, {}}), std::invalid_argument);
+}
+
+TEST(TwoStageDist, CustomParamsRespected) {
+    SizeHistogram hist{1500};
+    hist.add(40, 1);
+    hist.add(777, 999'999);
+    TwoStageParams params;
+    params.precision = 500;
+    params.bin_size = 50;
+    params.outlier_bound = 0.5;
+    const TwoStageDist dist{hist, params};
+    EXPECT_EQ(dist.outlier_count(), 1u);
+    EXPECT_EQ(dist.outlier_entries()[0].first, 777u);
+    ASSERT_EQ(dist.bin_count(), 1u);
+    EXPECT_EQ(dist.bin_entries()[0].first, 40u / 50 * 50);
+    EXPECT_EQ(dist.bin_entries()[0].second, 500u);  // largest-remainder fills all
+}
+
+TEST(MwnTrace, MatchesDocumentedShape) {
+    const auto hist = mwn_trace_histogram();
+    // Top 3 sizes are 40, 52, 1500 with > 55 % of packets (Figure 4.2).
+    const auto top3 = hist.top_sizes(3);
+    std::set<std::uint32_t> sizes;
+    for (const auto& [s, c] : top3) sizes.insert(s);
+    EXPECT_TRUE(sizes.contains(40));
+    EXPECT_TRUE(sizes.contains(52));
+    EXPECT_TRUE(sizes.contains(1500));
+    EXPECT_GT(hist.top_fraction(3), 0.55);
+    // Top 20 account for over 75 %.
+    EXPECT_GT(hist.top_fraction(20), 0.75);
+    // Mean packet size ~645 bytes (Section 6.3.1).
+    EXPECT_NEAR(hist.mean(), 645.0, 40.0);
+    // No jumbo frames.
+    EXPECT_EQ(hist.max_size(), 1500u);
+}
+
+TEST(FixedSize, SingleSpike) {
+    const auto hist = fixed_size_histogram(1500, 10);
+    EXPECT_EQ(hist.count(1500), 10u);
+    EXPECT_EQ(hist.total(), 10u);
+}
+
+TEST(CreateDist, ReadSizesCountsLines) {
+    std::istringstream in{"40\n40\n\n1500\n"};
+    const auto hist = read_sizes(in);
+    EXPECT_EQ(hist.count(40), 2u);
+    EXPECT_EQ(hist.count(1500), 1u);
+}
+
+TEST(CreateDist, ReadSizesRejectsGarbage) {
+    std::istringstream in{"40\nnope\n"};
+    EXPECT_THROW(read_sizes(in), std::runtime_error);
+}
+
+TEST(CreateDist, DistRoundTrip) {
+    SizeHistogram hist{1500};
+    hist.add(40, 7);
+    hist.add(576, 3);
+    std::ostringstream out;
+    write_dist(out, hist);
+    std::istringstream in{out.str()};
+    const auto back = read_dist(in);
+    EXPECT_EQ(back.count(40), 7u);
+    EXPECT_EQ(back.count(576), 3u);
+}
+
+TEST(CreateDist, DistCustomSeparator) {
+    std::istringstream in{"40:7\n"};
+    const auto hist = read_dist(in, ':');
+    EXPECT_EQ(hist.count(40), 7u);
+}
+
+TEST(CreateDist, ProcfsRoundTrip) {
+    SizeHistogram hist{1500};
+    hist.add(40, 500);
+    hist.add(1500, 400);
+    for (std::uint32_t s = 100; s < 120; ++s) hist.add(s, 5);
+    const TwoStageDist dist{hist};
+    std::ostringstream out;
+    write_procfs(out, dist);
+    std::istringstream in{out.str()};
+    const auto back = read_procfs(in);
+    EXPECT_EQ(back.outlier_entries(), dist.outlier_entries());
+    EXPECT_EQ(back.bin_entries(), dist.bin_entries());
+    EXPECT_EQ(back.params().precision, dist.params().precision);
+}
+
+TEST(CreateDist, ProcfsPgsetWrappedRoundTrip) {
+    SizeHistogram hist{1500};
+    hist.add(40, 1000);
+    const TwoStageDist dist{hist};
+    std::ostringstream out;
+    write_procfs(out, dist, /*pgset_wrapped=*/true);
+    EXPECT_NE(out.str().find("pgset \"dist "), std::string::npos);
+    std::istringstream in{out.str()};
+    const auto back = read_procfs(in);
+    EXPECT_EQ(back.outlier_entries(), dist.outlier_entries());
+}
+
+TEST(CreateDist, ProcfsRejectsMalformed) {
+    {
+        std::istringstream in{"outl 40 10\n"};
+        EXPECT_THROW(read_procfs(in), std::runtime_error);  // entry before header
+    }
+    {
+        std::istringstream in{"dist 1000 20 1500 2 0\noutl 40 10\n"};
+        EXPECT_THROW(read_procfs(in), std::runtime_error);  // count mismatch
+    }
+    {
+        std::istringstream in{"bogus 1 2\n"};
+        EXPECT_THROW(read_procfs(in), std::runtime_error);
+    }
+    {
+        std::istringstream in{""};
+        EXPECT_THROW(read_procfs(in), std::runtime_error);
+    }
+}
+
+TEST(CreateDist, WriteSizesActsAsGenerator) {
+    SizeHistogram hist{1500};
+    hist.add(40, 1);
+    const TwoStageDist dist{hist};
+    sim::Rng rng{1};
+    std::ostringstream out;
+    write_sizes(out, dist, rng, 5);
+    EXPECT_EQ(out.str(), "40\n40\n40\n40\n40\n");
+}
+
+// Property sweep: the representation round-trips through procfs and keeps
+// probabilities for a grid of parameter combinations.
+struct ParamCase {
+    std::uint32_t precision;
+    std::uint32_t bin_size;
+    double bound;
+};
+
+class TwoStageParamTest : public ::testing::TestWithParam<ParamCase> {};
+
+TEST_P(TwoStageParamTest, RoundTripAndMeanStable) {
+    const auto param = GetParam();
+    TwoStageParams p;
+    p.precision = param.precision;
+    p.bin_size = param.bin_size;
+    p.outlier_bound = param.bound;
+    const auto hist = mwn_trace_histogram(100'000);
+    const TwoStageDist dist{hist, p};
+
+    std::ostringstream out;
+    write_procfs(out, dist);
+    std::istringstream in{out.str()};
+    const auto back = read_procfs(in);
+    EXPECT_EQ(back.outlier_entries(), dist.outlier_entries());
+    EXPECT_EQ(back.bin_entries(), dist.bin_entries());
+
+    // The represented mean stays within bin-quantization error of the true
+    // mean (coarser bins and lower precision may drift further).
+    const double tolerance = 30.0 + static_cast<double>(param.bin_size);
+    EXPECT_NEAR(dist.expected_mean(), hist.mean(), tolerance);
+
+    // Sampling never exceeds the maximum size.
+    sim::Rng rng{99};
+    for (int i = 0; i < 2'000; ++i) EXPECT_LE(dist.sample(rng), p.max_size);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ParameterGrid, TwoStageParamTest,
+    ::testing::Values(ParamCase{1000, 20, 0.002}, ParamCase{1000, 20, 0.01},
+                      ParamCase{1000, 50, 0.002}, ParamCase{500, 20, 0.002},
+                      ParamCase{2000, 10, 0.002}, ParamCase{100, 100, 0.05},
+                      ParamCase{4000, 5, 0.001}, ParamCase{1000, 20, 0.10}));
+
+}  // namespace
+}  // namespace capbench::dist

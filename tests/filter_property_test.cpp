@@ -1,0 +1,325 @@
+// Property tests for the filter compiler: compiled BPF programs must agree
+// with a direct reference evaluator of the AST for randomized expressions
+// over randomized packets, and random BPF programs must never break the VM
+// or the validator.
+#include <gtest/gtest.h>
+
+#include <optional>
+
+#include "capbench/bpf/filter/codegen.hpp"
+#include "capbench/bpf/filter/lexer.hpp"
+#include "capbench/bpf/filter/parser.hpp"
+#include "capbench/bpf/validator.hpp"
+#include "capbench/bpf/vm.hpp"
+#include "capbench/net/headers.hpp"
+#include "capbench/sim/random.hpp"
+
+namespace capbench::bpf::filter {
+namespace {
+
+// ---- reference evaluator ------------------------------------------------------
+//
+// Straightforward recursive interpretation of the AST against decoded
+// headers; completely independent of the BPF code generator.
+
+// tcpdump semantics: fields are raw loads at fixed offsets guarded only by
+// the ethertype / protocol / fragment checks the compiler emits -- no header
+// validation beyond that.
+struct DecodedPacket {
+    std::vector<std::byte> bytes;
+    bool is_ipv4 = false;
+    std::uint16_t ether_type = 0;
+    std::uint8_t protocol = 0;
+    std::uint16_t frag_offset = 0;
+    std::uint32_t src_ip = 0;
+    std::uint32_t dst_ip = 0;
+    std::optional<std::uint16_t> src_port;
+    std::optional<std::uint16_t> dst_port;
+    net::MacAddr src_mac;
+    net::MacAddr dst_mac;
+};
+
+DecodedPacket decode(std::vector<std::byte> frame) {
+    DecodedPacket p;
+    p.bytes = std::move(frame);
+    if (p.bytes.size() < 14) return p;
+    const auto eth = net::EthernetHeader::decode(p.bytes);
+    p.ether_type = eth.ether_type;
+    p.src_mac = eth.src;
+    p.dst_mac = eth.dst;
+    p.is_ipv4 = eth.ether_type == net::kEtherTypeIpv4;
+    if (!p.is_ipv4 || p.bytes.size() < 34) return p;
+    p.protocol = std::to_integer<std::uint8_t>(p.bytes[23]);
+    p.frag_offset = net::load_be16(p.bytes, 20) & 0x1FFF;
+    p.src_ip = net::load_be32(p.bytes, 26);
+    p.dst_ip = net::load_be32(p.bytes, 30);
+    const std::uint32_t ihl = 4 * (std::to_integer<std::uint32_t>(p.bytes[14]) & 0x0F);
+    const std::size_t l4 = 14 + ihl;
+    if (p.frag_offset == 0 &&
+        (p.protocol == net::kIpProtoTcp || p.protocol == net::kIpProtoUdp) &&
+        p.bytes.size() >= l4 + 4) {
+        p.src_port = net::load_be16(p.bytes, l4);
+        p.dst_port = net::load_be16(p.bytes, l4 + 2);
+    }
+    return p;
+}
+
+std::optional<std::uint32_t> ref_arith(const Arith& a, const DecodedPacket& p);
+
+std::optional<std::uint32_t> ref_accessor(const ArithAccessor& acc, const DecodedPacket& p) {
+    std::size_t base = 0;
+    switch (acc.base) {
+        case AccessorBase::kEther:
+            base = 0;
+            break;
+        case AccessorBase::kIp:
+            if (!p.is_ipv4) return std::nullopt;
+            base = net::kEthernetHeaderLen;
+            break;
+        default: {
+            if (!p.is_ipv4) return std::nullopt;
+            std::uint8_t want = net::kIpProtoTcp;
+            if (acc.base == AccessorBase::kUdp) want = net::kIpProtoUdp;
+            if (acc.base == AccessorBase::kIcmp) want = net::kIpProtoIcmp;
+            if (p.bytes.size() < 24 || p.protocol != want) return std::nullopt;
+            if (p.frag_offset != 0) return std::nullopt;
+            base = net::kEthernetHeaderLen + net::kIpv4MinHeaderLen;  // IHL is always 5 here
+            break;
+        }
+    }
+    const std::size_t off = base + acc.offset;
+    if (off + acc.size > p.bytes.size()) return std::nullopt;
+    std::uint32_t v = 0;
+    for (std::uint32_t i = 0; i < acc.size; ++i)
+        v = (v << 8) | std::to_integer<std::uint32_t>(p.bytes[off + i]);
+    return v;
+}
+
+std::optional<std::uint32_t> ref_arith(const Arith& a, const DecodedPacket& p) {
+    if (const auto* c = std::get_if<ArithConst>(&a.node)) return c->value;
+    if (std::get_if<ArithLen>(&a.node)) return static_cast<std::uint32_t>(p.bytes.size());
+    if (const auto* acc = std::get_if<ArithAccessor>(&a.node)) return ref_accessor(*acc, p);
+    const auto& bin = std::get<ArithBinary>(a.node);
+    const auto lhs = ref_arith(*bin.lhs, p);
+    const auto rhs = ref_arith(*bin.rhs, p);
+    if (!lhs || !rhs) return std::nullopt;
+    switch (bin.op) {
+        case ArithOp::kAdd: return *lhs + *rhs;
+        case ArithOp::kSub: return *lhs - *rhs;
+        case ArithOp::kMul: return *lhs * *rhs;
+        case ArithOp::kDiv: return *rhs == 0 ? std::nullopt : std::optional{*lhs / *rhs};
+        case ArithOp::kAnd: return *lhs & *rhs;
+        case ArithOp::kOr: return *lhs | *rhs;
+    }
+    return std::nullopt;
+}
+
+bool ref_eval(const Expr& e, const DecodedPacket& p);
+
+bool ref_proto(Proto proto, const DecodedPacket& p) {
+    const bool l3_readable = p.is_ipv4 && p.bytes.size() >= 24;
+    switch (proto) {
+        case Proto::kIp: return p.ether_type == net::kEtherTypeIpv4;
+        case Proto::kArp: return p.ether_type == net::kEtherTypeArp;
+        case Proto::kRarp: return p.ether_type == net::kEtherTypeRarp;
+        case Proto::kTcp: return l3_readable && p.protocol == net::kIpProtoTcp;
+        case Proto::kUdp: return l3_readable && p.protocol == net::kIpProtoUdp;
+        case Proto::kIcmp: return l3_readable && p.protocol == net::kIpProtoIcmp;
+    }
+    return false;
+}
+
+bool ref_eval(const Expr& e, const DecodedPacket& p) {
+    if (const auto* proto = std::get_if<ProtoMatch>(&e.node)) return ref_proto(proto->proto, p);
+    if (const auto* host = std::get_if<HostMatch>(&e.node)) {
+        if (!p.is_ipv4 || p.bytes.size() < 34) return false;
+        return (host->dir == Dir::kSrc ? p.src_ip : p.dst_ip) == host->addr.value();
+    }
+    if (const auto* netm = std::get_if<NetMatch>(&e.node)) {
+        if (!p.is_ipv4 || p.bytes.size() < 34) return false;
+        const auto addr = netm->dir == Dir::kSrc ? p.src_ip : p.dst_ip;
+        return (addr & netm->mask) == netm->net;
+    }
+    if (const auto* port = std::get_if<PortMatch>(&e.node)) {
+        if (!p.is_ipv4 || p.bytes.size() < 24) return false;
+        if (port->scope == PortMatch::Scope::kTcp && p.protocol != net::kIpProtoTcp)
+            return false;
+        if (port->scope == PortMatch::Scope::kUdp && p.protocol != net::kIpProtoUdp)
+            return false;
+        if (port->scope == PortMatch::Scope::kAny && p.protocol != net::kIpProtoTcp &&
+            p.protocol != net::kIpProtoUdp)
+            return false;
+        const auto& got = port->dir == Dir::kSrc ? p.src_port : p.dst_port;
+        return got && *got == port->port;
+    }
+    if (const auto* ether = std::get_if<EtherHostMatch>(&e.node)) {
+        if (p.bytes.size() < 14) return false;
+        return (ether->dir == Dir::kSrc ? p.src_mac : p.dst_mac) == ether->mac;
+    }
+    if (const auto* len = std::get_if<LenCompare>(&e.node)) {
+        const auto size = static_cast<std::uint32_t>(p.bytes.size());
+        return len->greater ? size >= len->value : size <= len->value;
+    }
+    if (const auto* rel = std::get_if<Relation>(&e.node)) {
+        const auto lhs = ref_arith(*rel->lhs, p);
+        const auto rhs = ref_arith(*rel->rhs, p);
+        if (!lhs || !rhs) return false;  // guard/bounds failure rejects
+        switch (rel->op) {
+            case RelOp::kEq: return *lhs == *rhs;
+            case RelOp::kNeq: return *lhs != *rhs;
+            case RelOp::kGt: return *lhs > *rhs;
+            case RelOp::kLt: return *lhs < *rhs;
+            case RelOp::kGe: return *lhs >= *rhs;
+            case RelOp::kLe: return *lhs <= *rhs;
+        }
+        return false;
+    }
+    if (const auto* n = std::get_if<Not>(&e.node)) return !ref_eval(*n->child, p);
+    if (const auto* a = std::get_if<And>(&e.node))
+        return ref_eval(*a->lhs, p) && ref_eval(*a->rhs, p);
+    const auto& o = std::get<Or>(e.node);
+    return ref_eval(*o.lhs, p) || ref_eval(*o.rhs, p);
+}
+
+// ---- random generators ---------------------------------------------------------
+
+std::string random_primitive(sim::Rng& rng) {
+    const auto ip = [&] {
+        return std::to_string(rng.next_below(4) * 60 + 10) + ".168.10." +
+               std::to_string(rng.next_below(4) * 4 + 8);
+    };
+    switch (rng.next_below(12)) {
+        case 0: return "ip";
+        case 1: return "tcp";
+        case 2: return "udp";
+        case 3: return "icmp";
+        case 4: return "src host " + ip();
+        case 5: return "dst host " + ip();
+        case 6: return "host " + ip();
+        case 7: return "port " + std::to_string(rng.next_below(4) * 1000 + 9);
+        case 8: return "src net " + std::to_string(rng.next_below(4) * 60 + 10) + ".0.0.0/8";
+        case 9: return "greater " + std::to_string(rng.next_below(200) + 40);
+        case 10: return "ip[" + std::to_string(rng.next_below(18)) + "] > " +
+                        std::to_string(rng.next_below(64));
+        default: return "ether[12:2] = 0x" + std::string(rng.next_bool(0.7) ? "800" : "806");
+    }
+}
+
+std::string random_expression(sim::Rng& rng, int depth) {
+    if (depth <= 0 || rng.next_bool(0.4)) {
+        std::string prim = random_primitive(rng);
+        return rng.next_bool(0.3) ? "not (" + prim + ")" : prim;
+    }
+    const std::string op = rng.next_bool(0.5) ? " and " : " or ";
+    return "(" + random_expression(rng, depth - 1) + op + random_expression(rng, depth - 1) +
+           ")";
+}
+
+std::vector<std::byte> random_packet(sim::Rng& rng) {
+    const std::size_t size = 40 + rng.next_below(300);
+    std::vector<std::byte> frame(size);
+    net::EthernetHeader eth;
+    eth.src = net::MacAddr::parse("00:00:00:00:00:0" + std::to_string(rng.next_below(3)));
+    eth.dst = net::MacAddr::parse("00:0e:0c:01:02:03");
+    eth.ether_type = rng.next_bool(0.85) ? net::kEtherTypeIpv4 : net::kEtherTypeArp;
+    eth.encode(frame);
+    if (eth.ether_type == net::kEtherTypeIpv4 && size >= 42) {
+        net::Ipv4Header ip;
+        ip.total_length = static_cast<std::uint16_t>(size - net::kEthernetHeaderLen);
+        const std::uint64_t proto_pick = rng.next_below(4);
+        ip.protocol = proto_pick == 0   ? net::kIpProtoTcp
+                      : proto_pick == 1 ? net::kIpProtoIcmp
+                                        : net::kIpProtoUdp;
+        if (rng.next_bool(0.1)) ip.flags_fragment = 0x0007;  // non-first fragment
+        ip.src = net::Ipv4Addr{static_cast<std::uint32_t>(
+            ((rng.next_below(4) * 60 + 10) << 24) | (168 << 16) | (10 << 8) |
+            (rng.next_below(4) * 4 + 8))};
+        ip.dst = net::Ipv4Addr{static_cast<std::uint32_t>(
+            ((rng.next_below(4) * 60 + 10) << 24) | (168 << 16) | (10 << 8) |
+            (rng.next_below(4) * 4 + 8))};
+        ip.encode(std::span{frame}.subspan(net::kEthernetHeaderLen));
+        net::UdpHeader udp;
+        udp.src_port = static_cast<std::uint16_t>(rng.next_below(4) * 1000 + 9);
+        udp.dst_port = static_cast<std::uint16_t>(rng.next_below(4) * 1000 + 9);
+        udp.length = static_cast<std::uint16_t>(size - 34);
+        udp.encode(std::span{frame}.subspan(34));
+    }
+    return frame;
+}
+
+// ---- the properties -------------------------------------------------------------
+
+class FilterAgreement : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FilterAgreement, CompiledProgramMatchesReferenceEvaluator) {
+    sim::Rng rng{GetParam()};
+    for (int round = 0; round < 60; ++round) {
+        const std::string expr = random_expression(rng, 3);
+        ExprPtr ast;
+        try {
+            ast = parse(expr);
+        } catch (const FilterError&) {
+            FAIL() << "generated expression failed to parse: " << expr;
+        }
+        Program prog;
+        try {
+            prog = codegen(ast.get(), 1515);
+        } catch (const FilterError&) {
+            continue;  // e.g. expression too deep for scratch registers
+        }
+        ASSERT_EQ(validate(prog), std::nullopt) << expr;
+        for (int pkt = 0; pkt < 25; ++pkt) {
+            const auto packet = decode(random_packet(rng));
+            const bool expected = ref_eval(*ast, packet);
+            const bool actual = Vm::run(prog, packet.bytes).accept_len > 0;
+            ASSERT_EQ(actual, expected)
+                << "expr: " << expr << "\npacket size " << packet.bytes.size()
+                << " ethertype "
+                << packet.ether_type;
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FilterAgreement,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34, 55, 89));
+
+class VmRobustness : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(VmRobustness, RandomProgramsNeverCrashOrOverrun) {
+    sim::Rng rng{GetParam()};
+    for (int round = 0; round < 400; ++round) {
+        // Random instruction soup, terminated by a RET so some programs
+        // validate; the VM must be safe either way.
+        Program prog;
+        const std::size_t len = 1 + rng.next_below(24);
+        for (std::size_t i = 0; i < len; ++i) {
+            Insn insn;
+            insn.code = static_cast<std::uint16_t>(rng.next_below(0x200));
+            insn.jt = static_cast<std::uint8_t>(rng.next_below(8));
+            insn.jf = static_cast<std::uint8_t>(rng.next_below(8));
+            insn.k = static_cast<std::uint32_t>(rng.next_u64());
+            prog.push_back(insn);
+        }
+        prog.push_back(stmt(BPF_RET | BPF_K, 1));
+
+        std::vector<std::byte> data(rng.next_below(128));
+        for (auto& b : data) b = static_cast<std::byte>(rng.next_below(256));
+
+        // The VM guards everything at runtime (returns reject on malformed
+        // programs); it must terminate because all jumps are forward.
+        const auto result = Vm::run(prog, data);
+        EXPECT_LE(result.insns_executed, prog.size());
+
+        // If the validator accepts it, the VM must too (no internal
+        // rejections from malformed opcodes).
+        if (validate(prog) == std::nullopt) {
+            const auto ok = Vm::run(prog, data);
+            EXPECT_LE(ok.insns_executed, prog.size());
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, VmRobustness, ::testing::Values(7, 77, 777));
+
+}  // namespace
+}  // namespace capbench::bpf::filter

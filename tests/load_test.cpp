@@ -1,0 +1,245 @@
+// Tests for MiniDeflate, the disk model, the FIFO pipe and app loads.
+#include <gtest/gtest.h>
+
+#include "capbench/load/disk.hpp"
+#include "capbench/load/loads.hpp"
+#include "capbench/load/minideflate.hpp"
+#include "capbench/sim/random.hpp"
+
+namespace capbench::load {
+namespace {
+
+using hostsim::ArchSpec;
+using hostsim::Machine;
+using hostsim::MachineSpec;
+
+std::vector<std::byte> random_bytes(std::size_t n, std::uint64_t seed) {
+    sim::Rng rng{seed};
+    std::vector<std::byte> out(n);
+    for (auto& b : out) b = static_cast<std::byte>(rng.next_below(256));
+    return out;
+}
+
+std::vector<std::byte> compressible_bytes(std::size_t n) {
+    std::vector<std::byte> out(n);
+    for (std::size_t i = 0; i < n; ++i) out[i] = static_cast<std::byte>("abcabcab"[i % 8]);
+    return out;
+}
+
+TEST(MiniDeflate, RoundTripsRandomData) {
+    const auto input = random_bytes(10'000, 7);
+    for (const int level : {0, 1, 3, 6, 9}) {
+        const auto compressed = MiniDeflate{level}.compress(input);
+        const auto restored = MiniDeflate::decompress(compressed.output);
+        EXPECT_EQ(restored, input) << "level " << level;
+    }
+}
+
+TEST(MiniDeflate, RoundTripsCompressibleData) {
+    const auto input = compressible_bytes(50'000);
+    for (const int level : {1, 3, 9}) {
+        const auto result = MiniDeflate{level}.compress(input);
+        EXPECT_EQ(MiniDeflate::decompress(result.output), input);
+        // Repetitive data must actually compress.
+        EXPECT_LT(result.ratio(input.size()), 0.25) << "level " << level;
+    }
+}
+
+TEST(MiniDeflate, RoundTripsEdgeCases) {
+    for (const int level : {0, 5, 9}) {
+        const MiniDeflate codec{level};
+        EXPECT_TRUE(MiniDeflate::decompress(codec.compress({}).output).empty());
+        const auto tiny = random_bytes(2, 3);
+        EXPECT_EQ(MiniDeflate::decompress(codec.compress(tiny).output), tiny);
+        // All-identical bytes: long match chains.
+        std::vector<std::byte> same(5'000, std::byte{0x42});
+        EXPECT_EQ(MiniDeflate::decompress(codec.compress(same).output), same);
+    }
+}
+
+std::vector<std::byte> mutated_repeat_bytes(std::size_t n, std::uint64_t seed) {
+    // Repeated template with sparse mutations: matches exist but stay short
+    // of the maximum, so deeper search pays off.
+    sim::Rng rng{seed};
+    std::vector<std::byte> tmpl(64);
+    for (auto& b : tmpl) b = static_cast<std::byte>(rng.next_below(256));
+    std::vector<std::byte> out(n);
+    for (std::size_t i = 0; i < n; ++i)
+        out[i] = rng.next_below(24) == 0 ? static_cast<std::byte>(rng.next_below(256))
+                                         : tmpl[i % 64];
+    return out;
+}
+
+TEST(MiniDeflate, HigherLevelsSearchMoreAndCompressBetter) {
+    const auto input = mutated_repeat_bytes(40'000, 21);
+    const auto low = MiniDeflate{1}.compress(input);
+    const auto high = MiniDeflate{9}.compress(input);
+    EXPECT_GT(low.output.size(), high.output.size());
+    EXPECT_LT(low.search_steps * 4, high.search_steps);
+    EXPECT_EQ(MiniDeflate::decompress(low.output), input);
+    EXPECT_EQ(MiniDeflate::decompress(high.output), input);
+}
+
+TEST(MiniDeflate, LevelZeroStores) {
+    const auto input = random_bytes(1'000, 1);
+    const auto result = MiniDeflate{0}.compress(input);
+    EXPECT_EQ(result.search_steps, 0u);
+    EXPECT_EQ(result.matches, 0u);
+    // Stored mode adds only token framing.
+    EXPECT_LT(result.output.size(), input.size() + 2 * (input.size() / 256 + 2));
+}
+
+TEST(MiniDeflate, RejectsBadLevelAndCorruptStream) {
+    EXPECT_THROW(MiniDeflate{-1}, std::invalid_argument);
+    EXPECT_THROW(MiniDeflate{10}, std::invalid_argument);
+    EXPECT_THROW(MiniDeflate::decompress(random_bytes(3, 5)), std::runtime_error);
+    // Match with impossible distance.
+    std::vector<std::byte> bad{std::byte{0x01}, std::byte{0x00}, std::byte{0xFF},
+                               std::byte{0xFF}};
+    EXPECT_THROW(MiniDeflate::decompress(bad), std::runtime_error);
+}
+
+TEST(CompressionCost, MonotoneInLevel) {
+    double last = 0.0;
+    for (int level = 0; level <= 9; ++level) {
+        const double cpb = compression_cycles_per_byte(level);
+        EXPECT_GE(cpb, last) << "level " << level;
+        last = cpb;
+    }
+    // Order-of-magnitude sanity: level 3 in the tens of cycles/byte (zlib
+    // class), level 9 several times that.
+    EXPECT_GT(compression_cycles_per_byte(3), 15.0);
+    EXPECT_GT(compression_cycles_per_byte(9), 2.0 * compression_cycles_per_byte(3));
+    EXPECT_THROW(compression_cycles_per_byte(11), std::invalid_argument);
+}
+
+TEST(AppLoad, WorkScalesWithConfiguration) {
+    const AppLoad none{};
+    EXPECT_EQ(per_packet_load_work(none, 645).cycles, 0.0);
+
+    AppLoad copies;
+    copies.memcpy_count = 50;
+    const auto w50 = per_packet_load_work(copies, 645);
+    EXPECT_DOUBLE_EQ(w50.copy_bytes, 50.0 * 645.0);
+    copies.memcpy_count = 25;
+    EXPECT_DOUBLE_EQ(per_packet_load_work(copies, 645).copy_bytes, 25.0 * 645.0);
+
+    AppLoad gz;
+    gz.compress_level = 3;
+    const auto wz = per_packet_load_work(gz, 645);
+    EXPECT_NEAR(wz.cycles, compression_cycles_per_byte(3) * 645.0 + 350.0, 1.0);
+
+    AppLoad pipe;
+    pipe.pipe_to_gzip = true;
+    EXPECT_DOUBLE_EQ(per_packet_load_work(pipe, 645).copy_bytes, 645.0);
+}
+
+struct Fixture {
+    sim::Simulator sim;
+    Machine machine{sim, MachineSpec{ArchSpec::amd_opteron(), 2, false}, {}};
+};
+
+class Waiter : public hostsim::Thread {
+public:
+    Waiter() : hostsim::Thread("waiter") {}
+    void main() override {
+        block([this] { woken = true; });
+    }
+    bool woken = false;
+};
+
+TEST(DiskModel, AcceptsUntilQueueFullThenBlocksWriter) {
+    Fixture f;
+    DiskSpec spec{80.0, 1.0, 1 << 20};  // 1 MB queue
+    DiskModel disk{f.machine, spec};
+    auto writer = std::make_shared<Waiter>();
+    f.machine.spawn(writer);
+    f.sim.run();
+    EXPECT_TRUE(disk.write(512 * 1024, *writer));
+    EXPECT_TRUE(disk.write(400 * 1024, *writer));
+    EXPECT_FALSE(disk.write(512 * 1024, *writer));  // would exceed 1 MB
+    // Draining at 80 MB/s frees space quickly; the writer is woken and its
+    // bytes were accepted.
+    f.sim.run(f.sim.now() + sim::milliseconds(50));
+    EXPECT_TRUE(writer->woken);
+    EXPECT_GT(disk.bytes_written(), 0u);
+}
+
+TEST(DiskModel, DrainsEverythingEventually) {
+    Fixture f;
+    DiskModel disk{f.machine, DiskSpec{10.0, 1.0, 8 << 20}};
+    auto writer = std::make_shared<Waiter>();
+    f.machine.spawn(writer);
+    f.sim.run();
+    EXPECT_TRUE(disk.write(5 << 20, *writer));
+    f.sim.run(f.sim.now() + sim::seconds(2));
+    EXPECT_EQ(disk.queued(), 0u);
+    EXPECT_EQ(disk.bytes_written(), 5u << 20);
+}
+
+TEST(DiskModel, WriteWorkChargesCpu) {
+    Fixture f;
+    DiskModel disk{f.machine, DiskSpec{80.0, 1.5, 8 << 20}};
+    const auto w = disk.write_work(1000);
+    EXPECT_DOUBLE_EQ(w.cycles, 1500.0);
+    EXPECT_DOUBLE_EQ(w.copy_bytes, 1000.0);
+}
+
+TEST(DiskSpecs, AllSnifferDisksBelowLineSpeed) {
+    // Line speed of frame data is ~119 MB/s; Figure 6.13's finding is that
+    // no sniffer's RAID reaches it.
+    for (const auto* name : {"swan", "snipe", "moorhen", "flamingo"}) {
+        EXPECT_LT(disk_spec_for(name).write_mbytes_per_sec, 119.0) << name;
+        EXPECT_GT(disk_spec_for(name).write_mbytes_per_sec, 30.0) << name;
+    }
+}
+
+TEST(FifoPipe, WriteReadAndBackpressure) {
+    Fixture f;
+    FifoPipe pipe{f.machine, 1000};
+    auto writer = std::make_shared<Waiter>();
+    auto reader = std::make_shared<Waiter>();
+    f.machine.spawn(writer);
+    f.machine.spawn(reader);
+    f.sim.run();
+
+    EXPECT_TRUE(pipe.write(800, *writer));
+    EXPECT_FALSE(pipe.write(300, *writer));  // full: writer must block
+    EXPECT_EQ(pipe.read(500, *reader), 500u);
+    // The blocked writer's bytes were admitted on read; it gets woken.
+    f.sim.run();
+    EXPECT_TRUE(writer->woken);
+    EXPECT_EQ(pipe.buffered(), 600u);  // 300 remaining + 300 admitted
+}
+
+TEST(FifoPipe, ReaderBlocksOnEmpty) {
+    Fixture f;
+    FifoPipe pipe{f.machine, 1000};
+    auto reader = std::make_shared<Waiter>();
+    auto writer = std::make_shared<Waiter>();
+    f.machine.spawn(reader);
+    f.machine.spawn(writer);
+    f.sim.run();
+    EXPECT_EQ(pipe.read(100, *reader), 0u);  // registers the reader
+    EXPECT_TRUE(pipe.write(50, *writer));
+    f.sim.run();
+    EXPECT_TRUE(reader->woken);
+}
+
+TEST(GzipThread, DrainsPipeAndAccountsCpu) {
+    Fixture f;
+    FifoPipe pipe{f.machine, 64 * 1024};
+    auto gzip = std::make_shared<GzipThread>(pipe, 3);
+    f.machine.spawn(gzip);
+    auto writer = std::make_shared<Waiter>();
+    f.machine.spawn(writer);
+    f.sim.run();
+    EXPECT_TRUE(pipe.write(32 * 1024, *writer));
+    f.sim.run(f.sim.now() + sim::seconds(1));
+    EXPECT_EQ(gzip->bytes_compressed(), 32u * 1024);
+    EXPECT_EQ(pipe.buffered(), 0u);
+    EXPECT_GT(f.machine.total_busy().ns(), 0);
+}
+
+}  // namespace
+}  // namespace capbench::load

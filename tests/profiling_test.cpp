@@ -1,0 +1,117 @@
+// Tests for cpusage sampling and trimusage postprocessing.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "capbench/profiling/cpusage.hpp"
+#include "capbench/profiling/trimusage.hpp"
+
+namespace capbench::profiling {
+namespace {
+
+using hostsim::ArchSpec;
+using hostsim::CpuState;
+using hostsim::Machine;
+using hostsim::MachineSpec;
+using hostsim::Work;
+
+TEST(CpuSage, SamplesBusyFraction) {
+    sim::Simulator sim;
+    Machine machine{sim, MachineSpec{ArchSpec::amd_opteron(), 1, false}, {}};
+    CpuSage profiler{machine, sim::milliseconds(100)};
+    profiler.start();
+    // 50 ms of interrupt work at the start of a 100 ms interval -> 50 %.
+    machine.post_kernel_work(Work{.cycles = 1.8e9 * 0.050}, CpuState::kInterrupt, {});
+    sim.run(sim::SimTime{} + sim::milliseconds(350));
+    profiler.stop();
+    sim.run(sim::SimTime{} + sim::milliseconds(500));
+    ASSERT_GE(profiler.samples().size(), 3u);
+    EXPECT_NEAR(profiler.samples()[0].interrupt_pct, 50.0, 1.0);
+    EXPECT_NEAR(profiler.samples()[0].idle_pct, 50.0, 1.0);
+    EXPECT_NEAR(profiler.samples()[1].busy_pct(), 0.0, 1.0);
+}
+
+TEST(CpuSage, AveragesAcrossCpus) {
+    sim::Simulator sim;
+    Machine machine{sim, MachineSpec{ArchSpec::amd_opteron(), 2, false}, {}};
+    CpuSage profiler{machine, sim::milliseconds(100)};
+    profiler.start();
+    // CPU 0 busy for (almost) one interval; CPU 1 idle -> machine-wide
+    // ~50 %.  (99 ms, so the completion is accounted before the sample.)
+    machine.post_kernel_work(Work{.cycles = 1.8e9 * 0.099}, CpuState::kInterrupt, {});
+    sim.run(sim::SimTime{} + sim::milliseconds(150));
+    profiler.stop();
+    sim.run(sim::SimTime{} + sim::milliseconds(300));
+    ASSERT_GE(profiler.samples().size(), 1u);
+    EXPECT_NEAR(profiler.samples()[0].interrupt_pct, 49.5, 1.0);
+}
+
+TEST(CpuSage, PrintFormats) {
+    sim::Simulator sim;
+    Machine machine{sim, MachineSpec{ArchSpec::amd_opteron(), 1, false}, {}};
+    CpuSage profiler{machine, sim::milliseconds(100)};
+    profiler.start();
+    sim.run(sim::SimTime{} + sim::milliseconds(150));
+    profiler.stop();
+    sim.run(sim::SimTime{} + sim::milliseconds(300));
+    std::ostringstream human;
+    profiler.print(human);
+    EXPECT_NE(human.str().find("idle"), std::string::npos);
+    std::ostringstream machine_readable;
+    profiler.print(machine_readable, true);
+    EXPECT_EQ(machine_readable.str().find("idle"), std::string::npos);
+    EXPECT_NE(machine_readable.str().find(':'), std::string::npos);
+}
+
+UsageSample busy(double pct) {
+    UsageSample s;
+    s.user_pct = pct;
+    s.idle_pct = 100.0 - pct;
+    return s;
+}
+
+TEST(TrimUsage, FindsLongestBusyRun) {
+    // idle: 100 100 20 30 100 10 10 10 100 -> longest run is [5..7].
+    std::vector<UsageSample> samples{busy(0),  busy(0),  busy(80), busy(70), busy(0),
+                                     busy(90), busy(90), busy(90), busy(0)};
+    const auto result = trim_usage(samples, 95.0);
+    ASSERT_TRUE(result.has_value());
+    EXPECT_EQ(result->run_start, 5u);
+    EXPECT_EQ(result->run_length, 3u);
+    EXPECT_NEAR(result->average.user_pct, 90.0, 1e-9);
+    EXPECT_NEAR(result->average.idle_pct, 10.0, 1e-9);
+}
+
+TEST(TrimUsage, NoBusySamplesYieldsNothing) {
+    std::vector<UsageSample> samples{busy(0), busy(1)};
+    EXPECT_EQ(trim_usage(samples, 95.0), std::nullopt);
+    EXPECT_EQ(trim_usage({}, 95.0), std::nullopt);
+}
+
+TEST(TrimUsage, TiesPreferEarlierRun) {
+    std::vector<UsageSample> samples{busy(50), busy(50), busy(0), busy(60), busy(60)};
+    const auto result = trim_usage(samples, 95.0);
+    ASSERT_TRUE(result.has_value());
+    EXPECT_EQ(result->run_start, 0u);
+    EXPECT_EQ(result->run_length, 2u);
+}
+
+TEST(TrimUsage, CustomLimitRespected) {
+    // With limit 50, only samples with idle < 50 count.
+    std::vector<UsageSample> samples{busy(40), busy(60), busy(70), busy(40)};
+    const auto result = trim_usage(samples, 50.0);
+    ASSERT_TRUE(result.has_value());
+    EXPECT_EQ(result->run_start, 1u);
+    EXPECT_EQ(result->run_length, 2u);
+}
+
+TEST(TrimUsage, WholeRunBusy) {
+    std::vector<UsageSample> samples{busy(99), busy(98), busy(97)};
+    const auto result = trim_usage(samples, 95.0);
+    ASSERT_TRUE(result.has_value());
+    EXPECT_EQ(result->run_length, 3u);
+    EXPECT_NEAR(result->average.user_pct, 98.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace capbench::profiling

@@ -1,0 +1,130 @@
+// Property tests for the host machine scheduler: under randomized thread
+// workloads with random kernel interference, CPU time must be conserved —
+// no CPU accounts more busy time than wall time, every thread's issued
+// work is eventually accounted (or still pending), and no thread ever
+// occupies two CPUs at once.
+#include <gtest/gtest.h>
+
+#include "capbench/hostsim/machine.hpp"
+#include "capbench/sim/random.hpp"
+
+namespace capbench::hostsim {
+namespace {
+
+/// Thread that runs a random sequence of exec/yield/block steps and records
+/// the work it issued.
+class RandomWorker : public Thread {
+public:
+    RandomWorker(std::string name, std::uint64_t seed, int steps, double* issued_cycles)
+        : Thread(std::move(name)), rng_(seed), steps_(steps), issued_(issued_cycles) {}
+
+    void main() override { step(); }
+
+    void step() {
+        if (steps_-- <= 0) return;  // terminate
+        const double cycles = 1'000.0 + static_cast<double>(rng_.next_below(200'000));
+        *issued_ += cycles;
+        const auto state = rng_.next_bool(0.5) ? CpuState::kUser : CpuState::kSystem;
+        exec(Work{.cycles = cycles}, state, [this] {
+            switch (rng_.next_below(3)) {
+                case 0:
+                    yield([this] { step(); });
+                    break;
+                case 1:
+                    block([this] { step(); });
+                    break;
+                default:
+                    step();
+                    break;
+            }
+        });
+    }
+
+    sim::Rng rng_;
+    int steps_;
+    double* issued_;
+};
+
+struct SchedulerCase {
+    std::uint64_t seed;
+    int cores;
+    bool ht;
+    int threads;
+};
+
+class SchedulerProperty : public ::testing::TestWithParam<SchedulerCase> {};
+
+TEST_P(SchedulerProperty, TimeIsConservedUnderRandomLoad) {
+    const auto param = GetParam();
+    sim::Simulator sim;
+    const auto& arch = param.ht ? ArchSpec::intel_xeon() : ArchSpec::amd_opteron();
+    SchedPolicy policy;
+    policy.lifo_wakeup = param.seed % 2 == 0;
+    policy.lifo_yield = param.seed % 3 == 0;
+    policy.wakeup_latency = sim::microseconds(200);
+    Machine machine{sim, MachineSpec{arch, param.cores, param.ht}, policy};
+
+    double issued_cycles = 0.0;
+    std::vector<std::shared_ptr<RandomWorker>> workers;
+    for (int i = 0; i < param.threads; ++i) {
+        auto worker = std::make_shared<RandomWorker>("w" + std::to_string(i),
+                                                     param.seed * 97 + i, 120, &issued_cycles);
+        workers.push_back(worker);
+        machine.spawn(worker);
+    }
+
+    // Random kernel interference + periodic wakeups of blocked workers.
+    sim::Rng rng{param.seed};
+    for (int burst = 0; burst < 200; ++burst) {
+        sim.schedule_in(sim::microseconds(static_cast<std::int64_t>(rng.next_below(400'000))),
+                        [&machine, &rng, &workers] {
+                            machine.post_kernel_work(
+                                Work{.cycles = 2'000.0 +
+                                               static_cast<double>(rng.next_below(80'000))},
+                                CpuState::kInterrupt, {});
+                            for (auto& w : workers) {
+                                if (rng.next_bool(0.5)) machine.wake(*w);
+                            }
+                        });
+    }
+    // Keep waking until everything terminates.
+    std::function<void()> reaper = [&] {
+        bool any_alive = false;
+        for (auto& w : workers) {
+            if (w->state() != Thread::State::kDone) {
+                any_alive = true;
+                machine.wake(*w);
+            }
+        }
+        if (any_alive) sim.schedule_in(sim::milliseconds(5), reaper);
+    };
+    sim.schedule_in(sim::milliseconds(1), reaper);
+    sim.run();
+
+    for (auto& w : workers)
+        EXPECT_EQ(w->state(), Thread::State::kDone) << w->name();
+
+    const double wall = sim.now().seconds();
+    double total_busy = 0.0;
+    for (int c = 0; c < machine.logical_cpus(); ++c) {
+        const double busy = machine.cpu(c).busy().seconds();
+        // No CPU can be busier than the wall clock.
+        EXPECT_LE(busy, wall + 1e-9) << "cpu " << c;
+        total_busy += busy;
+    }
+    // All issued thread work was executed and accounted (kernel bursts and
+    // migration re-execution only add on top, so total busy >= issued).
+    const double issued_seconds = issued_cycles / arch.clock_hz;
+    EXPECT_GE(total_busy + 1e-9, issued_seconds);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Matrix, SchedulerProperty,
+    ::testing::Values(SchedulerCase{1, 1, false, 1}, SchedulerCase{2, 1, false, 4},
+                      SchedulerCase{3, 2, false, 1}, SchedulerCase{4, 2, false, 3},
+                      SchedulerCase{5, 2, false, 8}, SchedulerCase{6, 2, true, 4},
+                      SchedulerCase{7, 1, true, 2}, SchedulerCase{8, 2, true, 8},
+                      SchedulerCase{9, 2, false, 2}, SchedulerCase{10, 2, true, 1}));
+
+}  // namespace
+}  // namespace capbench::hostsim
