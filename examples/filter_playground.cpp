@@ -4,7 +4,14 @@
 //
 //   $ ./examples/filter_playground 'udp and dst host 192.168.10.12'
 //   $ ./examples/filter_playground            # uses the Figure 6.5 filter
+//   $ ./examples/filter_playground --lint 'tcp or udp'
+//       static analysis: annotated disassembly + warnings (unreachable
+//       code, uninitialized reads, filters that can never accept, ...)
+//   $ ./examples/filter_playground --optimize
+//       stock vs. optimized program side by side, with per-sample
+//       executed-instruction counts
 #include <cstdio>
+#include <cstring>
 #include <iostream>
 
 #include "capbench/core/capbench.hpp"
@@ -33,28 +40,13 @@ std::vector<std::byte> make_frame(std::uint8_t protocol, const std::string& src_
     return frame;
 }
 
-}  // namespace
+struct Sample {
+    const char* label;
+    std::vector<std::byte> frame;
+};
 
-int main(int argc, char** argv) {
-    const std::string expression =
-        argc > 1 ? argv[1] : capbench::harness::fig_6_5_filter_expression();
-
-    std::printf("expression:\n  %s\n\n", expression.c_str());
-    capbench::bpf::Program prog;
-    try {
-        prog = capbench::bpf::filter::compile_filter(expression, 1515);
-    } catch (const capbench::bpf::filter::FilterError& e) {
-        std::fprintf(stderr, "compile error: %s\n", e.what());
-        return 1;
-    }
-    std::printf("compiled to %zu instructions:\n%s\n", prog.size(),
-                capbench::bpf::disassemble(prog).c_str());
-
-    struct Sample {
-        const char* label;
-        std::vector<std::byte> frame;
-    };
-    const Sample samples[] = {
+std::vector<Sample> make_samples() {
+    return {
         {"UDP 192.168.10.100 -> 192.168.10.12:9",
          make_frame(net::kIpProtoUdp, "192.168.10.100", "192.168.10.12", 9)},
         {"TCP 192.168.10.100 -> 192.168.10.12:80",
@@ -64,11 +56,81 @@ int main(int argc, char** argv) {
         {"ICMP 192.168.10.1 -> 192.168.10.12",
          make_frame(net::kIpProtoIcmp, "192.168.10.1", "192.168.10.12", 0)},
     };
+}
+
+int run_default(const bpf::Program& prog) {
+    std::printf("compiled to %zu instructions:\n%s\n", prog.size(),
+                bpf::disassemble(prog).c_str());
     std::puts("sample packets:");
-    for (const auto& sample : samples) {
-        const auto result = capbench::bpf::Vm::run(prog, sample.frame);
+    for (const auto& sample : make_samples()) {
+        const auto result = bpf::Vm::run(prog, sample.frame);
         std::printf("  %-42s -> %s (%u instructions executed)\n", sample.label,
                     result.accept_len > 0 ? "ACCEPT" : "reject", result.insns_executed);
     }
     return 0;
+}
+
+int run_lint(const bpf::Program& prog) {
+    const auto findings = bpf::analysis::analyze(prog);
+    std::printf("compiled to %zu instructions (unoptimized):\n%s\n", prog.size(),
+                bpf::disassemble(prog, findings).c_str());
+    if (findings.empty()) {
+        std::puts("lint: clean — no findings");
+        return 0;
+    }
+    std::printf("lint: %zu finding(s)\n", findings.size());
+    for (const auto& f : findings)
+        std::printf("  %s\n", to_string(f).c_str());
+    return bpf::analysis::has_errors(findings) ? 1 : 0;
+}
+
+int run_optimize(const bpf::Program& stock) {
+    bpf::analysis::OptimizeStats stats;
+    const auto optimized = bpf::analysis::optimize(stock, &stats);
+    std::printf("stock program (%zu instructions):\n%s\n", stock.size(),
+                bpf::disassemble(stock).c_str());
+    std::printf("optimized program (%zu instructions, %d rounds):\n%s\n",
+                optimized.size(), stats.rounds, bpf::disassemble(optimized).c_str());
+    std::puts("sample packets (stock -> optimized executed instructions):");
+    for (const auto& sample : make_samples()) {
+        const auto before = bpf::Vm::run(stock, sample.frame);
+        const auto after = bpf::Vm::run(optimized, sample.frame);
+        std::printf("  %-42s -> %s  %u -> %u\n", sample.label,
+                    after.accept_len > 0 ? "ACCEPT" : "reject", before.insns_executed,
+                    after.insns_executed);
+    }
+    return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    enum class Mode { kRun, kLint, kOptimize } mode = Mode::kRun;
+    int arg = 1;
+    if (arg < argc && std::strcmp(argv[arg], "--lint") == 0) {
+        mode = Mode::kLint;
+        ++arg;
+    } else if (arg < argc && std::strcmp(argv[arg], "--optimize") == 0) {
+        mode = Mode::kOptimize;
+        ++arg;
+    }
+    const std::string expression =
+        arg < argc ? argv[arg] : harness::fig_6_5_filter_expression();
+
+    std::printf("expression:\n  %s\n\n", expression.c_str());
+    bpf::Program prog;
+    try {
+        // Lint and optimize modes inspect the raw emitted program; the
+        // default mode shows what a capture session would actually run.
+        const bpf::filter::CompileOptions options{.optimize = mode == Mode::kRun};
+        prog = bpf::filter::compile_filter(expression, 1515, options);
+    } catch (const bpf::filter::FilterError& e) {
+        std::fprintf(stderr, "compile error: %s\n", e.what());
+        return 1;
+    }
+    switch (mode) {
+        case Mode::kLint: return run_lint(prog);
+        case Mode::kOptimize: return run_optimize(prog);
+        default: return run_default(prog);
+    }
 }

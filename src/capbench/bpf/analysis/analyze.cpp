@@ -1,0 +1,65 @@
+#include "capbench/bpf/analysis/analyze.hpp"
+
+#include <algorithm>
+
+#include "capbench/bpf/analysis/cfg.hpp"
+#include "capbench/bpf/analysis/interp.hpp"
+#include "capbench/bpf/validator.hpp"
+
+namespace capbench::bpf::analysis {
+
+std::vector<Finding> analyze(const Program& prog) {
+    std::vector<Finding> findings;
+    if (const auto reason = validate(prog)) {
+        findings.push_back(Finding{Severity::kError, 0, *reason});
+        return findings;
+    }
+
+    const InterpResult interp = interpret(prog);
+    findings = interp.findings;
+
+    for (std::size_t pc = 0; pc < prog.size(); ++pc) {
+        if (!interp.in[pc])
+            findings.push_back(Finding{Severity::kWarning, pc, "unreachable instruction"});
+    }
+
+    // RET-value ranges (info) and the never-accepts proof (warning).
+    std::optional<std::size_t> first_ret;
+    for (std::size_t pc = 0; pc < prog.size(); ++pc) {
+        if (!interp.in[pc] || bpf_class(prog[pc].code) != BPF_RET) continue;
+        if (!first_ret) first_ret = pc;
+        if (bpf_rval(prog[pc].code) == BPF_A) {
+            const AbsVal& a = (*interp.in[pc]).a;
+            findings.push_back(Finding{
+                Severity::kInfo, pc,
+                a.is_constant()
+                    ? "returns the constant " + std::to_string(a.constant_value())
+                    : "returns A in [" + std::to_string(a.lo) + ", " + std::to_string(a.hi) +
+                          "]"});
+        }
+    }
+    if (interp.never_accepts && first_ret) {
+        findings.push_back(Finding{Severity::kWarning, *first_ret,
+                                   "filter can never accept a packet (every reachable "
+                                   "return path yields 0)"});
+    }
+
+    std::stable_sort(findings.begin(), findings.end(),
+                     [](const Finding& a, const Finding& b) {
+                         if (a.insn != b.insn) return a.insn < b.insn;
+                         return static_cast<int>(a.severity) < static_cast<int>(b.severity);
+                     });
+    return findings;
+}
+
+bool has_errors(const std::vector<Finding>& findings) {
+    return std::any_of(findings.begin(), findings.end(),
+                       [](const Finding& f) { return f.severity == Severity::kError; });
+}
+
+bool has_warnings(const std::vector<Finding>& findings) {
+    return std::any_of(findings.begin(), findings.end(),
+                       [](const Finding& f) { return f.severity == Severity::kWarning; });
+}
+
+}  // namespace capbench::bpf::analysis

@@ -1,0 +1,27 @@
+// analyze(): the warning/info layer above validate().
+//
+// validate() (bpf/validator.hpp) reports hard errors — programs a kernel
+// would refuse to attach.  analyze() accepts any valid program and reports
+// what is *wrong but legal*: unreachable instructions, reads of scratch
+// memory or X that were never written, divisions that can reject at
+// runtime, loads that can never be in bounds, degenerate conditional
+// jumps, and filters that provably never accept a packet.  Info findings
+// carry derived facts such as RET-value ranges.
+#pragma once
+
+#include "capbench/bpf/analysis/findings.hpp"
+#include "capbench/bpf/insn.hpp"
+
+namespace capbench::bpf::analysis {
+
+/// Runs CFG construction + abstract interpretation and returns all
+/// findings, sorted by instruction index (errors first on ties).  An
+/// invalid program yields exactly one kError finding (the validate()
+/// reason) and no further analysis.
+std::vector<Finding> analyze(const Program& prog);
+
+/// Convenience filters.
+bool has_errors(const std::vector<Finding>& findings);
+bool has_warnings(const std::vector<Finding>& findings);
+
+}  // namespace capbench::bpf::analysis

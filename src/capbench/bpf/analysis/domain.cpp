@@ -1,0 +1,281 @@
+#include "capbench/bpf/analysis/domain.hpp"
+
+#include <algorithm>
+#include <bit>
+
+#include "capbench/bpf/insn.hpp"
+
+namespace capbench::bpf::analysis {
+
+namespace {
+
+constexpr std::uint64_t kU32Max = 0xFFFFFFFFull;
+
+}  // namespace
+
+AbsVal AbsVal::range(std::uint32_t lo, std::uint32_t hi) {
+    AbsVal v;
+    v.lo = lo;
+    v.hi = hi;
+    v.normalize();
+    return v;
+}
+
+bool AbsVal::contains(std::uint32_t v) const {
+    if (v < lo || v > hi) return false;
+    if ((v & known_mask) != known_val) return false;
+    if (has_ne && v == ne) return false;
+    return true;
+}
+
+bool AbsVal::normalize() {
+    known_val &= known_mask;
+    if (lo > hi) return false;
+    // Agreeing leading bits of lo and hi are known.
+    const std::uint32_t diff = lo ^ hi;
+    const std::uint32_t prefix = static_cast<std::uint32_t>(
+        ~((std::uint64_t{1} << std::bit_width(diff)) - 1));
+    known_mask |= prefix;
+    known_val |= lo & prefix;
+    // Known bits bound the interval: unknown bits all-0 / all-1.
+    lo = std::max(lo, known_val);
+    hi = std::min(hi, known_val | ~known_mask);
+    if (lo > hi) return false;
+    if (lo == hi) {
+        if ((lo & known_mask) != known_val) return false;
+        known_mask = 0xFFFFFFFFu;
+        known_val = lo;
+    }
+    if (has_ne) {
+        if (ne == lo && ne == hi) return false;  // only value is excluded
+        if (lo == ne && lo < hi) {
+            ++lo;
+            has_ne = false;
+            return normalize();
+        }
+        if (hi == ne && hi > lo) {
+            --hi;
+            has_ne = false;
+            return normalize();
+        }
+        if (ne < lo || ne > hi || (ne & known_mask) != known_val)
+            has_ne = false;  // already excluded by the other domains
+    }
+    return true;
+}
+
+AbsVal join(const AbsVal& a, const AbsVal& b) {
+    AbsVal out;
+    out.lo = std::min(a.lo, b.lo);
+    out.hi = std::max(a.hi, b.hi);
+    out.known_mask = a.known_mask & b.known_mask & ~(a.known_val ^ b.known_val);
+    out.known_val = a.known_val & out.known_mask;
+    if (a.has_ne && b.has_ne && a.ne == b.ne) {
+        out.has_ne = true;
+        out.ne = a.ne;
+    } else if (a.has_ne && !b.contains(a.ne)) {
+        out.has_ne = true;
+        out.ne = a.ne;
+    } else if (b.has_ne && !a.contains(b.ne)) {
+        out.has_ne = true;
+        out.ne = b.ne;
+    }
+    out.normalize();  // join of feasible values is feasible
+    return out;
+}
+
+std::optional<AbsVal> meet(const AbsVal& a, const AbsVal& b) {
+    AbsVal out;
+    out.lo = std::max(a.lo, b.lo);
+    out.hi = std::min(a.hi, b.hi);
+    if ((a.known_mask & b.known_mask & (a.known_val ^ b.known_val)) != 0)
+        return std::nullopt;  // contradictory known bits
+    out.known_mask = a.known_mask | b.known_mask;
+    out.known_val = a.known_val | b.known_val;
+    if (a.has_ne) {
+        out.has_ne = true;
+        out.ne = a.ne;
+    } else if (b.has_ne) {
+        out.has_ne = true;
+        out.ne = b.ne;
+    }
+    if (!out.normalize()) return std::nullopt;
+    return out;
+}
+
+AbsVal alu_transfer(std::uint16_t op, const AbsVal& a, const AbsVal& operand) {
+    AbsVal b = operand;
+    if (op == BPF_DIV) {
+        // The VM rejects on a zero divisor; the continuation sees non-zero.
+        if (b.lo == 0) b.lo = 1;
+        if (!b.normalize()) return AbsVal::constant(0);  // unreachable continuation
+    }
+    if (a.is_constant() && b.is_constant() && op != BPF_NEG) {
+        const std::uint32_t av = a.constant_value();
+        const std::uint32_t bv = b.constant_value();
+        switch (op) {
+            case BPF_ADD: return AbsVal::constant(av + bv);
+            case BPF_SUB: return AbsVal::constant(av - bv);
+            case BPF_MUL: return AbsVal::constant(av * bv);
+            case BPF_DIV: return AbsVal::constant(av / bv);
+            case BPF_OR: return AbsVal::constant(av | bv);
+            case BPF_AND: return AbsVal::constant(av & bv);
+            case BPF_LSH: return AbsVal::constant(bv < 32 ? av << bv : 0);
+            case BPF_RSH: return AbsVal::constant(bv < 32 ? av >> bv : 0);
+            default: break;
+        }
+    }
+    AbsVal out;  // top
+    switch (op) {
+        case BPF_ADD:
+            if (static_cast<std::uint64_t>(a.hi) + b.hi <= kU32Max)
+                out = AbsVal::range(a.lo + b.lo, a.hi + b.hi);
+            break;
+        case BPF_SUB:
+            if (a.lo >= b.hi) out = AbsVal::range(a.lo - b.hi, a.hi - b.lo);
+            break;
+        case BPF_MUL:
+            if (static_cast<std::uint64_t>(a.hi) * b.hi <= kU32Max)
+                out = AbsVal::range(a.lo * b.lo, a.hi * b.hi);
+            break;
+        case BPF_DIV:
+            out = AbsVal::range(a.lo / b.hi, a.hi / b.lo);
+            break;
+        case BPF_AND: {
+            out.lo = 0;
+            out.hi = std::min(a.hi, b.hi);
+            const std::uint32_t known_zero = (a.known_mask & ~a.known_val) |
+                                             (b.known_mask & ~b.known_val);
+            const std::uint32_t known_one =
+                (a.known_mask & a.known_val) & (b.known_mask & b.known_val);
+            out.known_mask = known_zero | known_one;
+            out.known_val = known_one;
+            out.normalize();
+            break;
+        }
+        case BPF_OR: {
+            out.lo = std::max(a.lo, b.lo);
+            const std::uint32_t top = a.hi | b.hi;
+            out.hi = top == 0 ? 0
+                              : (std::uint32_t{0xFFFFFFFFu} >>
+                                 (32 - std::bit_width(top)));
+            const std::uint32_t known_one =
+                (a.known_mask & a.known_val) | (b.known_mask & b.known_val);
+            const std::uint32_t known_zero =
+                (a.known_mask & ~a.known_val) & (b.known_mask & ~b.known_val);
+            out.known_mask = known_zero | known_one;
+            out.known_val = known_one;
+            out.normalize();
+            break;
+        }
+        case BPF_LSH:
+            if (b.is_constant()) {
+                const std::uint32_t s = b.constant_value();
+                if (s >= 32) return AbsVal::constant(0);
+                if (a.hi <= (0xFFFFFFFFu >> s)) out = AbsVal::range(a.lo << s, a.hi << s);
+            } else if (b.lo >= 32) {
+                return AbsVal::constant(0);
+            }
+            break;
+        case BPF_RSH:
+            if (b.is_constant()) {
+                const std::uint32_t s = b.constant_value();
+                if (s >= 32) return AbsVal::constant(0);
+                out = AbsVal::range(a.lo >> s, a.hi >> s);
+            } else if (b.lo >= 32) {
+                return AbsVal::constant(0);
+            } else {
+                out = AbsVal::range(0, a.hi);
+            }
+            break;
+        case BPF_NEG:
+            if (a.is_constant())
+                return AbsVal::constant(
+                    static_cast<std::uint32_t>(-static_cast<std::int32_t>(a.lo)));
+            break;
+        default:
+            break;
+    }
+    return out;
+}
+
+std::optional<bool> compare(std::uint16_t jmp_op, const AbsVal& a, const AbsVal& b) {
+    switch (jmp_op) {
+        case BPF_JEQ:
+            if (a.is_constant() && b.is_constant())
+                return a.constant_value() == b.constant_value();
+            if (a.hi < b.lo || b.hi < a.lo) return false;
+            if ((a.known_mask & b.known_mask & (a.known_val ^ b.known_val)) != 0)
+                return false;
+            if (b.is_constant() && !a.contains(b.constant_value())) return false;
+            if (a.is_constant() && !b.contains(a.constant_value())) return false;
+            return std::nullopt;
+        case BPF_JGT:
+            if (a.lo > b.hi) return true;
+            if (a.hi <= b.lo) return false;
+            return std::nullopt;
+        case BPF_JGE:
+            if (a.lo >= b.hi) return true;
+            if (a.hi < b.lo) return false;
+            return std::nullopt;
+        case BPF_JSET: {
+            if (!b.is_constant()) {
+                if (a.is_constant() && a.constant_value() == 0) return false;
+                return std::nullopt;
+            }
+            const std::uint32_t c = b.constant_value();
+            if ((a.known_mask & a.known_val & c) != 0) return true;
+            const std::uint32_t known_zero = a.known_mask & ~a.known_val;
+            if ((c & ~known_zero) == 0) return false;
+            return std::nullopt;
+        }
+        default:
+            return std::nullopt;
+    }
+}
+
+std::optional<AbsVal> refine(const AbsVal& a, std::uint16_t jmp_op, std::uint32_t k,
+                             bool taken) {
+    AbsVal out = a;
+    switch (jmp_op) {
+        case BPF_JEQ:
+            if (taken) return meet(a, AbsVal::constant(k));
+            if (!out.has_ne) {
+                out.has_ne = true;
+                out.ne = k;
+            }
+            break;
+        case BPF_JGT:
+            if (taken) {
+                if (k == 0xFFFFFFFFu) return std::nullopt;
+                out.lo = std::max(out.lo, k + 1);
+            } else {
+                out.hi = std::min(out.hi, k);
+            }
+            break;
+        case BPF_JGE:
+            if (taken) {
+                out.lo = std::max(out.lo, k);
+            } else {
+                if (k == 0) return std::nullopt;
+                out.hi = std::min(out.hi, k - 1);
+            }
+            break;
+        case BPF_JSET:
+            if (!taken) {
+                // All bits of k are proven zero.
+                if ((out.known_mask & out.known_val & k) != 0) return std::nullopt;
+                out.known_mask |= k;
+                out.known_val &= ~k;
+            } else if ((k & ~(out.known_mask & ~out.known_val)) == 0) {
+                return std::nullopt;  // every bit of k known zero: can't be taken
+            }
+            break;
+        default:
+            break;
+    }
+    if (!out.normalize()) return std::nullopt;
+    return out;
+}
+
+}  // namespace capbench::bpf::analysis

@@ -1,0 +1,65 @@
+// Abstract value domain for the BPF analyzer.
+//
+// Each 32-bit value is tracked as the product of three cheap domains:
+//   * an unsigned interval [lo, hi],
+//   * known bits (mask of bit positions whose value is proven, tri-state),
+//   * at most one excluded value ("not equal to ne"), which is what a
+//     fallen-through JEQ teaches us and what intervals cannot express.
+// The domains cross-refine in normalize(): a singleton interval makes every
+// bit known, agreeing leading bits of lo/hi become known bits, and known
+// bits tighten the interval bounds.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+namespace capbench::bpf::analysis {
+
+struct AbsVal {
+    std::uint32_t lo = 0;
+    std::uint32_t hi = 0xFFFFFFFFu;
+    std::uint32_t known_mask = 0;  // bits whose value is proven
+    std::uint32_t known_val = 0;   // value of those bits (subset of mask)
+    bool has_ne = false;
+    std::uint32_t ne = 0;  // proven excluded value
+
+    static AbsVal top() { return AbsVal{}; }
+    static AbsVal constant(std::uint32_t k) {
+        return AbsVal{k, k, 0xFFFFFFFFu, k, false, 0};
+    }
+    static AbsVal range(std::uint32_t lo, std::uint32_t hi);
+
+    [[nodiscard]] bool is_constant() const { return lo == hi; }
+    [[nodiscard]] std::uint32_t constant_value() const { return lo; }
+    /// May the value be `v`?
+    [[nodiscard]] bool contains(std::uint32_t v) const;
+
+    /// Reconciles the three domains; returns false on contradiction (the
+    /// state is infeasible: no concrete value satisfies it).
+    bool normalize();
+
+    friend bool operator==(const AbsVal&, const AbsVal&) = default;
+};
+
+/// Least upper bound: anything either value allows.
+AbsVal join(const AbsVal& a, const AbsVal& b);
+
+/// Greatest lower bound; std::nullopt when the intersection is empty.
+std::optional<AbsVal> meet(const AbsVal& a, const AbsVal& b);
+
+/// Transfer function for a BPF_ALU operation (BPF_ADD..BPF_NEG opcode
+/// values from insn.hpp).  Mirrors Vm::run semantics, including shift >= 32
+/// yielding 0.  Division by a possibly-zero divisor assumes the non-zero
+/// continuation (the VM rejects otherwise); callers handle the zero case.
+AbsVal alu_transfer(std::uint16_t op, const AbsVal& a, const AbsVal& operand);
+
+/// Outcome of `a <op> b` for a conditional jump (BPF_JEQ/JGT/JGE/JSET), or
+/// std::nullopt when the domain cannot decide it.
+std::optional<bool> compare(std::uint16_t jmp_op, const AbsVal& a, const AbsVal& b);
+
+/// Refines `a` along one edge of `a <op> k` (constant operand); nullopt
+/// when that edge is infeasible.
+std::optional<AbsVal> refine(const AbsVal& a, std::uint16_t jmp_op, std::uint32_t k,
+                             bool taken);
+
+}  // namespace capbench::bpf::analysis

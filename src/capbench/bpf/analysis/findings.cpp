@@ -1,0 +1,19 @@
+#include "capbench/bpf/analysis/findings.hpp"
+
+namespace capbench::bpf::analysis {
+
+std::string to_string(Severity severity) {
+    switch (severity) {
+        case Severity::kError: return "error";
+        case Severity::kWarning: return "warning";
+        case Severity::kInfo: return "info";
+    }
+    return "?";
+}
+
+std::string to_string(const Finding& finding) {
+    return "insn " + std::to_string(finding.insn) + ": " + to_string(finding.severity) + ": " +
+           finding.message;
+}
+
+}  // namespace capbench::bpf::analysis

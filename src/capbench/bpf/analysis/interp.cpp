@@ -1,0 +1,375 @@
+#include "capbench/bpf/analysis/interp.hpp"
+
+#include <algorithm>
+
+namespace capbench::bpf::analysis {
+
+namespace {
+
+std::uint32_t load_size_bytes(std::uint16_t code) {
+    switch (bpf_size(code)) {
+        case BPF_W: return 4;
+        case BPF_H: return 2;
+        default: return 1;
+    }
+}
+
+/// Value range a packet load can produce, from its width alone.
+AbsVal size_clip(std::uint16_t code) {
+    switch (bpf_size(code)) {
+        case BPF_B: return AbsVal::range(0, 0xFF);
+        case BPF_H: return AbsVal::range(0, 0xFFFF);
+        default: return AbsVal::top();
+    }
+}
+
+}  // namespace
+
+const AbsVal* AbsState::fact(const Sym& sym) const {
+    for (const auto& [s, v] : facts)
+        if (s == sym) return &v;
+    return nullptr;
+}
+
+void AbsState::learn(const Sym& sym, const AbsVal& value) {
+    if (!sym.valid()) return;
+    for (auto& [s, v] : facts) {
+        if (s == sym) {
+            v = value;
+            return;
+        }
+    }
+    facts.emplace_back(sym, value);
+}
+
+AbsState join(const AbsState& a, const AbsState& b) {
+    AbsState out;
+    out.a = join(a.a, b.a);
+    out.x = join(a.x, b.x);
+    out.a_sym = a.a_sym == b.a_sym ? a.a_sym : Sym{};
+    out.x_sym = a.x_sym == b.x_sym ? a.x_sym : Sym{};
+    for (std::size_t i = 0; i < kMemWords; ++i) {
+        out.mem[i] = join(a.mem[i], b.mem[i]);
+        out.mem_sym[i] = a.mem_sym[i] == b.mem_sym[i] ? a.mem_sym[i] : Sym{};
+    }
+    out.mem_written_any = a.mem_written_any | b.mem_written_any;
+    out.mem_written_all = a.mem_written_all & b.mem_written_all;
+    out.x_written_any = a.x_written_any || b.x_written_any;
+    out.x_written_all = a.x_written_all && b.x_written_all;
+    for (const auto& [sym, val] : a.facts) {
+        if (const AbsVal* other = b.fact(sym)) out.facts.emplace_back(sym, join(val, *other));
+    }
+    return out;
+}
+
+Sym load_sym(const Insn& insn, const AbsState& st) {
+    const std::uint16_t code = insn.code;
+    Sym sym;
+    if (bpf_class(code) == BPF_LD || bpf_class(code) == BPF_LDX) {
+        switch (bpf_mode(code)) {
+            case BPF_LEN:
+                sym.kind = SymKind::kLen;
+                break;
+            case BPF_ABS:
+                sym.kind = SymKind::kPktAbs;
+                sym.size = static_cast<std::uint8_t>(load_size_bytes(code));
+                sym.off = insn.k;
+                break;
+            case BPF_MSH:
+                sym.kind = SymKind::kMsh;
+                sym.size = 1;
+                sym.off = insn.k;
+                break;
+            case BPF_IND: {
+                // Nameable only when X itself holds a named value.
+                const Sym& xs = st.x_sym;
+                if (xs.kind == SymKind::kMsh || xs.kind == SymKind::kLen) {
+                    sym.kind = SymKind::kPktInd;
+                    sym.size = static_cast<std::uint8_t>(load_size_bytes(code));
+                    sym.off = insn.k;
+                    sym.x_kind = xs.kind;
+                    sym.x_off = xs.off;
+                }
+                break;
+            }
+            case BPF_MEM:
+                if (insn.k < kMemWords) sym = st.mem_sym[insn.k];
+                break;
+            default:
+                break;
+        }
+    }
+    return sym;
+}
+
+bool load_known_safe(const Insn& insn, const AbsState& st) {
+    switch (bpf_mode(insn.code)) {
+        case BPF_IMM:
+        case BPF_LEN:
+            return true;
+        case BPF_MEM:
+            return insn.k < kMemWords;
+        case BPF_ABS:
+        case BPF_IND:
+        case BPF_MSH: {
+            const Sym sym = load_sym(insn, st);
+            return sym.valid() && sym.kind != SymKind::kNone && st.fact(sym) != nullptr;
+        }
+        default:
+            return false;
+    }
+}
+
+namespace {
+
+/// Loads a packet expression: the symbol's recorded fact refined by the
+/// width clip.  Marks the load's success as a new fact.
+AbsVal packet_load(const Insn& insn, AbsState& st) {
+    const Sym sym = load_sym(insn, st);
+    AbsVal value = bpf_mode(insn.code) == BPF_MSH
+                       ? AbsVal::range(0, 60)  // 4 * (byte & 0x0F)
+                       : size_clip(insn.code);
+    if (sym.valid()) {
+        if (const AbsVal* known = st.fact(sym)) {
+            if (const auto met = meet(value, *known)) value = *met;
+        }
+        st.learn(sym, value);
+    }
+    return value;
+}
+
+void set_a(AbsState& st, const AbsVal& value, const Sym& sym) {
+    st.a = value;
+    st.a_sym = sym;
+}
+
+void set_x(AbsState& st, const AbsVal& value, const Sym& sym) {
+    st.x = value;
+    st.x_sym = sym;
+    st.x_written_any = true;
+    st.x_written_all = true;
+}
+
+}  // namespace
+
+bool apply(const Insn& insn, AbsState& st) {
+    const std::uint16_t code = insn.code;
+    switch (bpf_class(code)) {
+        case BPF_LD:
+            switch (bpf_mode(code)) {
+                case BPF_IMM:
+                    set_a(st, AbsVal::constant(insn.k), Sym{});
+                    break;
+                case BPF_LEN:
+                    set_a(st, packet_load(insn, st), load_sym(insn, st));
+                    break;
+                case BPF_ABS:
+                    if (static_cast<std::uint64_t>(insn.k) + load_size_bytes(code) >
+                        kMaxPacketBytes + 1ull)
+                        return false;  // can never be in bounds
+                    set_a(st, packet_load(insn, st), load_sym(insn, st));
+                    break;
+                case BPF_IND: {
+                    // In-bounds requires x + k + size <= packet length.
+                    if (static_cast<std::uint64_t>(st.x.lo) + insn.k + load_size_bytes(code) >
+                        kMaxPacketBytes + 1ull)
+                        return false;
+                    set_a(st, packet_load(insn, st), load_sym(insn, st));
+                    break;
+                }
+                case BPF_MEM:
+                    if (insn.k >= kMemWords) return false;
+                    set_a(st, st.mem[insn.k], st.mem_sym[insn.k]);
+                    break;
+                default:
+                    return false;
+            }
+            break;
+        case BPF_LDX:
+            switch (bpf_mode(code)) {
+                case BPF_IMM:
+                    set_x(st, AbsVal::constant(insn.k), Sym{});
+                    break;
+                case BPF_LEN:
+                    set_x(st, packet_load(insn, st), load_sym(insn, st));
+                    break;
+                case BPF_MSH:
+                    if (insn.k >= kMaxPacketBytes + 1) return false;
+                    set_x(st, packet_load(insn, st), load_sym(insn, st));
+                    break;
+                case BPF_MEM:
+                    if (insn.k >= kMemWords) return false;
+                    set_x(st, st.mem[insn.k], st.mem_sym[insn.k]);
+                    break;
+                default:
+                    return false;
+            }
+            break;
+        case BPF_ST:
+            if (insn.k >= kMemWords) return false;
+            st.mem[insn.k] = st.a;
+            st.mem_sym[insn.k] = st.a_sym;
+            st.mem_written_any |= static_cast<std::uint16_t>(1u << insn.k);
+            st.mem_written_all |= static_cast<std::uint16_t>(1u << insn.k);
+            break;
+        case BPF_STX:
+            if (insn.k >= kMemWords) return false;
+            st.mem[insn.k] = st.x;
+            st.mem_sym[insn.k] = st.x_sym;
+            st.mem_written_any |= static_cast<std::uint16_t>(1u << insn.k);
+            st.mem_written_all |= static_cast<std::uint16_t>(1u << insn.k);
+            break;
+        case BPF_ALU: {
+            const bool use_x = bpf_src(code) == BPF_X && bpf_op(code) != BPF_NEG;
+            const AbsVal operand = use_x ? st.x : AbsVal::constant(insn.k);
+            if (bpf_op(code) == BPF_DIV) {
+                if (operand.is_constant() && operand.constant_value() == 0)
+                    return false;  // always rejects
+                if (use_x && st.x.contains(0)) {
+                    // The continuation only runs when X != 0.
+                    auto refined = refine(st.x, BPF_JEQ, 0, false);
+                    if (!refined) return false;
+                    st.x = *refined;
+                }
+            }
+            set_a(st, alu_transfer(bpf_op(code), st.a, use_x ? st.x : operand), Sym{});
+            break;
+        }
+        case BPF_MISC:
+            if (bpf_miscop(code) == BPF_TAX)
+                set_x(st, st.a, st.a_sym);
+            else
+                set_a(st, st.x, st.x_sym);
+            break;
+        default:
+            return false;  // JMP / RET are not straight-line instructions
+    }
+    return true;
+}
+
+std::optional<bool> cond_outcome(const Insn& insn, const AbsState& st) {
+    const AbsVal operand =
+        bpf_src(insn.code) == BPF_X ? st.x : AbsVal::constant(insn.k);
+    return compare(bpf_op(insn.code), st.a, operand);
+}
+
+std::optional<AbsState> refine_edge(const Insn& insn, const AbsState& st, bool taken) {
+    AbsState out = st;
+    if (bpf_src(insn.code) == BPF_K) {
+        auto refined = refine(st.a, bpf_op(insn.code), insn.k, taken);
+        if (!refined) return std::nullopt;
+        out.a = *refined;
+        if (out.a_sym.valid()) out.learn(out.a_sym, out.a);
+    } else {
+        const auto outcome = compare(bpf_op(insn.code), st.a, st.x);
+        if (outcome && *outcome != taken) return std::nullopt;
+    }
+    return out;
+}
+
+namespace {
+
+/// Lint checks evaluated at each reachable instruction before its
+/// transfer: uninitialized reads, division hazards, impossible loads,
+/// degenerate conditionals.
+void collect_findings(const Program& prog, std::size_t pc, const AbsState& st,
+                      std::vector<Finding>& out) {
+    const Insn& insn = prog[pc];
+    const std::uint16_t code = insn.code;
+    const auto warn = [&](std::string message) {
+        out.push_back(Finding{Severity::kWarning, pc, std::move(message)});
+    };
+
+    const bool uses_x = (bpf_class(code) == BPF_LD && bpf_mode(code) == BPF_IND) ||
+                        (bpf_class(code) == BPF_ALU && bpf_src(code) == BPF_X &&
+                         bpf_op(code) != BPF_NEG) ||
+                        (bpf_class(code) == BPF_JMP && bpf_op(code) != BPF_JA &&
+                         bpf_src(code) == BPF_X) ||
+                        bpf_class(code) == BPF_STX ||
+                        (bpf_class(code) == BPF_MISC && bpf_miscop(code) == BPF_TXA);
+    if (uses_x) {
+        if (!st.x_written_any)
+            warn("use of uninitialized index register X (always zero here)");
+        else if (!st.x_written_all)
+            warn("index register X may be uninitialized on some paths");
+    }
+
+    const bool reads_mem = (bpf_class(code) == BPF_LD || bpf_class(code) == BPF_LDX) &&
+                           bpf_mode(code) == BPF_MEM && insn.k < kMemWords;
+    if (reads_mem) {
+        const auto bit = static_cast<std::uint16_t>(1u << insn.k);
+        if (!(st.mem_written_any & bit))
+            warn("read of uninitialized scratch memory M[" + std::to_string(insn.k) + "]");
+        else if (!(st.mem_written_all & bit))
+            warn("scratch memory M[" + std::to_string(insn.k) +
+                 "] may be uninitialized on some paths");
+    }
+
+    if (bpf_class(code) == BPF_ALU && bpf_op(code) == BPF_DIV && bpf_src(code) == BPF_X) {
+        if (st.x.is_constant() && st.x.constant_value() == 0)
+            warn("division by zero: X is always zero here; the filter always rejects");
+        else if (st.x.contains(0))
+            warn("division by possibly-zero X rejects the packet at runtime");
+    }
+
+    if (bpf_class(code) == BPF_LD && bpf_mode(code) == BPF_ABS &&
+        static_cast<std::uint64_t>(insn.k) + load_size_bytes(code) > kMaxPacketBytes + 1ull)
+        warn("absolute packet load at offset " + std::to_string(insn.k) +
+             " can never be in bounds; the filter always rejects here");
+
+    if (bpf_class(code) == BPF_JMP && bpf_op(code) != BPF_JA && insn.jt == insn.jf)
+        warn("conditional jump with identical targets; behaves as an unconditional jump");
+}
+
+}  // namespace
+
+InterpResult interpret(const Program& prog) {
+    InterpResult res;
+    const std::size_t n = prog.size();
+    res.in.assign(n, std::nullopt);
+    if (n == 0) return res;
+    res.in[0] = AbsState{};
+
+    const auto flow_to = [&](std::size_t target, AbsState&& st) {
+        if (target >= n) return;
+        if (!res.in[target])
+            res.in[target] = std::move(st);
+        else
+            res.in[target] = join(*res.in[target], st);
+    };
+
+    std::uint32_t ret_hi = 0;
+    for (std::size_t pc = 0; pc < n; ++pc) {
+        if (!res.in[pc]) continue;
+        const AbsState& st = *res.in[pc];
+        const Insn& insn = prog[pc];
+        collect_findings(prog, pc, st, res.findings);
+        switch (bpf_class(insn.code)) {
+            case BPF_RET:
+                res.has_reachable_ret = true;
+                ret_hi = std::max(
+                    ret_hi, bpf_rval(insn.code) == BPF_A ? st.a.hi : insn.k);
+                break;
+            case BPF_JMP:
+                if (bpf_op(insn.code) == BPF_JA) {
+                    AbsState copy = st;
+                    flow_to(pc + 1 + insn.k, std::move(copy));
+                    break;
+                }
+                for (const bool taken : {true, false}) {
+                    if (auto edge = refine_edge(insn, st, taken))
+                        flow_to(pc + 1 + (taken ? insn.jt : insn.jf), std::move(*edge));
+                }
+                break;
+            default: {
+                AbsState out = st;
+                if (apply(insn, out)) flow_to(pc + 1, std::move(out));
+                break;
+            }
+        }
+    }
+    res.never_accepts = ret_hi == 0;
+    return res;
+}
+
+}  // namespace capbench::bpf::analysis

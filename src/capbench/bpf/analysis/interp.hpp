@@ -1,0 +1,103 @@
+// Abstract interpretation of classic BPF programs.
+//
+// Walks the program with an abstract machine state (register A, index X,
+// the 16 scratch words) over the AbsVal domain.  On top of plain values it
+// tracks *symbols*: names for packet expressions ("the halfword at absolute
+// offset 12", "4*(pkt[14]&0xf)").  A register holding a symbol means it
+// holds exactly the value that packet expression denotes, and a recorded
+// *fact* for a symbol means a load of that expression already succeeded on
+// every path to this point — which both proves later identical loads
+// redundant and proves them unable to reject (packet bytes are immutable
+// during a filter run).  Classic BPF has forward jumps only, so one pass in
+// instruction order reaches the dataflow fixpoint.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "capbench/bpf/analysis/domain.hpp"
+#include "capbench/bpf/analysis/findings.hpp"
+#include "capbench/bpf/insn.hpp"
+
+namespace capbench::bpf::analysis {
+
+/// Largest packet the analyzer assumes can exist (pcap snaplen ceiling);
+/// absolute loads beyond it can never succeed.
+inline constexpr std::uint32_t kMaxPacketBytes = 65535;
+
+enum class SymKind : std::uint8_t { kNone, kLen, kPktAbs, kPktInd, kMsh };
+
+/// A name for a packet-derived value.  kPktInd additionally names the X
+/// operand (itself restricted to MSH/LEN symbols) so two indirect loads
+/// compare equal only when their index registers provably hold the same
+/// value.
+struct Sym {
+    SymKind kind = SymKind::kNone;
+    std::uint8_t size = 0;       // load size in bytes (kPktAbs / kPktInd)
+    std::uint32_t off = 0;       // k operand
+    SymKind x_kind = SymKind::kNone;  // kPktInd only
+    std::uint32_t x_off = 0;          // kPktInd only
+
+    [[nodiscard]] bool valid() const { return kind != SymKind::kNone; }
+    friend bool operator==(const Sym&, const Sym&) = default;
+};
+
+struct AbsState {
+    AbsVal a = AbsVal::constant(0);  // the VM zero-initializes everything
+    AbsVal x = AbsVal::constant(0);
+    std::array<AbsVal, kMemWords> mem;
+    Sym a_sym, x_sym;
+    std::array<Sym, kMemWords> mem_sym;
+    // Initialization lint state (bit i = M[i]); "any" = written on some
+    // path, "all" = written on every path.
+    std::uint16_t mem_written_any = 0;
+    std::uint16_t mem_written_all = 0;
+    bool x_written_any = false;
+    bool x_written_all = false;
+    /// Proven values of packet expressions along every path to this point.
+    std::vector<std::pair<Sym, AbsVal>> facts;
+
+    AbsState() { mem.fill(AbsVal::constant(0)); }
+
+    [[nodiscard]] const AbsVal* fact(const Sym& sym) const;
+    void learn(const Sym& sym, const AbsVal& value);
+};
+
+AbsState join(const AbsState& a, const AbsState& b);
+
+/// Symbol a load instruction produces: the packet expression for ABS / IND
+/// / MSH / LEN loads, the stored slot symbol for MEM loads, none for IMM.
+Sym load_sym(const Insn& insn, const AbsState& st);
+
+/// True when the load cannot reject at runtime given `st`: inherently safe
+/// modes (IMM/LEN/MEM), or a packet load whose symbol has a recorded fact.
+bool load_known_safe(const Insn& insn, const AbsState& st);
+
+/// Applies a non-jump, non-RET instruction to the state.  Returns false
+/// when the instruction always rejects (out-of-range absolute load,
+/// division by a constant zero): the fallthrough edge is dead.
+bool apply(const Insn& insn, AbsState& st);
+
+/// Outcome of a conditional jump, when the domain decides it.
+std::optional<bool> cond_outcome(const Insn& insn, const AbsState& st);
+
+/// State along one edge of a conditional jump; nullopt when infeasible.
+std::optional<AbsState> refine_edge(const Insn& insn, const AbsState& st, bool taken);
+
+struct InterpResult {
+    /// Joined in-state per instruction; nullopt = unreachable.
+    std::vector<std::optional<AbsState>> in;
+    /// Value-flow findings: uninitialized reads, possible division by zero,
+    /// loads that can never succeed, degenerate conditional jumps.
+    std::vector<Finding> findings;
+    /// True when no reachable RET can return non-zero.
+    bool never_accepts = false;
+    bool has_reachable_ret = false;
+};
+
+InterpResult interpret(const Program& prog);
+
+}  // namespace capbench::bpf::analysis

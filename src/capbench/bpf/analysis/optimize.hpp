@@ -1,0 +1,41 @@
+// BPF filter optimizer.
+//
+// Consumes the facts proven by the abstract interpreter (interp.hpp) and
+// rewrites the program into an equivalent, shorter one:
+//
+//   * constant folding      — ALU ops and loads with proven-constant
+//                             results become immediate loads; RET A with a
+//                             constant accumulator becomes RET k
+//   * branch folding        — conditional jumps with a decided outcome (or
+//                             identical targets) become unconditional
+//   * edge retargeting      — each jump edge is walked forward past
+//                             instructions that are redundant or decided
+//                             along that particular path (the libpcap-style
+//                             pass that collapses repeated ethertype tests)
+//   * dead code elimination — unreachable instructions, no-op jumps,
+//                             redundant re-loads, and writes to registers
+//                             that are dead (liveness analysis) are dropped
+//
+// Equivalence contract: for every packet, the optimized program returns the
+// same accept length as the original.  Executed-instruction counts may
+// differ (that is the point).  Instructions that can reject at runtime
+// (packet loads, division by X) are only removed or skipped when the
+// analyzer proves they cannot reject on any path that reaches them.
+#pragma once
+
+#include "capbench/bpf/insn.hpp"
+
+namespace capbench::bpf::analysis {
+
+struct OptimizeStats {
+    int rounds = 0;             ///< rewrite rounds until fixpoint
+    std::size_t insns_before = 0;
+    std::size_t insns_after = 0;
+};
+
+/// Optimizes `prog`.  Invalid programs are returned unchanged (the
+/// optimizer only transforms programs that validate()); the result always
+/// passes validate() and is never longer than the input.
+Program optimize(const Program& prog, OptimizeStats* stats = nullptr);
+
+}  // namespace capbench::bpf::analysis

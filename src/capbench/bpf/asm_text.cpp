@@ -113,4 +113,19 @@ std::string disassemble(const Program& prog) {
     return out.str();
 }
 
+std::string disassemble(const Program& prog,
+                        const std::vector<analysis::Finding>& findings) {
+    std::ostringstream out;
+    for (std::size_t pc = 0; pc < prog.size(); ++pc) {
+        char num[24];
+        std::snprintf(num, sizeof num, "(%03zu) ", pc);
+        out << num << disassemble_insn(prog[pc]) << '\n';
+        for (const auto& f : findings) {
+            if (f.insn == pc)
+                out << "      ;  " << to_string(f.severity) << ": " << f.message << '\n';
+        }
+    }
+    return out.str();
+}
+
 }  // namespace capbench::bpf

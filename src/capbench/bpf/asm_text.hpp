@@ -2,7 +2,9 @@
 #pragma once
 
 #include <string>
+#include <vector>
 
+#include "capbench/bpf/analysis/findings.hpp"
 #include "capbench/bpf/insn.hpp"
 
 namespace capbench::bpf {
@@ -15,5 +17,10 @@ std::string disassemble_insn(const Insn& insn);
 ///   (001) jeq #0x800 jt 2 jf 5
 ///   ...
 std::string disassemble(const Program& prog);
+
+/// Annotated listing: each instruction followed by the analyzer findings
+/// anchored to it, as `;  warning: ...` comment lines.
+std::string disassemble(const Program& prog,
+                        const std::vector<analysis::Finding>& findings);
 
 }  // namespace capbench::bpf

@@ -4,6 +4,7 @@
 #include <stdexcept>
 #include <vector>
 
+#include "capbench/bpf/analysis/optimize.hpp"
 #include "capbench/bpf/filter/lexer.hpp"
 #include "capbench/bpf/filter/parser.hpp"
 #include "capbench/bpf/validator.hpp"
@@ -492,13 +493,16 @@ private:
 
 }  // namespace
 
-Program codegen(const Expr* expr, std::uint32_t snaplen) {
-    return CodeGen{snaplen}.run(expr);
+Program codegen(const Expr* expr, std::uint32_t snaplen, const CompileOptions& options) {
+    Program prog = CodeGen{snaplen}.run(expr);
+    if (options.optimize) prog = analysis::optimize(prog);
+    return prog;
 }
 
-Program compile_filter(const std::string& expression, std::uint32_t snaplen) {
+Program compile_filter(const std::string& expression, std::uint32_t snaplen,
+                       const CompileOptions& options) {
     const auto ast = parse(expression);
-    return codegen(ast.get(), snaplen);
+    return codegen(ast.get(), snaplen, options);
 }
 
 }  // namespace capbench::bpf::filter

@@ -9,6 +9,15 @@
 
 namespace capbench::bpf::filter {
 
+struct CompileOptions {
+    /// Run the static-analysis optimizer (bpf/analysis/optimize.hpp) on the
+    /// emitted program: constant folding, edge retargeting past redundant
+    /// loads and decided tests, dead code elimination.  The result accepts
+    /// exactly the same packets with the same lengths; it just executes
+    /// fewer instructions.  Disable to inspect the raw emitted code.
+    bool optimize = true;
+};
+
 /// Generates a validated BPF program.  A null expression (empty filter)
 /// yields the accept-all program.  `snaplen` is the value accepted packets
 /// return (bytes to capture).
@@ -17,10 +26,14 @@ namespace capbench::bpf::filter {
 /// next instruction, and dead-code elimination; conditional jumps whose
 /// targets exceed the 8-bit offset range are automatically split via
 /// unconditional-jump trampolines, so arbitrarily long and/or chains (such
-/// as the 50-primitive filter of Figure 6.5) compile correctly.
-Program codegen(const Expr* expr, std::uint32_t snaplen = 65535);
+/// as the 50-primitive filter of Figure 6.5) compile correctly.  When
+/// `options.optimize` is set (the default), the analysis optimizer then
+/// shrinks the program further.
+Program codegen(const Expr* expr, std::uint32_t snaplen = 65535,
+                const CompileOptions& options = {});
 
 /// Convenience: parse + codegen in one step (the pcap_compile analog).
-Program compile_filter(const std::string& expression, std::uint32_t snaplen = 65535);
+Program compile_filter(const std::string& expression, std::uint32_t snaplen = 65535,
+                       const CompileOptions& options = {});
 
 }  // namespace capbench::bpf::filter

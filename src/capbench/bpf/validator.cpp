@@ -10,17 +10,22 @@ std::string at(std::size_t pc, const std::string& what) {
     return "insn " + std::to_string(pc) + ": " + what;
 }
 
+// Exact opcode enumeration, the way the kernels' sk_chk_filter() does it.
+// Class-based masking is not enough: 0x0d (JA with the source bit set) or
+// 0x8c (NEG|X) carry junk bits, decode by accident on some interpreters,
+// and must be rejected before attach.
+
 bool known_load(std::uint16_t code) {
-    switch (bpf_mode(code) | bpf_size(code)) {
-        case BPF_IMM | BPF_W:
-        case BPF_ABS | BPF_W:
-        case BPF_ABS | BPF_H:
-        case BPF_ABS | BPF_B:
-        case BPF_IND | BPF_W:
-        case BPF_IND | BPF_H:
-        case BPF_IND | BPF_B:
-        case BPF_LEN | BPF_W:
-        case BPF_MEM | BPF_W:
+    switch (code) {
+        case BPF_LD | BPF_W | BPF_IMM:
+        case BPF_LD | BPF_W | BPF_ABS:
+        case BPF_LD | BPF_H | BPF_ABS:
+        case BPF_LD | BPF_B | BPF_ABS:
+        case BPF_LD | BPF_W | BPF_IND:
+        case BPF_LD | BPF_H | BPF_IND:
+        case BPF_LD | BPF_B | BPF_IND:
+        case BPF_LD | BPF_W | BPF_LEN:
+        case BPF_LD | BPF_W | BPF_MEM:
             return true;
         default:
             return false;
@@ -28,41 +33,53 @@ bool known_load(std::uint16_t code) {
 }
 
 bool known_ldx(std::uint16_t code) {
-    switch (bpf_mode(code) | bpf_size(code)) {
-        case BPF_IMM | BPF_W:
-        case BPF_LEN | BPF_W:
-        case BPF_MEM | BPF_W:
-        case BPF_MSH | BPF_B:
+    switch (code) {
+        case BPF_LDX | BPF_W | BPF_IMM:
+        case BPF_LDX | BPF_W | BPF_LEN:
+        case BPF_LDX | BPF_W | BPF_MEM:
+        case BPF_LDX | BPF_B | BPF_MSH:
             return true;
         default:
             return false;
     }
 }
 
-bool known_alu_op(std::uint16_t op) {
-    switch (op) {
-        case BPF_ADD:
-        case BPF_SUB:
-        case BPF_MUL:
-        case BPF_DIV:
-        case BPF_OR:
-        case BPF_AND:
-        case BPF_LSH:
-        case BPF_RSH:
-        case BPF_NEG:
+bool known_alu(std::uint16_t code) {
+    switch (code) {
+        case BPF_ALU | BPF_ADD | BPF_K:
+        case BPF_ALU | BPF_ADD | BPF_X:
+        case BPF_ALU | BPF_SUB | BPF_K:
+        case BPF_ALU | BPF_SUB | BPF_X:
+        case BPF_ALU | BPF_MUL | BPF_K:
+        case BPF_ALU | BPF_MUL | BPF_X:
+        case BPF_ALU | BPF_DIV | BPF_K:
+        case BPF_ALU | BPF_DIV | BPF_X:
+        case BPF_ALU | BPF_OR | BPF_K:
+        case BPF_ALU | BPF_OR | BPF_X:
+        case BPF_ALU | BPF_AND | BPF_K:
+        case BPF_ALU | BPF_AND | BPF_X:
+        case BPF_ALU | BPF_LSH | BPF_K:
+        case BPF_ALU | BPF_LSH | BPF_X:
+        case BPF_ALU | BPF_RSH | BPF_K:
+        case BPF_ALU | BPF_RSH | BPF_X:
+        case BPF_ALU | BPF_NEG:  // NEG takes no source operand
             return true;
         default:
             return false;
     }
 }
 
-bool known_jmp_op(std::uint16_t op) {
-    switch (op) {
-        case BPF_JA:
-        case BPF_JEQ:
-        case BPF_JGT:
-        case BPF_JGE:
-        case BPF_JSET:
+bool known_jmp(std::uint16_t code) {
+    switch (code) {
+        case BPF_JMP | BPF_JA:  // JA takes no source operand
+        case BPF_JMP | BPF_JEQ | BPF_K:
+        case BPF_JMP | BPF_JEQ | BPF_X:
+        case BPF_JMP | BPF_JGT | BPF_K:
+        case BPF_JMP | BPF_JGT | BPF_X:
+        case BPF_JMP | BPF_JGE | BPF_K:
+        case BPF_JMP | BPF_JGE | BPF_X:
+        case BPF_JMP | BPF_JSET | BPF_K:
+        case BPF_JMP | BPF_JSET | BPF_X:
             return true;
         default:
             return false;
@@ -80,25 +97,29 @@ std::optional<std::string> validate(const Program& prog) {
         switch (bpf_class(insn.code)) {
             case BPF_LD:
                 if (!known_load(insn.code)) return at(pc, "unknown load opcode");
-                if ((bpf_mode(insn.code)) == BPF_MEM && insn.k >= kMemWords)
+                if (bpf_mode(insn.code) == BPF_MEM && insn.k >= kMemWords)
                     return at(pc, "scratch index out of range");
                 break;
             case BPF_LDX:
                 if (!known_ldx(insn.code)) return at(pc, "unknown ldx opcode");
-                if ((bpf_mode(insn.code)) == BPF_MEM && insn.k >= kMemWords)
+                if (bpf_mode(insn.code) == BPF_MEM && insn.k >= kMemWords)
                     return at(pc, "scratch index out of range");
                 break;
             case BPF_ST:
+                if (insn.code != BPF_ST) return at(pc, "unknown store opcode");
+                if (insn.k >= kMemWords) return at(pc, "scratch index out of range");
+                break;
             case BPF_STX:
+                if (insn.code != BPF_STX) return at(pc, "unknown store opcode");
                 if (insn.k >= kMemWords) return at(pc, "scratch index out of range");
                 break;
             case BPF_ALU:
-                if (!known_alu_op(bpf_op(insn.code))) return at(pc, "unknown alu opcode");
+                if (!known_alu(insn.code)) return at(pc, "unknown alu opcode");
                 if (bpf_op(insn.code) == BPF_DIV && bpf_src(insn.code) == BPF_K && insn.k == 0)
                     return at(pc, "constant division by zero");
                 break;
             case BPF_JMP: {
-                if (!known_jmp_op(bpf_op(insn.code))) return at(pc, "unknown jump opcode");
+                if (!known_jmp(insn.code)) return at(pc, "unknown jump opcode");
                 // Targets are pc + 1 + offset and must name an instruction.
                 if (bpf_op(insn.code) == BPF_JA) {
                     if (pc + 1 + insn.k >= prog.size()) return at(pc, "ja target out of range");
@@ -109,11 +130,11 @@ std::optional<std::string> validate(const Program& prog) {
                 break;
             }
             case BPF_RET:
-                if (bpf_rval(insn.code) != BPF_K && bpf_rval(insn.code) != BPF_A)
+                if (insn.code != (BPF_RET | BPF_K) && insn.code != (BPF_RET | BPF_A))
                     return at(pc, "unknown ret source");
                 break;
             case BPF_MISC:
-                if (bpf_miscop(insn.code) != BPF_TAX && bpf_miscop(insn.code) != BPF_TXA)
+                if (insn.code != (BPF_MISC | BPF_TAX) && insn.code != (BPF_MISC | BPF_TXA))
                     return at(pc, "unknown misc opcode");
                 break;
             default:

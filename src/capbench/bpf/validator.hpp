@@ -11,10 +11,12 @@ namespace capbench::bpf {
 
 /// Returns std::nullopt for a valid program, or a human-readable reason.
 ///
-/// Checks: non-empty, length <= kMaxInsns, every opcode known, all jumps
-/// land inside the program (and only forward, so termination is
-/// guaranteed), scratch memory indices in range, no constant division by
-/// zero, and the last instruction is a RET.
+/// Checks: non-empty, length <= kMaxInsns, every opcode is one of the
+/// exactly-enumerated classic BPF opcodes (codes with junk bits such as
+/// JA|X or NEG|X are rejected, as sk_chk_filter does), all jumps land
+/// inside the program (and only forward, so termination is guaranteed),
+/// scratch memory indices in range, no constant division by zero, and the
+/// last instruction is a RET.
 std::optional<std::string> validate(const Program& prog);
 
 /// Convenience: throws std::invalid_argument when invalid.

@@ -7,6 +7,9 @@
 // results.
 #pragma once
 
+#include "capbench/bpf/analysis/analyze.hpp"
+#include "capbench/bpf/analysis/cfg.hpp"
+#include "capbench/bpf/analysis/optimize.hpp"
 #include "capbench/bpf/asm_text.hpp"
 #include "capbench/bpf/filter/codegen.hpp"
 #include "capbench/bpf/filter/lexer.hpp"

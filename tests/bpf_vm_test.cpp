@@ -218,6 +218,40 @@ TEST(Validator, RejectsUnknownOpcodes) {
     EXPECT_NE(validate(prog), std::nullopt);
 }
 
+TEST(Validator, RejectsJunkBitsInKnownClasses) {
+    // Opcodes whose class decodes but which carry stray mode/source bits.
+    // Class-based masking used to let these through; exact enumeration
+    // (like sk_chk_filter) must reject them.
+    const auto invalid_single = [](std::uint16_t code) {
+        const Program prog{stmt(code, 0), stmt(BPF_RET | BPF_K, 0)};
+        return validate(prog) != std::nullopt;
+    };
+    EXPECT_TRUE(invalid_single(0x0d));                       // JA with the X source bit
+    EXPECT_TRUE(invalid_single(BPF_ALU | BPF_NEG | BPF_X));  // NEG takes no source
+    EXPECT_TRUE(invalid_single(BPF_ST | 0x20));              // ST with a mode bit
+    EXPECT_TRUE(invalid_single(BPF_STX | 0x40));
+    EXPECT_TRUE(invalid_single(BPF_MISC | 0x08));            // neither TAX nor TXA
+    const Program ret_junk{stmt((BPF_RET | BPF_K) | 0x20, 0)};
+    EXPECT_NE(validate(ret_junk), std::nullopt);
+}
+
+TEST(Validator, AcceptsDegenerateConditionalJump) {
+    // jt == jf is pointless but legal; both offsets must still be range
+    // checked (the analyzer warns about it and the optimizer collapses it).
+    const Program prog{
+        stmt(BPF_LD | BPF_B | BPF_ABS, 0),
+        jump(BPF_JMP | BPF_JEQ | BPF_K, 5, 1, 1),
+        stmt(BPF_RET | BPF_K, 1),  // skipped by both edges
+        stmt(BPF_RET | BPF_K, 2),
+    };
+    EXPECT_EQ(validate(prog), std::nullopt);
+    const Program out_of_range{
+        jump(BPF_JMP | BPF_JEQ | BPF_K, 5, 2, 2),  // both edges out of range
+        stmt(BPF_RET | BPF_K, 0),
+    };
+    EXPECT_NE(validate(out_of_range), std::nullopt);
+}
+
 TEST(Validator, ThrowHelperThrows) {
     EXPECT_THROW(validate_or_throw({}), std::invalid_argument);
     EXPECT_NO_THROW(validate_or_throw(accept_all()));
