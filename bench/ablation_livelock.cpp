@@ -1,28 +1,6 @@
-// ABLATION: receive-interrupt moderation (Section 2.2.1).
-//
-// The thesis explains receive livelock: one interrupt per packet starves
-// the packet-processing application.  Both 2005 OSes avoided it (NAPI /
-// interrupt mitigation); this ablation turns the mitigation OFF to show
-// the collapse the Mogul/Ramakrishnan mechanisms prevent.
-#include "fig_common.hpp"
+// Thin shim kept for existing targets/workflows: the ablation_livelock experiment is
+// data in the scenario registry (src/capbench/scenario/registry.cpp).
+// Prefer `capbench_figures --run ablation_livelock` for job control and JSON output.
+#include "capbench/scenario/runner.hpp"
 
-int main() {
-    using namespace figbench;
-    std::vector<SutConfig> suts;
-    for (const auto* name : {"swan", "moorhen"}) {
-        auto normal = standard_sut(name);
-        normal.buffer_bytes = name[0] == 's' ? 128ull << 20 : 10ull << 20;
-        auto livelock = normal;
-        livelock.name = std::string(name) + "-noNAPI";
-        livelock.nic.interrupt_moderation = false;
-        suts.push_back(std::move(normal));
-        suts.push_back(std::move(livelock));
-    }
-    // Receive livelock is a single-processor phenomenon: the interrupts and
-    // the starved application compete for the same CPU (Section 2.2.1).
-    apply_single_cpu(suts);
-    run_rate_figure("ablation_livelock",
-                    "interrupt moderation on vs. off (one interrupt per packet), single CPU",
-                    suts, default_run_config());
-    return 0;
-}
+int main() { return capbench::scenario::run_shim("ablation_livelock"); }

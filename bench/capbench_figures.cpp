@@ -1,0 +1,164 @@
+// capbench_figures — the data-driven figure runner.
+//
+// Replaces the per-figure main()s: every reproduced figure/table lives in
+// the scenario registry (src/capbench/scenario/registry.cpp) and this one
+// binary lists and runs them, fans sweep points out over worker threads,
+// and emits the shared text/gnuplot/JSON reports.
+//
+//   capbench_figures --list
+//   capbench_figures --run fig_6_2 fig_6_4 --jobs 8
+//   capbench_figures --all --jobs 8 --json results.json --gnuplot plots/
+//
+// Scale knobs: CAPBENCH_PACKETS, CAPBENCH_REPS, CAPBENCH_JOBS (the
+// --jobs default) and CAPBENCH_GNUPLOT_DIR (the --gnuplot default).
+// Results are bit-identical regardless of --jobs.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "capbench/report/writer.hpp"
+#include "capbench/scenario/runner.hpp"
+
+namespace {
+
+using namespace capbench;
+
+constexpr const char* kUsage =
+    "usage: capbench_figures [--list] [--run <id>...] [--all] [--jobs N]\n"
+    "                        [--json <path>] [--gnuplot <dir>]\n"
+    "\n"
+    "  --list          print every registered scenario id and caption\n"
+    "  --run <id>...   run the named scenarios (ids as shown by --list)\n"
+    "  --all           run every registered scenario\n"
+    "  --jobs N        sweep-point worker threads (default: CAPBENCH_JOBS or 1);\n"
+    "                  results are bit-identical regardless of N\n"
+    "  --json <path>   write one capbench.figures.v1 suite document covering\n"
+    "                  all scenarios run\n"
+    "  --gnuplot <dir> write <id>.dat/.gp per figure (default: CAPBENCH_GNUPLOT_DIR)\n";
+
+struct CliOptions {
+    bool list = false;
+    bool all = false;
+    std::vector<std::string> ids;
+    int jobs = 0;  // 0 = CAPBENCH_JOBS / 1
+    std::string json_path;
+    std::string gnuplot_dir;
+};
+
+int parse_int_arg(const char* flag, const std::string& value) {
+    std::size_t consumed = 0;
+    int parsed = 0;
+    try {
+        parsed = std::stoi(value, &consumed);
+    } catch (const std::exception&) {
+        consumed = 0;
+    }
+    if (consumed != value.size() || parsed < 1)
+        throw std::runtime_error(std::string(flag) + " expects a positive integer, got '" +
+                                 value + "'");
+    return parsed;
+}
+
+CliOptions parse_cli(int argc, char** argv) {
+    CliOptions opts;
+    bool collecting_ids = false;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        const auto next = [&](const char* flag) -> std::string {
+            if (i + 1 >= argc)
+                throw std::runtime_error(std::string(flag) + " requires an argument");
+            return argv[++i];
+        };
+        if (arg == "--list") {
+            opts.list = true;
+            collecting_ids = false;
+        } else if (arg == "--all") {
+            opts.all = true;
+            collecting_ids = false;
+        } else if (arg == "--run") {
+            collecting_ids = true;
+        } else if (arg == "--jobs") {
+            opts.jobs = parse_int_arg("--jobs", next("--jobs"));
+            collecting_ids = false;
+        } else if (arg == "--json") {
+            opts.json_path = next("--json");
+            collecting_ids = false;
+        } else if (arg == "--gnuplot") {
+            opts.gnuplot_dir = next("--gnuplot");
+            collecting_ids = false;
+        } else if (arg == "--help" || arg == "-h") {
+            std::fputs(kUsage, stdout);
+            std::exit(0);
+        } else if (collecting_ids && arg.rfind("--", 0) != 0) {
+            opts.ids.push_back(arg);
+        } else {
+            throw std::runtime_error("unknown argument '" + arg + "'");
+        }
+    }
+    return opts;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    CliOptions cli;
+    try {
+        cli = parse_cli(argc, argv);
+    } catch (const std::exception& e) {
+        std::fprintf(stderr, "capbench_figures: %s\n%s", e.what(), kUsage);
+        return 2;
+    }
+
+    if (cli.list) {
+        std::fputs(scenario::list_text().c_str(), stdout);
+        return 0;
+    }
+    if (!cli.all && cli.ids.empty()) {
+        std::fputs(kUsage, stderr);
+        return 2;
+    }
+
+    try {
+        std::vector<const scenario::Scenario*> selected;
+        if (cli.all) {
+            for (const auto& s : scenario::registry()) selected.push_back(&s);
+        } else {
+            for (const auto& id : cli.ids) {
+                const scenario::Scenario* s = scenario::find_scenario(id);
+                if (s == nullptr)
+                    throw std::runtime_error("unknown scenario '" + id +
+                                             "' (see --list for the registered ids)");
+                selected.push_back(s);
+            }
+        }
+
+        scenario::RunOptions run_opts;
+        run_opts.out = &std::cout;
+        run_opts.jobs = cli.jobs != 0 ? cli.jobs : harness::default_jobs();
+        run_opts.gnuplot_dir = cli.gnuplot_dir;
+
+        std::vector<report::JsonValue> documents;
+        for (const scenario::Scenario* s : selected) {
+            const scenario::ScenarioResult result = scenario::run_scenario(*s, run_opts);
+            if (!cli.json_path.empty())
+                documents.push_back(report::JsonWriter::document(result));
+        }
+
+        if (!cli.json_path.empty()) {
+            std::ofstream out{cli.json_path};
+            out << report::JsonWriter::serialize(
+                report::JsonWriter::suite(std::move(documents)));
+            if (!out)
+                throw std::runtime_error("cannot write JSON results to '" + cli.json_path +
+                                         "'");
+            std::printf("(JSON results written to %s)\n", cli.json_path.c_str());
+        }
+        return 0;
+    } catch (const std::exception& e) {
+        std::fprintf(stderr, "capbench_figures: %s\n", e.what());
+        return 1;
+    }
+}

@@ -1,26 +1,6 @@
-// EXTENSION (Section 7.2 future work): "the evaluation of 10 Gigabit
-// Ethernet with respect to the possibility to capture packets in these
-// environments.  The difficulty is the further increased maximum packet
-// and data rate."
-//
-// Same four sniffers, ten times the wire: every commodity 2005 system is
-// hopeless well before line rate — motivating the distribution approach
-// of ext_distributed.
-#include "fig_common.hpp"
+// Thin shim kept for existing targets/workflows: the ext_10gbe experiment is
+// data in the scenario registry (src/capbench/scenario/registry.cpp).
+// Prefer `capbench_figures --run ext_10gbe` for job control and JSON output.
+#include "capbench/scenario/runner.hpp"
 
-int main() {
-    using namespace figbench;
-    auto suts = standard_suts();
-    apply_increased_buffers(suts);
-    RunConfig base = default_run_config();
-    base.link_gbps = 10.0;
-    print_figure_banner(std::cout, "ext_10gbe",
-                        "capture rate on a 10-Gigabit link (future work, Section 7.2)");
-    std::vector<double> rates;
-    for (double r = 500; r <= 9500; r += 1000) rates.push_back(r);
-    const auto rows = rate_sweep(suts, base, rates, default_reps());
-    print_sweep(std::cout, "Mbit/s", rows);
-    std::cout << "\nEven the best 2005 commodity system saturates near 1 Gbit/s of this load;\n"
-                 "10GbE capture needs faster buses/disks or load distribution (Section 7.2).\n";
-    return 0;
-}
+int main() { return capbench::scenario::run_shim("ext_10gbe"); }

@@ -1,56 +1,6 @@
-// EXTENSION (Section 7.2 future work): "physically distributing the
-// traffic over different machines for analysis".
-//
-// A round-robin distributor replaces the passive splitter: each packet
-// goes to exactly ONE of four moorhen-class sniffers, dividing the
-// per-machine load by four.  Aggregate capture on a 10-Gigabit link is
-// compared against a single machine taking the whole stream.
-#include "fig_common.hpp"
+// Thin shim kept for existing targets/workflows: the ext_distributed experiment is
+// data in the scenario registry (src/capbench/scenario/registry.cpp).
+// Prefer `capbench_figures --run ext_distributed` for job control and JSON output.
+#include "capbench/scenario/runner.hpp"
 
-namespace {
-
-double aggregate_capture_pct(const figbench::RunResult& r) {
-    double sum = 0.0;
-    for (const auto& s : r.suts) sum += s.capture_avg_pct;
-    return std::min(sum, 100.0);
-}
-
-}  // namespace
-
-int main() {
-    using namespace figbench;
-    RunConfig base = default_run_config();
-    base.link_gbps = 10.0;
-
-    std::vector<SutConfig> single{standard_sut("moorhen")};
-    apply_increased_buffers(single);
-
-    std::vector<SutConfig> fleet;
-    for (int i = 0; i < 4; ++i) {
-        auto sut = standard_sut("moorhen");
-        sut.name = "moorhen" + std::to_string(i);
-        sut.buffer_bytes = 10ull << 20;
-        fleet.push_back(std::move(sut));
-    }
-
-    print_figure_banner(std::cout, "ext_distributed",
-                        "aggregate capture on a 10-Gigabit link: one sniffer vs. four "
-                        "behind a round-robin distributor (future work, Section 7.2)");
-    Table table{{"Mbit/s", "1x moorhen %", "4x distributed %"}};
-    for (double rate = 1000; rate <= 9000; rate += 1000) {
-        RunConfig cfg = base;
-        cfg.rate_mbps = rate;
-        const auto alone = run_once(single, cfg);
-        RunConfig dist_cfg = cfg;
-        dist_cfg.distribute_round_robin = true;
-        const auto fleet_result = run_once(fleet, dist_cfg);
-        char x[16];
-        std::snprintf(x, sizeof x, "%.0f", rate);
-        table.add_row({x, format_pct(alone.suts[0].capture_avg_pct),
-                       format_pct(aggregate_capture_pct(fleet_result))});
-    }
-    table.print(std::cout);
-    std::cout << "\nDistribution multiplies the capture ceiling by the fan-out — the thesis's\n"
-                 "proposed way of conquering bandwidths one machine cannot handle.\n";
-    return 0;
-}
+int main() { return capbench::scenario::run_shim("ext_distributed"); }

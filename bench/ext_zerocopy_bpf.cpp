@@ -1,26 +1,6 @@
-// EXTENSION (Section 7.2 future work): "the implementation of a
-// memory-mapped libpcap for FreeBSD as well.  Since FreeBSD seems to
-// perform better than Linux in general, this could boost the capturing
-// rates and reduce the CPU load."
-//
-// A shared ring replaces the STORE/HOLD double buffer and the whole-buffer
-// copyout; the read syscall disappears.
-#include "fig_common.hpp"
+// Thin shim kept for existing targets/workflows: the ext_zerocopy_bpf experiment is
+// data in the scenario registry (src/capbench/scenario/registry.cpp).
+// Prefer `capbench_figures --run ext_zerocopy_bpf` for job control and JSON output.
+#include "capbench/scenario/runner.hpp"
 
-int main() {
-    using namespace figbench;
-    std::vector<SutConfig> suts;
-    for (const auto* name : {"moorhen", "flamingo"}) {
-        auto stock = standard_sut(name);
-        stock.buffer_bytes = 10ull << 20;
-        auto zc = stock;
-        zc.name = std::string(name) + "-zc";
-        zc.stack = StackKind::kZeroCopyBpf;
-        suts.push_back(std::move(stock));
-        suts.push_back(std::move(zc));
-    }
-    run_rate_figure_both_modes("ext_zerocopy_bpf",
-                               "zero-copy (mmap) BPF vs. stock double buffer, FreeBSD",
-                               suts, default_run_config());
-    return 0;
-}
+int main() { return capbench::scenario::run_shim("ext_zerocopy_bpf"); }

@@ -1,37 +1,6 @@
-// Figure 4.1: scatterplot of the packet size distribution (counts per
-// size, log scale in the thesis).  Printed here as a binned table plus the
-// exact counts of the dominant sizes.
-#include "fig_common.hpp"
+// Thin shim kept for existing targets/workflows: the fig_4_1 experiment is
+// data in the scenario registry (src/capbench/scenario/registry.cpp).
+// Prefer `capbench_figures --run fig_4_1` for job control and JSON output.
+#include "capbench/scenario/runner.hpp"
 
-int main() {
-    using namespace figbench;
-    print_figure_banner(std::cout, "fig_4_1",
-                        "Packet size distribution of the (synthetic) 24h MWN trace; "
-                        "most frequent sizes at 40, 52 and 1500 bytes");
-
-    const auto hist = dist::mwn_trace_histogram(1'000'000);
-    Table table{{"size range [bytes]", "packets", "share %"}};
-    for (std::uint32_t base = 0; base <= 1500; base += 100) {
-        std::uint64_t count = 0;
-        for (std::uint32_t s = base; s < base + 100 && s <= 1500; ++s) count += hist.count(s);
-        char range[32];
-        std::snprintf(range, sizeof range, "%4u-%4u", base, std::min(base + 99, 1500u));
-        char share[16];
-        std::snprintf(share, sizeof share, "%6.2f",
-                      100.0 * static_cast<double>(count) / static_cast<double>(hist.total()));
-        table.add_row({range, std::to_string(count), share});
-    }
-    table.print(std::cout);
-
-    std::cout << "\nDominant exact sizes:\n";
-    Table peaks{{"size", "packets", "share %"}};
-    for (const auto& [size, count] : hist.top_sizes(5)) {
-        char share[16];
-        std::snprintf(share, sizeof share, "%6.2f",
-                      100.0 * static_cast<double>(count) / static_cast<double>(hist.total()));
-        peaks.add_row({std::to_string(size), std::to_string(count), share});
-    }
-    peaks.print(std::cout);
-    std::printf("\nmean packet size: %.1f bytes (Section 6.3.1 uses ~645)\n", hist.mean());
-    return 0;
-}
+int main() { return capbench::scenario::run_shim("fig_4_1"); }

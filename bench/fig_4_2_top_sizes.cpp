@@ -1,30 +1,6 @@
-// Figure 4.2: histogram of the most frequent packet sizes with the
-// cumulative sum — the top 3 sizes exceed 55 % and the top 20 exceed 75 %.
-#include "fig_common.hpp"
+// Thin shim kept for existing targets/workflows: the fig_4_2 experiment is
+// data in the scenario registry (src/capbench/scenario/registry.cpp).
+// Prefer `capbench_figures --run fig_4_2` for job control and JSON output.
+#include "capbench/scenario/runner.hpp"
 
-int main() {
-    using namespace figbench;
-    print_figure_banner(std::cout, "fig_4_2",
-                        "Relative frequency of the top 20 packet sizes and their "
-                        "cumulative share");
-
-    const auto hist = dist::mwn_trace_histogram(1'000'000);
-    Table table{{"rank", "size [bytes]", "share %", "cumulative %"}};
-    double cumulative = 0.0;
-    int rank = 1;
-    for (const auto& [size, count] : hist.top_sizes(20)) {
-        const double share =
-            100.0 * static_cast<double>(count) / static_cast<double>(hist.total());
-        cumulative += share;
-        char share_s[16];
-        char cum_s[16];
-        std::snprintf(share_s, sizeof share_s, "%6.2f", share);
-        std::snprintf(cum_s, sizeof cum_s, "%6.2f", cumulative);
-        table.add_row({std::to_string(rank++), std::to_string(size), share_s, cum_s});
-    }
-    table.add_row({"rest", "-", "", ""});
-    table.print(std::cout);
-    std::printf("\ntop 3 share: %.1f %% (thesis: > 55 %%), top 20 share: %.1f %% (thesis: > 75 %%)\n",
-                100.0 * hist.top_fraction(3), 100.0 * hist.top_fraction(20));
-    return 0;
-}
+int main() { return capbench::scenario::run_shim("fig_4_2"); }

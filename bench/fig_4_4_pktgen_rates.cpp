@@ -1,66 +1,6 @@
-// Section 4.3.1 / 4.1.3: achievable generation rates of the enhanced
-// Linux Kernel Packet Generator, per transmit NIC and packet size.
-// Anchors: 1500-byte packets reach ~938 Mbit/s on the Syskonnect card,
-// ~930 on the Netgear, ~890 on the Intel.
-#include "fig_common.hpp"
+// Thin shim kept for existing targets/workflows: the fig_4_4 experiment is
+// data in the scenario registry (src/capbench/scenario/registry.cpp).
+// Prefer `capbench_figures --run fig_4_4` for job control and JSON output.
+#include "capbench/scenario/runner.hpp"
 
-namespace {
-
-double max_rate(const figbench::pktgen::GenNicModel& nic, std::uint32_t size) {
-    using namespace figbench;
-    sim::Simulator sim;
-    net::Link link{sim};
-    pktgen::GenConfig cfg;
-    cfg.count = 5'000;
-    cfg.packet_size = size;
-    pktgen::Generator gen{sim, link, nic, std::move(cfg)};
-    gen.start(sim::SimTime{});
-    sim.run();
-    return gen.stats().achieved_mbps();
-}
-
-double max_rate_dist(const figbench::pktgen::GenNicModel& nic) {
-    using namespace figbench;
-    sim::Simulator sim;
-    net::Link link{sim};
-    pktgen::GenConfig cfg;
-    cfg.count = 50'000;
-    cfg.size_dist.emplace(dist::mwn_trace_histogram());
-    cfg.use_dist = true;
-    pktgen::Generator gen{sim, link, nic, std::move(cfg)};
-    gen.start(sim::SimTime{});
-    sim.run();
-    return gen.stats().achieved_mbps();
-}
-
-}  // namespace
-
-int main() {
-    using namespace figbench;
-    print_figure_banner(std::cout, "fig_4_4",
-                        "Maximum achievable data rate [Mbit/s] of the enhanced pktgen by "
-                        "NIC and packet size (no inter-packet gap)");
-
-    const auto nics = {pktgen::GenNicModel::syskonnect(), pktgen::GenNicModel::netgear(),
-                       pktgen::GenNicModel::intel()};
-    Table table{{"packet size [bytes]", "Syskonnect", "Netgear", "Intel"}};
-    for (const std::uint32_t size : {64u, 128u, 256u, 512u, 1024u, 1500u}) {
-        std::vector<std::string> row{std::to_string(size)};
-        for (const auto& nic : nics) {
-            char cell[16];
-            std::snprintf(cell, sizeof cell, "%7.1f", max_rate(nic, size));
-            row.emplace_back(cell);
-        }
-        table.add_row(std::move(row));
-    }
-    std::vector<std::string> dist_row{"MWN distribution"};
-    for (const auto& nic : nics) {
-        char cell[16];
-        std::snprintf(cell, sizeof cell, "%7.1f", max_rate_dist(nic));
-        dist_row.emplace_back(cell);
-    }
-    table.add_row(std::move(dist_row));
-    table.print(std::cout);
-    std::cout << "\n(thesis anchors @1500B: Syskonnect 938, Netgear 930, Intel 890 Mbit/s)\n";
-    return 0;
-}
+int main() { return capbench::scenario::run_shim("fig_4_4"); }

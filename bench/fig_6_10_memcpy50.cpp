@@ -1,14 +1,6 @@
-// Figure 6.10: 50 additional memcpy() operations per packet (simulated
-// analysis load).  Memory-bound: the Opterons win in single-processor
-// mode; in dual mode both FreeBSD systems are a notch above Linux.
-#include "fig_common.hpp"
+// Thin shim kept for existing targets/workflows: the fig_6_10 experiment is
+// data in the scenario registry (src/capbench/scenario/registry.cpp).
+// Prefer `capbench_figures --run fig_6_10` for job control and JSON output.
+#include "capbench/scenario/runner.hpp"
 
-int main() {
-    using namespace figbench;
-    auto suts = standard_suts();
-    apply_increased_buffers(suts);
-    for (auto& sut : suts) sut.app_load.memcpy_count = 50;
-    run_rate_figure_both_modes("fig_6_10", "50 packet copies per packet, increased buffers",
-                               suts, default_run_config());
-    return 0;
-}
+int main() { return capbench::scenario::run_shim("fig_6_10"); }

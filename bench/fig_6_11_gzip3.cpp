@@ -1,17 +1,6 @@
-// Figure 6.11: per-packet compression at level 3 (gzwrite analog via
-// MiniDeflate's calibrated cost).  Compression is cycle-bound, so this is
-// the one experiment where each Intel system beats the corresponding AMD
-// system; FreeBSD still beats Linux in dual mode.
-#include "fig_common.hpp"
+// Thin shim kept for existing targets/workflows: the fig_6_11 experiment is
+// data in the scenario registry (src/capbench/scenario/registry.cpp).
+// Prefer `capbench_figures --run fig_6_11` for job control and JSON output.
+#include "capbench/scenario/runner.hpp"
 
-int main() {
-    using namespace figbench;
-    std::printf("MiniDeflate cost: level 3 = %.1f cycles/byte, level 9 = %.1f cycles/byte\n",
-                load::compression_cycles_per_byte(3), load::compression_cycles_per_byte(9));
-    auto suts = standard_suts();
-    apply_increased_buffers(suts);
-    for (auto& sut : suts) sut.app_load.compress_level = 3;
-    run_rate_figure_both_modes("fig_6_11", "zlib-level-3 compression per packet", suts,
-                               default_run_config());
-    return 0;
-}
+int main() { return capbench::scenario::run_shim("fig_6_11"); }

@@ -1,17 +1,6 @@
-// Figure 6.12: tcpdump piping whole packets to a separate gzip process
-// (level 3) through a FIFO.  The pipeline spreads capture and compression
-// over both CPUs; the systems converge and CPU usage rises.
-#include "fig_common.hpp"
+// Thin shim kept for existing targets/workflows: the fig_6_12 experiment is
+// data in the scenario registry (src/capbench/scenario/registry.cpp).
+// Prefer `capbench_figures --run fig_6_12` for job control and JSON output.
+#include "capbench/scenario/runner.hpp"
 
-int main() {
-    using namespace figbench;
-    auto suts = standard_suts();
-    apply_increased_buffers(suts);
-    for (auto& sut : suts) {
-        sut.app_load.pipe_to_gzip = true;
-        sut.app_load.pipe_gzip_level = 3;
-    }
-    run_rate_figure("fig_6_12", "pipe whole packets to gzip -3, SMP", suts,
-                    default_run_config());
-    return 0;
-}
+int main() { return capbench::scenario::run_shim("fig_6_12"); }

@@ -1,64 +1,6 @@
-// Figure 6.13: maximum sequential write speed (bonnie++ analog) and the
-// CPU usage while writing, per sniffer.  Reference lines: writing packets
-// at line speed would need ~119 MB/s (no system reaches it); writing only
-// 76-byte headers needs ~13.6 MB/s (every system manages that).
-#include "fig_common.hpp"
+// Thin shim kept for existing targets/workflows: the fig_6_13 experiment is
+// data in the scenario registry (src/capbench/scenario/registry.cpp).
+// Prefer `capbench_figures --run fig_6_13` for job control and JSON output.
+#include "capbench/scenario/runner.hpp"
 
-namespace {
-
-/// Bulk writer: keeps the disk queue full for one simulated second.
-class BonnieWriter final : public figbench::hostsim::Thread {
-public:
-    BonnieWriter(figbench::load::DiskModel& disk, capbench::sim::SimTime stop)
-        : Thread("bonnie"), disk_(&disk), stop_(stop) {}
-
-    void main() override { write_loop(); }
-
-    void write_loop() {
-        using namespace capbench;
-        if (machine().sim().now() >= stop_) return;
-        constexpr std::uint64_t kChunk = 256 * 1024;
-        exec(disk_->write_work(kChunk), hostsim::CpuState::kSystem, [this] {
-            if (!disk_->write(256 * 1024, *this)) {
-                block([this] { write_loop(); });
-                return;
-            }
-            write_loop();
-        });
-    }
-
-private:
-    figbench::load::DiskModel* disk_;
-    capbench::sim::SimTime stop_;
-};
-
-}  // namespace
-
-int main() {
-    using namespace figbench;
-    print_figure_banner(std::cout, "fig_6_13",
-                        "maximum disk write speed and CPU usage per system (bonnie++)");
-    Table table{{"system", "write speed [MB/s]", "CPU usage %"}};
-    for (const auto* name : {"swan", "snipe", "moorhen", "flamingo"}) {
-        sim::Simulator sim;
-        hostsim::Machine machine{
-            sim, hostsim::MachineSpec{*standard_sut(name).arch, 2, false},
-            standard_sut(name).os->sched};
-        load::DiskModel disk{machine, load::disk_spec_for(name)};
-        const auto stop = sim::SimTime{} + sim::seconds(1);
-        auto writer = std::make_shared<BonnieWriter>(disk, stop);
-        machine.spawn(writer);
-        sim.run(stop);
-        const double mb_per_s = static_cast<double>(disk.bytes_written()) / 1e6;
-        const double cpu_pct = 100.0 * machine.total_busy().seconds() / 1.0 / 2.0;
-        char speed[16];
-        char cpu[16];
-        std::snprintf(speed, sizeof speed, "%6.1f", mb_per_s);
-        std::snprintf(cpu, sizeof cpu, "%5.1f", cpu_pct);
-        table.add_row({name, speed, cpu});
-    }
-    table.print(std::cout);
-    std::cout << "\nline speed (full packets):   ~119 MB/s  <- none reaches it\n"
-              << "header trace (76 B/packet): ~13.6 MB/s  <- all manage it\n";
-    return 0;
-}
+int main() { return capbench::scenario::run_shim("fig_6_13"); }

@@ -1,15 +1,6 @@
-// Figure 6.14: capture while writing the first 76 bytes of every packet
-// to disk.  Cheap: FreeBSD dual-CPU shows no noticeable difference; the
-// Linux systems lose ~10 % at the highest rates; single-CPU Opterons lose
-// ~10 % at the top but stay ahead of the Intels.
-#include "fig_common.hpp"
+// Thin shim kept for existing targets/workflows: the fig_6_14 experiment is
+// data in the scenario registry (src/capbench/scenario/registry.cpp).
+// Prefer `capbench_figures --run fig_6_14` for job control and JSON output.
+#include "capbench/scenario/runner.hpp"
 
-int main() {
-    using namespace figbench;
-    auto suts = standard_suts();
-    apply_increased_buffers(suts);
-    for (auto& sut : suts) sut.app_load.disk_bytes_per_packet = 76;
-    run_rate_figure_both_modes("fig_6_14", "write first 76 bytes of every packet to disk",
-                               suts, default_run_config());
-    return 0;
-}
+int main() { return capbench::scenario::run_shim("fig_6_14"); }

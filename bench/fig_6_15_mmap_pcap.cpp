@@ -1,21 +1,6 @@
-// Figure 6.15: the memory-mapped libpcap (Phil Woods patch) on the Linux
-// systems, against the stock PF_PACKET stack.  Removing the per-packet
-// recvfrom() and the kernel-to-user copy eliminates nearly all drops.
-#include "fig_common.hpp"
+// Thin shim kept for existing targets/workflows: the fig_6_15 experiment is
+// data in the scenario registry (src/capbench/scenario/registry.cpp).
+// Prefer `capbench_figures --run fig_6_15` for job control and JSON output.
+#include "capbench/scenario/runner.hpp"
 
-int main() {
-    using namespace figbench;
-    std::vector<SutConfig> suts;
-    for (const auto* name : {"swan", "snipe"}) {
-        auto stock = standard_sut(name);
-        stock.buffer_bytes = 128ull * 1024 * 1024;
-        auto mmap = stock;
-        mmap.name = std::string(name) + "-mmap";
-        mmap.stack = StackKind::kMmap;
-        suts.push_back(std::move(stock));
-        suts.push_back(std::move(mmap));
-    }
-    run_rate_figure_both_modes("fig_6_15", "mmap libpcap vs. stock, Linux systems", suts,
-                               default_run_config());
-    return 0;
-}
+int main() { return capbench::scenario::run_shim("fig_6_15"); }

@@ -1,22 +1,6 @@
-// Figure 6.16: Hyperthreading on vs. off on the Intel Xeon systems (SMP).
-// Neither a noticeable amelioration nor deterioration.
-#include "fig_common.hpp"
+// Thin shim kept for existing targets/workflows: the fig_6_16 experiment is
+// data in the scenario registry (src/capbench/scenario/registry.cpp).
+// Prefer `capbench_figures --run fig_6_16` for job control and JSON output.
+#include "capbench/scenario/runner.hpp"
 
-int main() {
-    using namespace figbench;
-    std::vector<SutConfig> suts;
-    for (const auto* name : {"snipe", "flamingo"}) {
-        auto off = standard_sut(name);
-        off.buffer_bytes = off.os->family == capture::OsFamily::kFreeBsd
-                               ? 10ull * 1024 * 1024
-                               : 128ull * 1024 * 1024;
-        auto on = off;
-        on.name = std::string(name) + "-HT";
-        on.hyperthreading = true;
-        suts.push_back(std::move(off));
-        suts.push_back(std::move(on));
-    }
-    run_rate_figure("fig_6_16", "Hyperthreading on/off, Intel systems, SMP", suts,
-                    default_run_config());
-    return 0;
-}
+int main() { return capbench::scenario::run_shim("fig_6_16"); }

@@ -1,14 +1,6 @@
-// Figure 6.2: baseline capture performance with OS-default buffer sizes.
-// Linux starts dropping around ~225-300 Mbit/s (small rmem_default);
-// FreeBSD holds up far longer.
-#include "fig_common.hpp"
+// Thin shim kept for existing targets/workflows: the fig_6_2 experiment is
+// data in the scenario registry (src/capbench/scenario/registry.cpp).
+// Prefer `capbench_figures --run fig_6_2` for job control and JSON output.
+#include "capbench/scenario/runner.hpp"
 
-int main() {
-    using namespace figbench;
-    auto suts = standard_suts();
-    std::cout << "Systems under test (Figure 2.4):\n";
-    print_sut_inventory(std::cout, suts);
-    run_rate_figure_both_modes("fig_6_2", "default buffers, 1 app, no filter, no load", suts,
-                               default_run_config());
-    return 0;
-}
+int main() { return capbench::scenario::run_shim("fig_6_2"); }

@@ -1,14 +1,6 @@
-// Figure 6.3: increased buffers (10 MB BPF double-buffer halves for
-// FreeBSD, 128 MB socket buffers for Linux).  Linux's drop knee moves from
-// ~225 to ~650-700 Mbit/s; single-CPU FreeBSD slightly deteriorates
-// (whole-buffer copyout), dual-CPU FreeBSD improves.
-#include "fig_common.hpp"
+// Thin shim kept for existing targets/workflows: the fig_6_3 experiment is
+// data in the scenario registry (src/capbench/scenario/registry.cpp).
+// Prefer `capbench_figures --run fig_6_3` for job control and JSON output.
+#include "capbench/scenario/runner.hpp"
 
-int main() {
-    using namespace figbench;
-    auto suts = standard_suts();
-    apply_increased_buffers(suts);
-    run_rate_figure_both_modes("fig_6_3", "increased buffers, 1 app, no filter, no load", suts,
-                               default_run_config());
-    return 0;
-}
+int main() { return capbench::scenario::run_shim("fig_6_3"); }

@@ -1,29 +1,6 @@
-// Figure 6.4: capture rate vs. buffer size at the highest possible data
-// rate (no inter-packet gap).  Dual-CPU: no improvement beyond ~512 kB.
-// Single-CPU: FreeBSD deteriorates at mid-to-large buffers (the cache-
-// spilling whole-buffer copyout); very large buffers "capture" roughly
-// their own content (the flamingo analysis of Section 6.3.1).
-#include "fig_common.hpp"
+// Thin shim kept for existing targets/workflows: the fig_6_4 experiment is
+// data in the scenario registry (src/capbench/scenario/registry.cpp).
+// Prefer `capbench_figures --run fig_6_4` for job control and JSON output.
+#include "capbench/scenario/runner.hpp"
 
-int main() {
-    using namespace figbench;
-    const std::vector<std::uint64_t> buffers_kb = {128,  256,   512,   1024,  2048,  4096,
-                                                   8192, 16384, 32768, 65536, 131072, 262144};
-    RunConfig base = default_run_config();
-    const int reps = default_reps();
-
-    auto dual = standard_suts();
-    auto single = standard_suts();
-    apply_single_cpu(single);
-
-    print_figure_banner(std::cout, "fig_6_4(a)",
-                        "capture rate vs. buffer size at maximum data rate — single "
-                        "processor mode (buffer halved for FreeBSD's double buffer)");
-    print_sweep(std::cout, "buffer kB", buffer_sweep(single, base, buffers_kb, reps));
-
-    print_figure_banner(std::cout, "fig_6_4(b)",
-                        "capture rate vs. buffer size at maximum data rate — dual "
-                        "processor mode");
-    print_sweep(std::cout, "buffer kB", buffer_sweep(dual, base, buffers_kb, reps));
-    return 0;
-}
+int main() { return capbench::scenario::run_shim("fig_6_4"); }

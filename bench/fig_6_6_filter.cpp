@@ -1,86 +1,6 @@
-// Figure 6.6: impact of the 50-instruction BPF filter of Figure 6.5.
-// The filter accepts every generated packet, but only after evaluating the
-// whole chain; it is compiled by capbench's own filter compiler and
-// interpreted by the BPF VM on real frame bytes.  Cost: almost negligible;
-// Linux loses a few extra percent at the highest rates.
-//
-// Before the sweep, the bench compares the stock emitted program against
-// the statically optimized one (bpf/analysis/optimize.hpp) on synthesized
-// frames: same verdicts, far fewer executed instructions per packet.
-#include "capbench/bpf/asm_text.hpp"
-#include "capbench/pktgen/pktgen.hpp"
-#include "fig_common.hpp"
+// Thin shim kept for existing targets/workflows: the fig_6_6 experiment is
+// data in the scenario registry (src/capbench/scenario/registry.cpp).
+// Prefer `capbench_figures --run fig_6_6` for job control and JSON output.
+#include "capbench/scenario/runner.hpp"
 
-namespace {
-
-using namespace figbench;
-
-/// A handful of generated frames of assorted sizes, as the testbed load.
-std::vector<std::vector<std::byte>> sample_frames() {
-    std::vector<std::vector<std::byte>> frames;
-    for (const std::uint32_t size : {64u, 128u, 256u, 645u, 1024u, 1514u}) {
-        sim::Simulator sim;
-        net::Link link{sim};
-        pktgen::GenConfig cfg;
-        cfg.count = 1;
-        cfg.packet_size = size;
-        cfg.full_bytes = true;
-        pktgen::Generator gen{sim, link, pktgen::GenNicModel::syskonnect(), std::move(cfg)};
-        struct Sink : net::FrameSink {
-            net::PacketPtr packet;
-            void on_frame(const net::PacketPtr& p) override { packet = p; }
-        } sink;
-        link.attach(sink);
-        gen.start(sim::SimTime{});
-        sim.run();
-        const auto bytes = sink.packet->bytes();
-        frames.emplace_back(bytes.begin(), bytes.end());
-    }
-    return frames;
-}
-
-void print_optimizer_comparison(const std::string& expr) {
-    const auto stock = bpf::filter::compile_filter(expr, 1515, {.optimize = false});
-    bpf::analysis::OptimizeStats stats;
-    const auto optimized = bpf::analysis::optimize(stock, &stats);
-
-    double stock_insns = 0;
-    double opt_insns = 0;
-    std::size_t accepted = 0;
-    const auto frames = sample_frames();
-    for (const auto& frame : frames) {
-        const auto before = bpf::Vm::run(stock, frame);
-        const auto after = bpf::Vm::run(optimized, frame);
-        stock_insns += before.insns_executed;
-        opt_insns += after.insns_executed;
-        if (after.accept_len > 0) ++accepted;
-    }
-    stock_insns /= static_cast<double>(frames.size());
-    opt_insns /= static_cast<double>(frames.size());
-    std::printf("Figure 6.5 filter: %zu BPF instructions as emitted, %zu after static\n"
-                "optimization (%d rounds; tcpdump -O also reaches 50).  Mean executed\n"
-                "instructions per generated frame: %.1f stock -> %.1f optimized,\n"
-                "%zu/%zu frames accepted.\n\n",
-                stats.insns_before, stats.insns_after, stats.rounds, stock_insns,
-                opt_insns, accepted, frames.size());
-}
-
-}  // namespace
-
-int main() {
-    const std::string expr = fig_6_5_filter_expression();
-    print_optimizer_comparison(expr);
-
-    const auto prog = bpf::filter::compile_filter(expr, 1515);
-    std::printf("The rate sweep below runs the optimized %zu-instruction program.\n",
-                prog.size());
-
-    auto suts = standard_suts();
-    apply_increased_buffers(suts);
-    for (auto& sut : suts) sut.filter_expression = expr;
-    RunConfig base = default_run_config();
-    base.full_bytes = true;  // the filter inspects real packet contents
-    run_rate_figure_both_modes("fig_6_6", "50-instruction BPF filter, increased buffers",
-                               suts, base);
-    return 0;
-}
+int main() { return capbench::scenario::run_shim("fig_6_6"); }

@@ -1,13 +1,6 @@
-// Figure 6.7: two capturing applications per sniffer (SMP).  Still
-// acceptable on all systems; worst/avg/best per-application capture rates.
-#include "fig_common.hpp"
+// Thin shim kept for existing targets/workflows: the fig_6_7 experiment is
+// data in the scenario registry (src/capbench/scenario/registry.cpp).
+// Prefer `capbench_figures --run fig_6_7` for job control and JSON output.
+#include "capbench/scenario/runner.hpp"
 
-int main() {
-    using namespace figbench;
-    auto suts = standard_suts();
-    apply_increased_buffers(suts);
-    for (auto& sut : suts) sut.app_count = 2;
-    run_rate_figure("fig_6_7", "2 capturing applications, SMP, increased buffers", suts,
-                    default_run_config(), /*multi_app=*/true);
-    return 0;
-}
+int main() { return capbench::scenario::run_shim("fig_6_7"); }

@@ -1,14 +1,6 @@
-// Figure 6.8: four capturing applications.  Linux passes its overload
-// threshold and collapses (the skb-pool/reference-counting pathology);
-// FreeBSD shares evenly and degrades gracefully.
-#include "fig_common.hpp"
+// Thin shim kept for existing targets/workflows: the fig_6_8 experiment is
+// data in the scenario registry (src/capbench/scenario/registry.cpp).
+// Prefer `capbench_figures --run fig_6_8` for job control and JSON output.
+#include "capbench/scenario/runner.hpp"
 
-int main() {
-    using namespace figbench;
-    auto suts = standard_suts();
-    apply_increased_buffers(suts);
-    for (auto& sut : suts) sut.app_count = 4;
-    run_rate_figure("fig_6_8", "4 capturing applications, SMP, increased buffers", suts,
-                    default_run_config(), /*multi_app=*/true);
-    return 0;
-}
+int main() { return capbench::scenario::run_shim("fig_6_8"); }

@@ -1,14 +1,6 @@
-// Figure 6.9: eight capturing applications.  Linux captures nearly nothing
-// past the threshold; FreeBSD still delivers relevant fractions to every
-// application.
-#include "fig_common.hpp"
+// Thin shim kept for existing targets/workflows: the fig_6_9 experiment is
+// data in the scenario registry (src/capbench/scenario/registry.cpp).
+// Prefer `capbench_figures --run fig_6_9` for job control and JSON output.
+#include "capbench/scenario/runner.hpp"
 
-int main() {
-    using namespace figbench;
-    auto suts = standard_suts();
-    apply_increased_buffers(suts);
-    for (auto& sut : suts) sut.app_count = 8;
-    run_rate_figure("fig_6_9", "8 capturing applications, SMP, increased buffers", suts,
-                    default_run_config(), /*multi_app=*/true);
-    return 0;
-}
+int main() { return capbench::scenario::run_shim("fig_6_9"); }

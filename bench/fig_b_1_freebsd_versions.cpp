@@ -1,21 +1,6 @@
-// Figure B.1 (appendix): FreeBSD 5.2.1 vs. 5.4 — the OS upgrade was
-// "quite benefitting" (the Giant-locked 5.2.x kernel pays heavy locking
-// costs on the capture path).
-#include "fig_common.hpp"
+// Thin shim kept for existing targets/workflows: the fig_b_1 experiment is
+// data in the scenario registry (src/capbench/scenario/registry.cpp).
+// Prefer `capbench_figures --run fig_b_1` for job control and JSON output.
+#include "capbench/scenario/runner.hpp"
 
-int main() {
-    using namespace figbench;
-    std::vector<SutConfig> suts;
-    for (const auto* name : {"moorhen", "flamingo"}) {
-        auto v54 = standard_sut(name);
-        v54.buffer_bytes = 10ull * 1024 * 1024;
-        auto v521 = v54;
-        v521.name = std::string(name) + "-5.2.1";
-        v521.os = &capture::OsSpec::freebsd_5_2_1();
-        suts.push_back(std::move(v54));
-        suts.push_back(std::move(v521));
-    }
-    run_rate_figure("fig_b_1", "FreeBSD 5.4 vs. 5.2.1, SMP, increased buffers", suts,
-                    default_run_config());
-    return 0;
-}
+int main() { return capbench::scenario::run_shim("fig_b_1"); }

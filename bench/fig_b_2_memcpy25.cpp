@@ -1,13 +1,6 @@
-// Figure B.2 (appendix): 25 additional memcpy() operations per packet —
-// the lighter variant of Figure 6.10.
-#include "fig_common.hpp"
+// Thin shim kept for existing targets/workflows: the fig_b_2 experiment is
+// data in the scenario registry (src/capbench/scenario/registry.cpp).
+// Prefer `capbench_figures --run fig_b_2` for job control and JSON output.
+#include "capbench/scenario/runner.hpp"
 
-int main() {
-    using namespace figbench;
-    auto suts = standard_suts();
-    apply_increased_buffers(suts);
-    for (auto& sut : suts) sut.app_load.memcpy_count = 25;
-    run_rate_figure_both_modes("fig_b_2", "25 packet copies per packet, increased buffers",
-                               suts, default_run_config());
-    return 0;
-}
+int main() { return capbench::scenario::run_shim("fig_b_2"); }

@@ -1,13 +1,6 @@
-// Figure B.3 (appendix): per-packet compression at level 9 — so expensive
-// that every system drops nearly all packets under load.
-#include "fig_common.hpp"
+// Thin shim kept for existing targets/workflows: the fig_b_3 experiment is
+// data in the scenario registry (src/capbench/scenario/registry.cpp).
+// Prefer `capbench_figures --run fig_b_3` for job control and JSON output.
+#include "capbench/scenario/runner.hpp"
 
-int main() {
-    using namespace figbench;
-    auto suts = standard_suts();
-    apply_increased_buffers(suts);
-    for (auto& sut : suts) sut.app_load.compress_level = 9;
-    run_rate_figure("fig_b_3", "zlib-level-9 compression per packet, SMP", suts,
-                    default_run_config());
-    return 0;
-}
+int main() { return capbench::scenario::run_shim("fig_b_3"); }

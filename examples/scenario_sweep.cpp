@@ -1,0 +1,39 @@
+// Scenario-registry tour: run a registered figure through the parallel
+// sweep executor and emit its JSON results document.
+//
+//   $ ./examples/scenario_sweep            # fig_6_3, 2 jobs
+//   $ ./examples/scenario_sweep fig_6_7 4  # any registered id, any job count
+//
+// Every thesis figure lives as *data* in scenario::registry(); this shows
+// the three-call flow the capbench_figures CLI is built on: look the
+// scenario up, run it, serialize the result.
+#include <cstdlib>
+#include <iostream>
+
+#include "capbench/core/capbench.hpp"
+#include "capbench/report/writer.hpp"
+
+int main(int argc, char** argv) {
+    using namespace capbench;
+
+    const std::string id = argc > 1 ? argv[1] : "fig_6_3";
+    const int jobs = argc > 2 ? std::atoi(argv[2]) : 2;
+
+    const scenario::Scenario* figure = scenario::find_scenario(id);
+    if (figure == nullptr) {
+        std::cerr << "unknown scenario '" << id << "' — pick one of:\n"
+                  << scenario::list_text();
+        return 2;
+    }
+
+    scenario::RunOptions options;
+    options.jobs = jobs;                 // points are independent: any job
+    options.packets = 20'000;            // count gives bit-identical results
+    options.out = &std::cout;            // tables as they complete
+
+    const scenario::ScenarioResult result = scenario::run_scenario(*figure, options);
+
+    std::cout << "\n--- JSON document (" << report::JsonWriter::kSchema << ") ---\n"
+              << report::JsonWriter::serialize(report::JsonWriter::document(result));
+    return 0;
+}

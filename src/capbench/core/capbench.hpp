@@ -29,6 +29,7 @@
 #include "capbench/dist/two_stage_dist.hpp"
 #include "capbench/harness/experiment.hpp"
 #include "capbench/harness/measurement.hpp"
+#include "capbench/harness/parallel.hpp"
 #include "capbench/harness/report.hpp"
 #include "capbench/harness/sut.hpp"
 #include "capbench/harness/testbed.hpp"
@@ -47,6 +48,10 @@
 #include "capbench/pktgen/pktgen.hpp"
 #include "capbench/profiling/cpusage.hpp"
 #include "capbench/profiling/trimusage.hpp"
+#include "capbench/report/json.hpp"
+#include "capbench/scenario/registry.hpp"
+#include "capbench/scenario/runner.hpp"
+#include "capbench/scenario/scenario.hpp"
 #include "capbench/sim/simulator.hpp"
 
 namespace capbench {

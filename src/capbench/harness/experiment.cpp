@@ -1,9 +1,45 @@
 #include "capbench/harness/experiment.hpp"
 
+#include <cerrno>
 #include <cstdlib>
 #include <sstream>
+#include <stdexcept>
 
 namespace capbench::harness {
+
+namespace {
+
+/// Strict positive-integer parsing for the CAPBENCH_* knobs: the whole
+/// string must be digits (an optional leading '+' is fine), the value
+/// must fit and be >= 1.  Anything else — garbage, empty, zero,
+/// negative, overflow — is a configuration error worth failing loudly
+/// over, not an invitation to silently run the wrong experiment.
+std::uint64_t parse_positive_env(const char* name, const char* value, std::uint64_t max_value) {
+    const std::string text = value == nullptr ? "" : value;
+    const auto reject = [&](const char* why) {
+        throw std::runtime_error(std::string(name) + "='" + text + "': " + why +
+                                 " (expected a positive integer)");
+    };
+    if (text.empty()) reject("empty value");
+    if (text[0] == '-') reject("negative value");
+    // strtoull would skip leading whitespace; be strict instead.
+    if (text[0] != '+' && (text[0] < '0' || text[0] > '9')) reject("not a number");
+    errno = 0;
+    char* end = nullptr;
+    const unsigned long long parsed = std::strtoull(text.c_str(), &end, 10);
+    if (end == text.c_str() || *end != '\0') reject("not a number");
+    if (errno == ERANGE || parsed > max_value) reject("value out of range");
+    if (parsed == 0) reject("must be at least 1");
+    return parsed;
+}
+
+std::uint64_t env_knob(const char* name, std::uint64_t fallback, std::uint64_t max_value) {
+    const char* value = std::getenv(name);
+    if (value == nullptr) return fallback;
+    return parse_positive_env(name, value, max_value);
+}
+
+}  // namespace
 
 std::vector<double> default_rate_grid() {
     std::vector<double> rates;
@@ -12,20 +48,12 @@ std::vector<double> default_rate_grid() {
 }
 
 std::uint64_t packets_per_run() {
-    if (const char* env = std::getenv("CAPBENCH_PACKETS")) {
-        const auto v = std::strtoull(env, nullptr, 10);
-        if (v > 0) return v;
-    }
-    return 300'000;
+    return env_knob("CAPBENCH_PACKETS", 300'000, 1'000'000'000ull);
 }
 
-int default_reps() {
-    if (const char* env = std::getenv("CAPBENCH_REPS")) {
-        const auto v = std::strtol(env, nullptr, 10);
-        if (v > 0) return static_cast<int>(v);
-    }
-    return 1;
-}
+int default_reps() { return static_cast<int>(env_knob("CAPBENCH_REPS", 1, 1'000)); }
+
+int default_jobs() { return static_cast<int>(env_knob("CAPBENCH_JOBS", 1, 512)); }
 
 std::vector<SutConfig> standard_suts() {
     return {standard_sut("swan"), standard_sut("snipe"), standard_sut("moorhen"),
@@ -58,21 +86,30 @@ std::string fig_6_5_filter_expression() {
 }
 
 std::vector<SweepRow> rate_sweep(const std::vector<SutConfig>& suts, const RunConfig& base,
-                                 const std::vector<double>& rates, int reps) {
-    std::vector<SweepRow> rows;
-    for (const double rate : rates) {
+                                 const std::vector<double>& rates, int reps,
+                                 const ParallelExecutor* exec) {
+    std::vector<SweepRow> rows(rates.size());
+    const auto run_point = [&](std::size_t i) {
         RunConfig cfg = base;
-        cfg.rate_mbps = rate;
-        rows.push_back(SweepRow{rate, run_repeated(suts, cfg, reps)});
+        cfg.rate_mbps = rates[i];
+        rows[i] = SweepRow{rates[i], run_repeated(suts, cfg, reps)};
+    };
+    if (exec != nullptr) {
+        exec->parallel_for(rows.size(), run_point);
+    } else {
+        for (std::size_t i = 0; i < rows.size(); ++i) run_point(i);
     }
     return rows;
 }
 
 std::vector<SweepRow> buffer_sweep(std::vector<SutConfig> suts, const RunConfig& base,
-                                   const std::vector<std::uint64_t>& buffer_kb, int reps) {
-    std::vector<SweepRow> rows;
-    for (const std::uint64_t kb : buffer_kb) {
-        for (auto& sut : suts) {
+                                   const std::vector<std::uint64_t>& buffer_kb, int reps,
+                                   const ParallelExecutor* exec) {
+    std::vector<SweepRow> rows(buffer_kb.size());
+    const auto run_point = [&](std::size_t i) {
+        const std::uint64_t kb = buffer_kb[i];
+        std::vector<SutConfig> sized = suts;
+        for (auto& sut : sized) {
             // "The buffer size was reduced by a factor of two for FreeBSD"
             // so the effective (double-buffered) space matches Linux.
             const bool freebsd = sut.os->family == capture::OsFamily::kFreeBsd;
@@ -80,7 +117,12 @@ std::vector<SweepRow> buffer_sweep(std::vector<SutConfig> suts, const RunConfig&
         }
         RunConfig cfg = base;
         cfg.rate_mbps = 0.0;  // highest possible rate, no inter-packet gap
-        rows.push_back(SweepRow{static_cast<double>(kb), run_repeated(suts, cfg, reps)});
+        rows[i] = SweepRow{static_cast<double>(kb), run_repeated(sized, cfg, reps)};
+    };
+    if (exec != nullptr) {
+        exec->parallel_for(rows.size(), run_point);
+    } else {
+        for (std::size_t i = 0; i < rows.size(); ++i) run_point(i);
     }
     return rows;
 }

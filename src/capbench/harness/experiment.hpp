@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "capbench/harness/measurement.hpp"
+#include "capbench/harness/parallel.hpp"
 
 namespace capbench::harness {
 
@@ -15,12 +16,18 @@ std::vector<double> default_rate_grid();
 
 /// Packets generated per run.  The thesis uses 1,000,000; benches default
 /// to a smaller count so the whole suite runs in minutes.  Override with
-/// the CAPBENCH_PACKETS environment variable.
+/// the CAPBENCH_PACKETS environment variable.  Throws std::runtime_error
+/// when the variable is set to anything but a positive integer.
 std::uint64_t packets_per_run();
 
 /// Measurement repetitions per point (thesis: 7).  Override with
-/// CAPBENCH_REPS.
+/// CAPBENCH_REPS; garbage/zero/negative values throw std::runtime_error.
 int default_reps();
+
+/// Worker threads for sweep execution (see ParallelExecutor).  Defaults
+/// to 1 (serial); override with CAPBENCH_JOBS.  Garbage/zero/negative
+/// values throw std::runtime_error; values above 512 are rejected too.
+int default_jobs();
 
 /// The four sniffers of Figure 2.4 in plot order.
 std::vector<SutConfig> standard_suts();
@@ -41,14 +48,19 @@ struct SweepRow {
     RunResult result;
 };
 
-/// Runs the measurement cycle across a rate grid.
+/// Runs the measurement cycle across a rate grid.  With a non-null
+/// executor the points run concurrently; every point builds its own
+/// testbed, so the rows are bit-identical to the serial path regardless
+/// of the job count.
 std::vector<SweepRow> rate_sweep(const std::vector<SutConfig>& suts, const RunConfig& base,
-                                 const std::vector<double>& rates, int reps);
+                                 const std::vector<double>& rates, int reps,
+                                 const ParallelExecutor* exec = nullptr);
 
 /// Runs a sweep over capture buffer sizes at maximum data rate (the
 /// Figure 6.4 experiment).  `buffer_kb` values apply to all SUTs; FreeBSD
 /// halves them per Section 6.3.1's fairness note (double buffer).
 std::vector<SweepRow> buffer_sweep(std::vector<SutConfig> suts, const RunConfig& base,
-                                   const std::vector<std::uint64_t>& buffer_kb, int reps);
+                                   const std::vector<std::uint64_t>& buffer_kb, int reps,
+                                   const ParallelExecutor* exec = nullptr);
 
 }  // namespace capbench::harness

@@ -1,0 +1,52 @@
+#include "capbench/harness/parallel.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace capbench::harness {
+
+ParallelExecutor::ParallelExecutor(int jobs) : jobs_(std::max(1, jobs)) {}
+
+void ParallelExecutor::parallel_for(std::size_t count,
+                                    const std::function<void(std::size_t)>& body) const {
+    if (count == 0) return;
+    const std::size_t workers = std::min(static_cast<std::size_t>(jobs_), count);
+    if (workers <= 1) {
+        for (std::size_t i = 0; i < count; ++i) body(i);
+        return;
+    }
+
+    std::atomic<std::size_t> next{0};
+    std::mutex error_mutex;
+    std::exception_ptr first_error;
+
+    const auto worker = [&] {
+        for (;;) {
+            const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+            if (i >= count) return;
+            try {
+                body(i);
+            } catch (...) {
+                {
+                    const std::lock_guard<std::mutex> lock{error_mutex};
+                    if (!first_error) first_error = std::current_exception();
+                }
+                // Stop handing out new indices; in-flight points finish.
+                next.store(count, std::memory_order_relaxed);
+                return;
+            }
+        }
+    };
+
+    std::vector<std::thread> threads;
+    threads.reserve(workers);
+    for (std::size_t t = 0; t < workers; ++t) threads.emplace_back(worker);
+    for (auto& thread : threads) thread.join();
+    if (first_error) std::rethrow_exception(first_error);
+}
+
+}  // namespace capbench::harness

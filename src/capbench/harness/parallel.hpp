@@ -1,0 +1,36 @@
+// A small fork-join worker pool for sweep execution.
+//
+// Why this is sound for the measurement harness: every sweep point runs
+// `run_once` on a *freshly built* Testbed — its own Simulator, RNG, links,
+// machines and capture stacks — so points share no mutable state and the
+// result of point i is a pure function of (suts, config, seed).  Running
+// points concurrently therefore yields bit-identical results to the
+// serial loop; tests/parallel_sweep_test.cpp enforces this and CI runs
+// the executor under TSan.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+namespace capbench::harness {
+
+class ParallelExecutor {
+public:
+    /// `jobs` < 1 is clamped to 1 (serial, inline execution).
+    explicit ParallelExecutor(int jobs = 1);
+
+    [[nodiscard]] int jobs() const noexcept { return jobs_; }
+
+    /// Invokes body(0..count-1), each index exactly once, spread over up
+    /// to jobs() worker threads.  Indices are claimed from an atomic
+    /// counter; the caller must make body(i) touch only state owned by
+    /// index i (e.g. its own slot of a pre-sized results vector).  If any
+    /// invocation throws, remaining un-started indices are abandoned and
+    /// the first exception is rethrown after all workers join.
+    void parallel_for(std::size_t count, const std::function<void(std::size_t)>& body) const;
+
+private:
+    int jobs_ = 1;
+};
+
+}  // namespace capbench::harness

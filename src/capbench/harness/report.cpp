@@ -101,21 +101,26 @@ void write_gnuplot_data(std::ostream& out, const std::vector<SweepRow>& rows,
 }
 
 void write_gnuplot_script(std::ostream& out, const std::string& data_file,
-                          const std::string& title, const std::vector<SweepRow>& rows) {
+                          const std::string& title, const std::vector<SweepRow>& rows,
+                          const std::string& x_label, bool multi_app) {
     if (rows.empty()) return;
     out << "set title '" << title << "'\n"
-        << "set xlabel 'Datarate [Mbit/s]'\n"
+        << "set xlabel '" << x_label << "'\n"
         << "set ylabel 'Capturing Rate [%]'\n"
         << "set y2label 'CPU usage [%]'\n"
         << "set y2tics\n set yrange [0:105]\n set y2range [0:105]\n set key outside\n";
     out << "plot ";
     const auto& suts = rows.front().result.suts;
+    // Column layout matches write_gnuplot_data: x, then per SUT either
+    // cap,cpu or worst,avg,best,cpu.
+    const std::size_t per_sut = multi_app ? 4 : 2;
     for (std::size_t i = 0; i < suts.size(); ++i) {
-        const std::size_t cap_col = 2 + i * 2;
-        const std::size_t cpu_col = cap_col + 1;
+        const std::size_t first_col = 2 + i * per_sut;
+        const std::size_t cap_col = multi_app ? first_col + 1 : first_col;  // avg series
+        const std::size_t cpu_col = first_col + per_sut - 1;
         if (i > 0) out << ", \\\n     ";
         out << "'" << data_file << "' using 1:" << cap_col << " with linespoints title '"
-            << suts[i].name << " cap%'";
+            << suts[i].name << (multi_app ? " avg%'" : " cap%'");
         out << ", '" << data_file << "' using 1:" << cpu_col
             << " axes x1y2 with lines dashtype 2 title '" << suts[i].name << " cpu%'";
     }

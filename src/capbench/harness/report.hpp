@@ -46,7 +46,12 @@ void write_gnuplot_data(std::ostream& out, const std::vector<SweepRow>& rows,
 
 /// Writes a ready-to-run gnuplot script plotting `data_file` in the
 /// thesis's linespoints style (capture rate left axis, CPU right axis).
+/// `x_label` names the sweep axis (data rate or buffer size); with
+/// `multi_app` the columns follow write_gnuplot_data's worst/avg/best
+/// layout and the avg series is plotted.
 void write_gnuplot_script(std::ostream& out, const std::string& data_file,
-                          const std::string& title, const std::vector<SweepRow>& rows);
+                          const std::string& title, const std::vector<SweepRow>& rows,
+                          const std::string& x_label = "Datarate [Mbit/s]",
+                          bool multi_app = false);
 
 }  // namespace capbench::harness

@@ -1,0 +1,90 @@
+// A small, dependency-free JSON document model with a serializer and a
+// strict parser.  The structured-results layer (report/writer.hpp) builds
+// scenario documents out of these values; tests round-trip them.
+//
+// Design constraints that matter for capbench:
+//  * objects preserve insertion order, so emitted documents are
+//    byte-stable across runs (schema tests compare whole strings), and
+//  * doubles are printed with std::to_chars shortest round-trip
+//    formatting, so parse(dump(x)) == x exactly — the property the
+//    parallel-determinism tests rely on.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <variant>
+#include <vector>
+
+namespace capbench::report {
+
+class JsonValue {
+public:
+    using Array = std::vector<JsonValue>;
+    /// Insertion-ordered; JSON objects with duplicate keys are rejected by
+    /// the parser, so lookup by key is unambiguous.
+    using Object = std::vector<std::pair<std::string, JsonValue>>;
+
+    JsonValue() : value_(nullptr) {}
+    JsonValue(std::nullptr_t) : value_(nullptr) {}
+    JsonValue(bool b) : value_(b) {}
+    JsonValue(double d) : value_(d) {}
+    JsonValue(std::int64_t i) : value_(i) {}
+    JsonValue(int i) : value_(static_cast<std::int64_t>(i)) {}
+    JsonValue(std::uint64_t u) : value_(static_cast<std::int64_t>(u)) {}
+    JsonValue(const char* s) : value_(std::string(s)) {}
+    JsonValue(std::string s) : value_(std::move(s)) {}
+    JsonValue(Array a) : value_(std::move(a)) {}
+    JsonValue(Object o) : value_(std::move(o)) {}
+
+    [[nodiscard]] bool is_null() const { return std::holds_alternative<std::nullptr_t>(value_); }
+    [[nodiscard]] bool is_bool() const { return std::holds_alternative<bool>(value_); }
+    [[nodiscard]] bool is_double() const { return std::holds_alternative<double>(value_); }
+    [[nodiscard]] bool is_int() const { return std::holds_alternative<std::int64_t>(value_); }
+    [[nodiscard]] bool is_number() const { return is_double() || is_int(); }
+    [[nodiscard]] bool is_string() const { return std::holds_alternative<std::string>(value_); }
+    [[nodiscard]] bool is_array() const { return std::holds_alternative<Array>(value_); }
+    [[nodiscard]] bool is_object() const { return std::holds_alternative<Object>(value_); }
+
+    /// Typed accessors; throw std::runtime_error on kind mismatch.
+    [[nodiscard]] bool as_bool() const;
+    [[nodiscard]] std::int64_t as_int() const;
+    /// Numeric accessor: returns doubles as-is and integers widened.
+    [[nodiscard]] double as_double() const;
+    [[nodiscard]] const std::string& as_string() const;
+    [[nodiscard]] const Array& as_array() const;
+    [[nodiscard]] const Object& as_object() const;
+
+    /// Object member lookup; nullptr when absent or not an object.
+    [[nodiscard]] const JsonValue* find(std::string_view key) const;
+    /// Object member lookup; throws when absent or not an object.
+    [[nodiscard]] const JsonValue& at(std::string_view key) const;
+
+    /// Appends a member to an object value (throws on non-objects).
+    void set(std::string key, JsonValue value);
+    /// Appends an element to an array value (throws on non-arrays).
+    void push_back(JsonValue value);
+
+    bool operator==(const JsonValue& other) const { return value_ == other.value_; }
+    bool operator!=(const JsonValue& other) const { return !(*this == other); }
+
+    static JsonValue object() { return JsonValue{Object{}}; }
+    static JsonValue array() { return JsonValue{Array{}}; }
+
+private:
+    std::variant<std::nullptr_t, bool, double, std::int64_t, std::string, Array, Object> value_;
+};
+
+/// Serializes with 2-space indentation when `indent` > 0, compact
+/// otherwise.  Key order is the insertion order; doubles use shortest
+/// round-trip formatting.
+std::string dump_json(const JsonValue& value, int indent = 2);
+
+/// Strict parser: rejects trailing garbage, duplicate object keys,
+/// unescaped control characters and documents nested deeper than 256
+/// levels.  Throws std::runtime_error with a byte offset on failure.
+JsonValue parse_json(std::string_view text);
+
+}  // namespace capbench::report

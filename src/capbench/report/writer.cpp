@@ -1,0 +1,99 @@
+#include "capbench/report/writer.hpp"
+
+#include "capbench/core/capbench.hpp"
+
+namespace capbench::report {
+
+JsonValue JsonWriter::sut(const harness::SutRunResult& s) {
+    JsonValue out = JsonValue::object();
+    out.set("name", s.name);
+    JsonValue apps = JsonValue::array();
+    for (const double pct : s.per_app_capture_pct) apps.push_back(pct);
+    out.set("per_app_capture_pct", std::move(apps));
+    out.set("capture_worst_pct", s.capture_worst_pct);
+    out.set("capture_avg_pct", s.capture_avg_pct);
+    out.set("capture_best_pct", s.capture_best_pct);
+    out.set("cpu_pct", s.cpu_pct);
+    out.set("nic_ring_drops", s.nic_ring_drops);
+    out.set("backlog_drops", s.backlog_drops);
+    out.set("buffer_drops", s.buffer_drops);
+    return out;
+}
+
+JsonValue JsonWriter::point(double x, const harness::RunResult& r) {
+    JsonValue out = JsonValue::object();
+    out.set("x", x);
+    out.set("generated", r.generated);
+    out.set("offered_mbps", r.offered_mbps);
+    JsonValue suts = JsonValue::array();
+    for (const auto& s : r.suts) suts.push_back(sut(s));
+    out.set("suts", std::move(suts));
+    return out;
+}
+
+JsonValue JsonWriter::document(const scenario::ScenarioResult& r) {
+    JsonValue doc = JsonValue::object();
+    doc.set("schema", kSchema);
+    doc.set("capbench_version", kVersion);
+    doc.set("id", r.id);
+    doc.set("caption", r.caption);
+    doc.set("x_label", r.x_label);
+    doc.set("multi_app", r.multi_app);
+
+    JsonValue config = JsonValue::object();
+    config.set("packets", r.packets);
+    config.set("reps", r.reps);
+    config.set("base_seed", r.base_seed);
+    config.set("jobs", r.jobs);
+    doc.set("config", std::move(config));
+
+    if (r.is_custom) {
+        JsonValue tables = JsonValue::array();
+        for (const auto& t : r.table.tables) {
+            JsonValue table = JsonValue::object();
+            table.set("title", t.title);
+            JsonValue headers = JsonValue::array();
+            for (const auto& h : t.headers) headers.push_back(h);
+            table.set("headers", std::move(headers));
+            JsonValue rows = JsonValue::array();
+            for (const auto& row : t.rows) {
+                JsonValue cells = JsonValue::array();
+                for (const auto& cell : row) cells.push_back(cell);
+                rows.push_back(std::move(cells));
+            }
+            table.set("rows", std::move(rows));
+            tables.push_back(std::move(table));
+        }
+        doc.set("tables", std::move(tables));
+        if (!r.table.notes.empty()) doc.set("notes", r.table.notes);
+        return doc;
+    }
+
+    JsonValue variants = JsonValue::array();
+    for (const auto& v : r.variants) {
+        JsonValue variant = JsonValue::object();
+        variant.set("name", v.name);
+        variant.set("suffix", v.suffix);
+        JsonValue points = JsonValue::array();
+        for (const auto& p : v.points) points.push_back(point(p.x, p.result));
+        variant.set("points", std::move(points));
+        variants.push_back(std::move(variant));
+    }
+    doc.set("variants", std::move(variants));
+    if (!r.postscript.empty()) doc.set("notes", r.postscript);
+    return doc;
+}
+
+JsonValue JsonWriter::suite(std::vector<JsonValue> documents) {
+    JsonValue doc = JsonValue::object();
+    doc.set("schema", kSuiteSchema);
+    doc.set("capbench_version", kVersion);
+    JsonValue results = JsonValue::array();
+    for (auto& d : documents) results.push_back(std::move(d));
+    doc.set("results", std::move(results));
+    return doc;
+}
+
+std::string JsonWriter::serialize(const JsonValue& v) { return dump_json(v, 2) + "\n"; }
+
+}  // namespace capbench::report

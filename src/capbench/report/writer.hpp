@@ -1,0 +1,36 @@
+// The structured results layer: one schema-stable JSON document per
+// scenario (config, per-point RunResult, per-SUT drops/CPU, version/seed
+// metadata), so benches, CI and regression tracking all consume the same
+// artifact.  Schema changes must bump kSchema and update
+// tests/scenario_test.cpp.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "capbench/report/json.hpp"
+#include "capbench/scenario/scenario.hpp"
+
+namespace capbench::report {
+
+class JsonWriter {
+public:
+    /// Schema identifier of a single scenario document.
+    static constexpr const char* kSchema = "capbench.scenario.v1";
+    /// Schema identifier of a multi-scenario suite document (--json).
+    static constexpr const char* kSuiteSchema = "capbench.figures.v1";
+
+    /// One per-SUT result object (name, capture stats, CPU, drop counters).
+    [[nodiscard]] static JsonValue sut(const harness::SutRunResult& s);
+    /// One sweep point: x plus the full RunResult.
+    [[nodiscard]] static JsonValue point(double x, const harness::RunResult& r);
+    /// The whole per-scenario document.
+    [[nodiscard]] static JsonValue document(const scenario::ScenarioResult& r);
+    /// Wraps per-scenario documents into a suite document.
+    [[nodiscard]] static JsonValue suite(std::vector<JsonValue> documents);
+
+    /// Pretty serialization (2-space indent, trailing newline).
+    [[nodiscard]] static std::string serialize(const JsonValue& v);
+};
+
+}  // namespace capbench::report

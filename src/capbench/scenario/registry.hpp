@@ -1,0 +1,30 @@
+// The scenario registry: every Chapter-6/Appendix-B figure, the Chapter-4
+// workload tables, the Section-7.2 extensions and the ablations, in
+// thesis order.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "capbench/scenario/scenario.hpp"
+
+namespace capbench::scenario {
+
+/// All registered scenarios in presentation order (Chapter 4, Chapter 6,
+/// Appendix B, extensions, ablations).  Built once; treat as immutable.
+const std::vector<Scenario>& registry();
+
+/// Lookup by id ("fig_6_2"); nullptr when unknown.
+const Scenario* find_scenario(const std::string& id);
+
+namespace detail {
+// Table builders and preambles for the non-sweep figures
+// (scenario/custom_figures.cpp).
+CustomResult fig_4_1_table();
+CustomResult fig_4_2_table();
+CustomResult fig_4_4_table();
+CustomResult fig_6_13_table();
+void fig_6_6_preamble(std::ostream& out);
+}  // namespace detail
+
+}  // namespace capbench::scenario

@@ -1,0 +1,49 @@
+// The scenario execution engine: runs a Scenario descriptor through the
+// measurement cycle (sweep points fanned out over a ParallelExecutor),
+// renders the thesis-style text tables, and routes every figure's output
+// through the shared gnuplot/JSON report path.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+
+#include "capbench/scenario/registry.hpp"
+
+namespace capbench::scenario {
+
+struct RunOptions {
+    /// Sweep-point fan-out (see harness::ParallelExecutor); results are
+    /// bit-identical regardless of the value.
+    int jobs = 1;
+    /// Text report target; nullptr runs quietly (tests, JSON-only runs).
+    std::ostream* out = nullptr;
+    /// Gnuplot export directory; when empty and `gnuplot_env_fallback`
+    /// is set, CAPBENCH_GNUPLOT_DIR is honoured — uniformly for every
+    /// scenario, sweep or custom.
+    std::string gnuplot_dir;
+    bool gnuplot_env_fallback = true;
+    /// 0 = packets_per_run() (CAPBENCH_PACKETS).
+    std::uint64_t packets = 0;
+    /// 0 = default_reps() (CAPBENCH_REPS).
+    int reps = 0;
+    /// Base workload seed (rep k of a point runs at seed + k*7919).
+    std::uint64_t seed = 1;
+};
+
+/// Executes the scenario: runs every variant's sweep (or the custom table
+/// builder), prints progressively to opts.out, exports gnuplot data, and
+/// returns the structured result for the JSON layer.
+ScenarioResult run_scenario(const Scenario& s, const RunOptions& opts);
+
+/// One line per registered scenario: "<id>  <caption>".  The CLI's
+/// --list output; pinned by a golden test so ids/captions cannot drift
+/// from the thesis figure numbering.
+std::string list_text();
+
+/// Entry point for the per-figure shim binaries: runs scenario `id` with
+/// text output, CAPBENCH_JOBS workers and env-driven gnuplot export.
+/// Returns a process exit code (0 ok, 1 runtime error, 2 unknown id).
+int run_shim(const std::string& id);
+
+}  // namespace capbench::scenario
