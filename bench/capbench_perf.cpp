@@ -1,0 +1,223 @@
+// capbench_perf: wall-clock performance of the simulator itself.
+//
+// The figure benches answer "what does the model predict?"; this binary
+// answers "how fast does the simulator get there?".  It times three macro
+// scenarios straight from the Chapter 6 set — the Figure 6.2 baseline
+// (synthetic packets), the Figure 6.6 filter run (full frame bytes through
+// the BPF VM) and the Figure 6.8 four-application run (scheduler heavy) —
+// plus three micro loops over the DES hot paths (event scheduling, event
+// cancellation, arena packet recycling).  Results go to stdout and,
+// with --json, into a schema-stable capbench.perf.v1 document that CI and
+// BENCH_*.json snapshots consume.
+//
+// Numbers are machine-dependent: compare only documents produced on the
+// same host and build type (see EXPERIMENTS.md).
+#include <chrono>
+#include <cstdint>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "capbench/harness/experiment.hpp"
+#include "capbench/harness/measurement.hpp"
+#include "capbench/net/arena.hpp"
+#include "capbench/report/json.hpp"
+#include "capbench/report/perf.hpp"
+#include "capbench/sim/simulator.hpp"
+
+#ifndef CAPBENCH_BUILD_TYPE
+#define CAPBENCH_BUILD_TYPE "unknown"
+#endif
+
+namespace {
+
+using capbench::harness::RunConfig;
+using capbench::harness::SutConfig;
+using capbench::report::PerfCase;
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point t0) {
+    return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+PerfCase run_macro(std::string name, const std::vector<SutConfig>& suts, const RunConfig& cfg) {
+    const auto t0 = Clock::now();
+    const capbench::harness::RunResult r = capbench::harness::run_once(suts, cfg);
+    const double wall = seconds_since(t0);
+    PerfCase c;
+    c.name = std::move(name);
+    c.kind = "macro";
+    c.wall_seconds = wall;
+    c.events = r.events_executed;
+    c.sim_packets = r.generated;
+    c.events_per_sec = wall > 0 ? static_cast<double>(r.events_executed) / wall : 0.0;
+    c.packets_per_sec = wall > 0 ? static_cast<double>(r.generated) / wall : 0.0;
+    return c;
+}
+
+PerfCase micro_case(std::string name, std::uint64_t iters, double wall) {
+    PerfCase c;
+    c.name = std::move(name);
+    c.kind = "micro";
+    c.wall_seconds = wall;
+    c.events = iters;
+    c.events_per_sec = wall > 0 ? static_cast<double>(iters) / wall : 0.0;
+    return c;
+}
+
+/// Self-rescheduling event: the steady-state shape of the DES hot loop
+/// (pop one event, push one event).  16 bytes, stored inline.
+struct ChainEvent {
+    capbench::sim::Simulator* sim;
+    std::uint64_t* remaining;
+
+    void operator()() const {
+        if (*remaining == 0) return;
+        --*remaining;
+        sim->schedule_in(capbench::sim::Duration{100}, ChainEvent{*this});
+    }
+};
+
+PerfCase micro_event_loop(std::uint64_t iters) {
+    capbench::sim::Simulator sim;
+    std::uint64_t remaining = iters;
+    for (int chain = 0; chain < 8; ++chain)
+        sim.schedule_in(capbench::sim::Duration{chain + 1}, ChainEvent{&sim, &remaining});
+    const auto t0 = Clock::now();
+    sim.run();
+    return micro_case("event_queue_hot_loop", iters, seconds_since(t0));
+}
+
+PerfCase micro_cancel_churn(std::uint64_t iters) {
+    capbench::sim::Simulator sim;
+    const auto t0 = Clock::now();
+    for (std::uint64_t i = 0; i < iters; ++i) {
+        // A timeout that never fires plus the event that beats it: the
+        // pattern the machine model produces on every preempted chunk.
+        auto doomed = sim.schedule_in(capbench::sim::Duration{1000}, [] {});
+        sim.schedule_in(capbench::sim::Duration{10}, [] {});
+        doomed.cancel();
+        sim.step();
+    }
+    sim.run();
+    return micro_case("event_cancel_churn", iters, seconds_since(t0));
+}
+
+PerfCase micro_arena_churn(std::uint64_t iters) {
+    auto arena = capbench::net::PacketArena::create();
+    // A sliding window of live packets, as the splitter and capture
+    // buffers produce: every iteration allocates one packet and frees the
+    // one from 64 iterations ago.
+    std::vector<capbench::net::PacketPtr> window(64);
+    const auto t0 = Clock::now();
+    for (std::uint64_t i = 0; i < iters; ++i) {
+        window[i % window.size()] =
+            arena->make_full(i, 1500, capbench::sim::SimTime{});
+    }
+    const double wall = seconds_since(t0);
+    return micro_case("arena_packet_churn", iters, wall);
+}
+
+void print_case(const PerfCase& c) {
+    std::cout << "  " << c.name << " [" << c.kind << "]: " << c.wall_seconds << " s";
+    if (c.sim_packets > 0) std::cout << ", " << c.packets_per_sec << " packets/s";
+    std::cout << ", " << c.events_per_sec << " events/s\n";
+}
+
+int usage(int code) {
+    std::cerr << "usage: capbench_perf [--quick] [--packets N] [--json <path>]\n"
+                 "\n"
+                 "  --quick        CI smoke sizing (~seconds instead of ~minutes)\n"
+                 "  --packets N    packets per macro run (default 200000; quick 20000)\n"
+                 "  --json <path>  write a capbench.perf.v1 document\n";
+    return code;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    bool quick = false;
+    std::uint64_t packets = 0;
+    std::string json_path;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--quick") {
+            quick = true;
+        } else if (arg == "--packets" && i + 1 < argc) {
+            packets = std::stoull(argv[++i]);
+        } else if (arg == "--json" && i + 1 < argc) {
+            json_path = argv[++i];
+        } else if (arg == "--help" || arg == "-h") {
+            return usage(0);
+        } else {
+            std::cerr << "capbench_perf: unknown argument '" << arg << "'\n";
+            return usage(2);
+        }
+    }
+    if (packets == 0) packets = quick ? 20'000 : 200'000;
+    const std::uint64_t micro_iters = quick ? 200'000 : 2'000'000;
+
+    capbench::report::PerfReport report;
+    report.packets_per_macro_run = packets;
+    report.seed = 1;
+    report.quick = quick;
+    report.build_type = CAPBENCH_BUILD_TYPE;
+
+    RunConfig base;
+    base.packets = packets;
+    base.rate_mbps = 0.0;  // maximum speed: the most event-dense operating point
+    base.seed = report.seed;
+
+    std::cout << "capbench_perf (" << report.build_type << ", " << packets
+              << " packets/macro run)\n";
+
+    {
+        // Figure 6.2 baseline: four SUTs, default buffers, synthetic packets.
+        auto suts = capbench::harness::standard_suts();
+        report.cases.push_back(run_macro("fig_6_2_baseline", suts, base));
+        print_case(report.cases.back());
+    }
+    {
+        // Figure 6.6: the 50-instruction filter over real frame bytes.
+        auto suts = capbench::harness::standard_suts();
+        capbench::harness::apply_increased_buffers(suts);
+        for (auto& sut : suts)
+            sut.filter_expression = capbench::harness::fig_6_5_filter_expression();
+        RunConfig cfg = base;
+        cfg.full_bytes = true;
+        report.cases.push_back(run_macro("fig_6_6_filter", suts, cfg));
+        print_case(report.cases.back());
+    }
+    {
+        // Figure 6.8: four capturing applications per SUT (scheduler heavy).
+        auto suts = capbench::harness::standard_suts();
+        capbench::harness::apply_increased_buffers(suts);
+        for (auto& sut : suts) sut.app_count = 4;
+        report.cases.push_back(run_macro("fig_6_8_multiapp4", suts, base));
+        print_case(report.cases.back());
+    }
+
+    report.cases.push_back(micro_event_loop(micro_iters));
+    print_case(report.cases.back());
+    report.cases.push_back(micro_cancel_churn(micro_iters));
+    print_case(report.cases.back());
+    report.cases.push_back(micro_arena_churn(micro_iters));
+    print_case(report.cases.back());
+
+    const capbench::report::JsonValue doc = capbench::report::perf_document(report);
+    const std::string text = capbench::report::dump_json(doc) + "\n";
+    // Self-check: what we emit must round-trip and validate.
+    capbench::report::validate_perf_document(capbench::report::parse_json(text));
+
+    if (!json_path.empty()) {
+        std::ofstream out(json_path, std::ios::binary);
+        if (!out) {
+            std::cerr << "capbench_perf: cannot write '" << json_path << "'\n";
+            return 1;
+        }
+        out << text;
+        std::cout << "wrote " << json_path << "\n";
+    }
+    return 0;
+}

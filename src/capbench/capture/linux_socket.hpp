@@ -10,10 +10,10 @@
 #pragma once
 
 #include <cstdint>
-#include <deque>
 
 #include "capbench/capture/os.hpp"
 #include "capbench/capture/tap.hpp"
+#include "capbench/sim/ring_buffer.hpp"
 
 namespace capbench::capture {
 
@@ -62,7 +62,7 @@ private:
     std::uint64_t rmem_bytes_;
     std::uint32_t snaplen_;
     FilterRunner filter_;
-    std::deque<Queued> queue_;
+    sim::RingBuffer<Queued> queue_;
     std::uint64_t queued_truesize_ = 0;
     hostsim::Thread* reader_ = nullptr;
     SkbPool* pool_ = nullptr;

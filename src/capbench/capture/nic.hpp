@@ -12,11 +12,11 @@
 #pragma once
 
 #include <cstdint>
-#include <deque>
 
 #include "capbench/capture/driver.hpp"
 #include "capbench/capture/os.hpp"
 #include "capbench/net/packet.hpp"
+#include "capbench/sim/ring_buffer.hpp"
 
 namespace capbench::capture {
 
@@ -49,7 +49,7 @@ private:
     const OsSpec* os_;
     NicModel model_;
     Driver* driver_;
-    std::deque<net::PacketPtr> ring_;
+    sim::RingBuffer<net::PacketPtr> ring_;
     bool service_active_ = false;
     std::uint64_t frames_seen_ = 0;
     std::uint64_t ring_drops_ = 0;

@@ -79,6 +79,7 @@ RunResult run_once(const std::vector<SutConfig>& suts, const RunConfig& config) 
     RunResult result;
     result.generated = generated;
     result.offered_mbps = bed.generator().stats().achieved_mbps();
+    result.events_executed = bed.sim().events_executed();
     const sim::Duration window = gen_end - (sim::SimTime{} + config.warmup);
     for (std::size_t i = 0; i < bed.suts().size(); ++i) {
         auto& sut = *bed.suts()[i];
@@ -121,6 +122,8 @@ RunResult run_repeated(const std::vector<SutConfig>& suts, const RunConfig& conf
         }
         agg.generated += r.generated;
         agg.offered_mbps += r.offered_mbps;
+        agg.events_executed += r.events_executed;  // total across reps
+
         for (std::size_t i = 0; i < agg.suts.size(); ++i) {
             auto& a = agg.suts[i];
             const auto& b = r.suts[i];

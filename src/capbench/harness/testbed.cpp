@@ -6,7 +6,7 @@ Testbed::Testbed(TestbedConfig config) {
     link_ = std::make_unique<net::Link>(sim_, config.link_gbps);
     config.gen.link_gbps = config.link_gbps;
     gen_ = std::make_unique<pktgen::Generator>(sim_, *link_, config.gen_nic,
-                                               std::move(config.gen));
+                                               std::move(config.gen), arena_);
     link_->attach(switch_);
     net::FrameSink& fan_out =
         config.distribute_round_robin ? static_cast<net::FrameSink&>(distributor_)

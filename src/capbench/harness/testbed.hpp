@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "capbench/harness/sut.hpp"
+#include "capbench/net/arena.hpp"
 #include "capbench/net/link.hpp"
 #include "capbench/net/switch.hpp"
 #include "capbench/pktgen/pktgen.hpp"
@@ -31,6 +32,7 @@ public:
     explicit Testbed(TestbedConfig config);
 
     [[nodiscard]] sim::Simulator& sim() { return sim_; }
+    [[nodiscard]] net::PacketArena& arena() { return *arena_; }
     [[nodiscard]] pktgen::Generator& generator() { return *gen_; }
     [[nodiscard]] net::MonitorSwitch& monitor_switch() { return switch_; }
     [[nodiscard]] std::vector<std::unique_ptr<Sut>>& suts() { return suts_; }
@@ -39,6 +41,11 @@ public:
     void start_suts();
 
 private:
+    // The arena is declared before (so destroyed after) everything that can
+    // hold packets; packet control blocks additionally pin it via their
+    // allocator, so either ordering would be safe — this one avoids keeping
+    // a dead testbed's freelists alive through a straggler reference.
+    std::shared_ptr<net::PacketArena> arena_ = net::PacketArena::create();
     sim::Simulator sim_;
     std::unique_ptr<net::Link> link_;
     net::MonitorSwitch switch_;

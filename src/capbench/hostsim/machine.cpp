@@ -5,15 +5,15 @@
 
 namespace capbench::hostsim {
 
-void Thread::exec(const Work& work, CpuState st, std::function<void()> then) {
+void Thread::exec(const Work& work, CpuState st, Continuation then) {
     machine_->thread_exec(*this, work, st, std::move(then));
 }
 
-void Thread::block(std::function<void()> on_wake) {
+void Thread::block(Continuation on_wake) {
     machine_->thread_block(*this, std::move(on_wake));
 }
 
-void Thread::yield(std::function<void()> then) {
+void Thread::yield(Continuation then) {
     machine_->thread_yield(*this, std::move(then));
 }
 
@@ -79,18 +79,19 @@ sim::Duration Machine::work_duration(const Work& work, int cpu_index) const {
 
 // ---- kernel work --------------------------------------------------------------
 
-void Machine::post_kernel_work(const Work& work, CpuState kind, std::function<void()> done) {
+void Machine::post_kernel_work(const Work& work, CpuState kind, Continuation done) {
     auto& cpu0 = cpus_[0];
     const sim::Duration dur = work_duration(work, 0);
     const sim::SimTime start = std::max(sim_->now(), cpu0.kernel_busy_until);
     const sim::SimTime end = start + dur;
     cpu0.kernel_busy_until = end;
     ++kernel_queue_len_;
-    sim_->schedule_at(end, [this, kind, dur, done = std::move(done)] {
-        cpus_[0].account(kind, dur);
-        --kernel_queue_len_;
-        if (done) done();
-    });
+    // CPU 0 serializes kernel work, so completion times are non-decreasing
+    // and events at equal times run in push order: completions are strictly
+    // FIFO.  Parking (dur, kind, done) in the ring keeps the scheduled
+    // callback capture-tiny.
+    kernel_done_.push_back(KernelDone{dur, kind, std::move(done)});
+    sim_->schedule_at(end, [this] { kernel_work_complete(); });
 
     // Kernel work preempts the thread chunk in flight on CPU 0: push its
     // completion out by the stolen time.  A chunk starved for too long is
@@ -107,6 +108,14 @@ void Machine::post_kernel_work(const Work& work, CpuState kind, std::function<vo
             chunk.event = sim_->schedule_at(chunk.end, [this] { chunk_complete(0); });
         }
     }
+}
+
+void Machine::kernel_work_complete() {
+    KernelDone item = std::move(kernel_done_.front());
+    kernel_done_.pop_front();
+    cpus_[0].account(item.kind, item.dur);
+    --kernel_queue_len_;
+    if (item.done) item.done();
 }
 
 sim::Duration Machine::kernel_backlog() const {
@@ -162,13 +171,11 @@ void Machine::try_dispatch() {
         thread->state_ = Thread::State::kRunning;
         thread->cpu_ = cpu_index;
         cpus_[static_cast<std::size_t>(cpu_index)].current = thread;
-        auto resume = std::move(thread->resume_);
-        thread->resume_ = nullptr;
-        run_continuation(*thread, resume);
+        run_continuation(*thread, std::move(thread->resume_));
     }
 }
 
-void Machine::run_continuation(Thread& thread, const std::function<void()>& body) {
+void Machine::run_continuation(Thread& thread, Continuation body) {
     thread.action_taken_ = false;
     body();
     if (!thread.action_taken_) {
@@ -186,8 +193,7 @@ void Machine::release_cpu(Thread& thread) {
     }
 }
 
-void Machine::thread_exec(Thread& thread, const Work& work, CpuState st,
-                          std::function<void()> then) {
+void Machine::thread_exec(Thread& thread, const Work& work, CpuState st, Continuation then) {
     if (thread.state_ != Thread::State::kRunning)
         throw std::logic_error("Thread::exec outside running state");
     thread.action_taken_ = true;
@@ -221,9 +227,7 @@ void Machine::chunk_complete(int cpu_index) {
         throw std::logic_error("Machine::chunk_complete: completion time mismatch");
     chunk.active = false;
     cpu.account(chunk.state, chunk.busy);
-    auto then = std::move(chunk.then);
-    chunk.then = nullptr;
-    run_continuation(*thread, then);
+    run_continuation(*thread, std::move(chunk.then));
 }
 
 void Machine::migrate_chunk(int cpu_index) {
@@ -247,7 +251,7 @@ void Machine::migrate_chunk(int cpu_index) {
     sim_->schedule_in(sim::Duration::zero(), [this] { try_dispatch(); });
 }
 
-void Machine::thread_block(Thread& thread, std::function<void()> on_wake) {
+void Machine::thread_block(Thread& thread, Continuation on_wake) {
     if (thread.state_ != Thread::State::kRunning)
         throw std::logic_error("Thread::block outside running state");
     thread.action_taken_ = true;
@@ -259,7 +263,7 @@ void Machine::thread_block(Thread& thread, std::function<void()> on_wake) {
     sim_->schedule_in(sim::Duration::zero(), [this] { try_dispatch(); });
 }
 
-void Machine::thread_yield(Thread& thread, std::function<void()> then) {
+void Machine::thread_yield(Thread& thread, Continuation then) {
     if (thread.state_ != Thread::State::kRunning)
         throw std::logic_error("Thread::yield outside running state");
     thread.action_taken_ = true;

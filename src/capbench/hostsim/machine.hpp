@@ -17,19 +17,24 @@
 #pragma once
 
 #include <cstdint>
-#include <deque>
-#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
 
 #include "capbench/hostsim/arch.hpp"
 #include "capbench/hostsim/cpu.hpp"
+#include "capbench/sim/inplace_function.hpp"
+#include "capbench/sim/ring_buffer.hpp"
 #include "capbench/sim/simulator.hpp"
 
 namespace capbench::hostsim {
 
 class Machine;
+
+/// Continuation type for thread and kernel-work callbacks.  Small captures
+/// (including whole processing batches) are stored inline; see
+/// sim::InplaceFunction.
+using Continuation = sim::InplaceFunction;
 
 /// Cooperative thread written in continuation-passing style: each
 /// continuation must end by calling exactly one of exec() / block() /
@@ -53,13 +58,13 @@ public:
 protected:
     /// Consumes CPU for `work`, accounted as `st`, then continues with
     /// `then`.  Only legal while running.
-    void exec(const Work& work, CpuState st, std::function<void()> then);
+    void exec(const Work& work, CpuState st, Continuation then);
 
     /// Deschedules until wake(); `on_wake` runs when re-dispatched.
-    void block(std::function<void()> on_wake);
+    void block(Continuation on_wake);
 
     /// Goes to the back of the ready queue; `then` runs when re-dispatched.
-    void yield(std::function<void()> then);
+    void yield(Continuation then);
 
     [[nodiscard]] Machine& machine() const { return *machine_; }
 
@@ -71,7 +76,7 @@ private:
     int cpu_ = -1;
     bool action_taken_ = false;   // set by exec/block/yield within a continuation
     bool wake_pending_ = false;   // a delayed wakeup is in flight
-    std::function<void()> resume_;
+    Continuation resume_;
 };
 
 struct MachineSpec {
@@ -109,7 +114,7 @@ public:
     /// Queues `work` on CPU 0 with absolute priority; `done` runs at its
     /// completion time (delivery semantics: a packet reaches the capture
     /// stack only once its processing is paid for).
-    void post_kernel_work(const Work& work, CpuState kind, std::function<void()> done);
+    void post_kernel_work(const Work& work, CpuState kind, Continuation done);
 
     /// Number of kernel work items queued but not yet completed (the netdev
     /// backlog / ifqueue occupancy).
@@ -159,13 +164,14 @@ private:
 
     void enqueue_ready(Thread& thread, bool woken);
     void try_dispatch();
-    void run_continuation(Thread& thread, const std::function<void()>& body);
+    void run_continuation(Thread& thread, Continuation body);
     void release_cpu(Thread& thread);
     void chunk_complete(int cpu_index);
+    void kernel_work_complete();
 
-    void thread_exec(Thread& thread, const Work& work, CpuState st, std::function<void()> then);
-    void thread_block(Thread& thread, std::function<void()> on_wake);
-    void thread_yield(Thread& thread, std::function<void()> then);
+    void thread_exec(Thread& thread, const Work& work, CpuState st, Continuation then);
+    void thread_block(Thread& thread, Continuation on_wake);
+    void thread_yield(Thread& thread, Continuation then);
 
     struct RunningChunk {
         bool active = false;
@@ -174,8 +180,17 @@ private:
         sim::Duration stolen{};  // time taken by preempting kernel work
         CpuState state = CpuState::kUser;
         Work work;               // for re-execution after migration
-        std::function<void()> then;
+        Continuation then;
         sim::EventHandle event;
+    };
+
+    /// Pending kernel-work completion (CPU 0 serializes kernel work, so
+    /// completions run strictly FIFO; the ring replaces a per-item
+    /// heap-allocated closure in the event queue).
+    struct KernelDone {
+        sim::Duration dur{};
+        CpuState kind = CpuState::kInterrupt;
+        Continuation done;
     };
 
     /// Moves the thread whose chunk on `cpu_index` has been starved by
@@ -187,7 +202,8 @@ private:
     SchedPolicy policy_;
     std::vector<Cpu> cpus_;
     std::vector<RunningChunk> chunks_;  // one per cpu
-    std::deque<Thread*> ready_;
+    sim::RingBuffer<Thread*> ready_;
+    sim::RingBuffer<KernelDone> kernel_done_;
     std::vector<std::shared_ptr<Thread>> threads_;
     std::size_t kernel_queue_len_ = 0;
 };

@@ -1,7 +1,13 @@
 #include "capbench/net/packet.hpp"
 
-// Packet is header-only; this translation unit anchors the FrameSink vtable.
+#include "capbench/net/arena.hpp"
 
 namespace capbench::net {
+
+Packet::~Packet() {
+    // The arena outlives every packet it produced: the shared_ptr control
+    // block (destroyed strictly after this object) owns a reference to it.
+    if (arena_ != nullptr) arena_->release_payload(data_);
+}
 
 }  // namespace capbench::net

@@ -3,7 +3,7 @@
 // Packets flow from the generator through the switch and splitter into the
 // NICs of the systems under test.  Two modes are supported:
 //
-//  * full mode: the packet owns its frame bytes (needed whenever a BPF
+//  * full mode: the packet carries its frame bytes (needed whenever a BPF
 //    filter inspects packet contents or packets are written to pcap files);
 //  * synthetic mode: only the sizes are carried (fast path for the pure
 //    capture-rate experiments where contents are irrelevant; the thesis
@@ -11,7 +11,10 @@
 //    process of capturing", Section 3.2).
 //
 // Packets are shared immutably (like cloned skbs): the splitter hands the
-// same underlying packet to all four sniffers.
+// same underlying packet to all four sniffers.  On the hot path both the
+// control block and the payload come from a PacketArena (see arena.hpp) and
+// are recycled through freelists, so pktgen -> splitter -> NICs runs without
+// malloc churn; the plain constructors below remain for tests and tools.
 #pragma once
 
 #include <cstddef>
@@ -23,6 +26,8 @@
 #include "capbench/sim/time.hpp"
 
 namespace capbench::net {
+
+class PacketArena;
 
 class Packet {
 public:
@@ -36,7 +41,21 @@ public:
         : id_(id),
           frame_len_(static_cast<std::uint32_t>(frame.size())),
           sent_at_(sent_at),
-          data_(std::move(frame)) {}
+          owned_(std::move(frame)),
+          data_(owned_.data()) {}
+
+    /// Creates a full packet whose payload (`frame_len` bytes, uninitialized)
+    /// is owned by `arena` and returned to it on destruction.  Used by
+    /// PacketArena::make_full; the arena outlives the packet by construction
+    /// (the shared_ptr control block holds a reference to it).
+    Packet(std::uint64_t id, std::uint32_t frame_len, sim::SimTime sent_at, std::byte* payload,
+           PacketArena* arena)
+        : id_(id), frame_len_(frame_len), sent_at_(sent_at), data_(payload), arena_(arena) {}
+
+    Packet(const Packet&) = delete;
+    Packet& operator=(const Packet&) = delete;
+
+    ~Packet();
 
     [[nodiscard]] std::uint64_t id() const { return id_; }
 
@@ -45,16 +64,27 @@ public:
 
     [[nodiscard]] sim::SimTime sent_at() const { return sent_at_; }
 
-    [[nodiscard]] bool has_bytes() const { return !data_.empty(); }
+    [[nodiscard]] bool has_bytes() const { return data_ != nullptr; }
 
     /// Frame bytes; empty span for synthetic packets.
-    [[nodiscard]] std::span<const std::byte> bytes() const { return data_; }
+    [[nodiscard]] std::span<const std::byte> bytes() const {
+        return data_ != nullptr ? std::span<const std::byte>{data_, frame_len_}
+                                : std::span<const std::byte>{};
+    }
+
+    /// Writable frame bytes, for filling a full packet before it is
+    /// published.  Only valid for full packets.
+    [[nodiscard]] std::span<std::byte> mutable_bytes() {
+        return {data_, data_ != nullptr ? frame_len_ : 0};
+    }
 
 private:
     std::uint64_t id_ = 0;
     std::uint32_t frame_len_ = 0;
     sim::SimTime sent_at_{};
-    std::vector<std::byte> data_;
+    std::vector<std::byte> owned_;       // self-owned full mode only
+    std::byte* data_ = nullptr;          // payload (self- or arena-owned)
+    PacketArena* arena_ = nullptr;       // non-null when payload is arena-owned
 };
 
 using PacketPtr = std::shared_ptr<const Packet>;

@@ -19,9 +19,11 @@ const GenNicModel& GenNicModel::intel() {
     return m;
 }
 
-Generator::Generator(sim::Simulator& sim, net::Link& link, GenNicModel nic, GenConfig config)
-    : sim_(&sim), link_(&link), nic_(std::move(nic)), config_(std::move(config)),
-      rng_(config_.seed) {}
+Generator::Generator(sim::Simulator& sim, net::Link& link, GenNicModel nic, GenConfig config,
+                     std::shared_ptr<net::PacketArena> arena)
+    : sim_(&sim), link_(&link),
+      arena_(arena != nullptr ? std::move(arena) : net::PacketArena::create()),
+      nic_(std::move(nic)), config_(std::move(config)), rng_(config_.seed) {}
 
 std::uint32_t Generator::draw_size() {
     if (config_.use_dist && config_.size_dist) return config_.size_dist->sample(rng_);
@@ -38,10 +40,11 @@ net::PacketPtr Generator::build_packet(std::uint32_t ip_size) {
     const std::uint64_t id = next_id_++;
 
     if (!config_.full_bytes) {
-        return std::make_shared<net::Packet>(id, frame_len, sim_->now());
+        return arena_->make_synthetic(id, frame_len, sim_->now());
     }
 
-    std::vector<std::byte> frame(frame_len);
+    std::shared_ptr<net::Packet> packet = arena_->make_full(id, frame_len, sim_->now());
+    const std::span<std::byte> frame = packet->mutable_bytes();
     net::EthernetHeader eth;
     eth.dst = config_.dst_mac;
     eth.src = config_.src_mac_count > 1
@@ -56,20 +59,20 @@ net::PacketPtr Generator::build_packet(std::uint32_t ip_size) {
     ip.protocol = net::kIpProtoUdp;
     ip.src = config_.src_ip;
     ip.dst = config_.dst_ip;
-    ip.encode(std::span{frame}.subspan(net::kEthernetHeaderLen));
+    ip.encode(frame.subspan(net::kEthernetHeaderLen));
 
     net::UdpHeader udp;
     udp.src_port = config_.udp_src_port;
     udp.dst_port = config_.udp_dst_port;
     udp.length = static_cast<std::uint16_t>(ip_size - net::kIpv4MinHeaderLen);
-    udp.encode(std::span{frame}.subspan(net::kEthernetHeaderLen + net::kIpv4MinHeaderLen));
+    udp.encode(frame.subspan(net::kEthernetHeaderLen + net::kIpv4MinHeaderLen));
 
     // Payload pattern: pktgen-style magic + sequence for loss debugging.
     for (std::size_t i = net::kEthernetHeaderLen + net::kIpv4MinHeaderLen + net::kUdpHeaderLen;
          i < frame.size(); ++i)
         frame[i] = static_cast<std::byte>((id + i) & 0xFF);
 
-    return std::make_shared<net::Packet>(id, std::move(frame), sim_->now());
+    return packet;
 }
 
 void Generator::start(sim::SimTime at, std::function<void()> on_done) {

@@ -16,6 +16,7 @@
 #include <string>
 
 #include "capbench/dist/two_stage_dist.hpp"
+#include "capbench/net/arena.hpp"
 #include "capbench/net/headers.hpp"
 #include "capbench/net/link.hpp"
 #include "capbench/sim/random.hpp"
@@ -87,7 +88,10 @@ struct GenStats {
 
 class Generator {
 public:
-    Generator(sim::Simulator& sim, net::Link& link, GenNicModel nic, GenConfig config);
+    /// `arena` supplies recycled packet nodes and payload buffers; when
+    /// omitted the generator creates a private one.
+    Generator(sim::Simulator& sim, net::Link& link, GenNicModel nic, GenConfig config,
+              std::shared_ptr<net::PacketArena> arena = nullptr);
 
     /// Applies one pgset command line (Appendix A.2.2); see pgset.cpp for
     /// the command set.  Throws std::runtime_error on unknown commands and
@@ -111,6 +115,7 @@ private:
 
     sim::Simulator* sim_;
     net::Link* link_;
+    std::shared_ptr<net::PacketArena> arena_;
     GenNicModel nic_;
     GenConfig config_;
     sim::Rng rng_;

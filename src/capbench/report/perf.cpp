@@ -1,0 +1,79 @@
+#include "capbench/report/perf.hpp"
+
+#include <stdexcept>
+
+namespace capbench::report {
+
+JsonValue perf_document(const PerfReport& report) {
+    JsonValue doc = JsonValue::object();
+    doc.set("schema", kPerfSchema);
+    JsonValue config = JsonValue::object();
+    config.set("packets_per_macro_run", report.packets_per_macro_run);
+    config.set("seed", report.seed);
+    config.set("quick", report.quick);
+    config.set("build_type", report.build_type);
+    doc.set("config", std::move(config));
+    JsonValue cases = JsonValue::array();
+    for (const PerfCase& c : report.cases) {
+        JsonValue entry = JsonValue::object();
+        entry.set("name", c.name);
+        entry.set("kind", c.kind);
+        entry.set("wall_seconds", c.wall_seconds);
+        entry.set("events", c.events);
+        entry.set("sim_packets", c.sim_packets);
+        entry.set("events_per_sec", c.events_per_sec);
+        entry.set("packets_per_sec", c.packets_per_sec);
+        cases.push_back(std::move(entry));
+    }
+    doc.set("cases", std::move(cases));
+    return doc;
+}
+
+namespace {
+
+void require(bool ok, const char* what) {
+    if (!ok) throw std::runtime_error(std::string("perf document: ") + what);
+}
+
+}  // namespace
+
+void validate_perf_document(const JsonValue& doc) {
+    require(doc.is_object(), "not an object");
+    const JsonValue* schema = doc.find("schema");
+    require(schema != nullptr && schema->is_string(), "missing schema tag");
+    require(schema->as_string() == kPerfSchema, "unexpected schema tag");
+
+    const JsonValue* config = doc.find("config");
+    require(config != nullptr && config->is_object(), "missing config object");
+    const JsonValue* packets = config->find("packets_per_macro_run");
+    require(packets != nullptr && packets->is_int(), "config.packets_per_macro_run");
+    require(config->find("seed") != nullptr && config->find("seed")->is_int(), "config.seed");
+    require(config->find("quick") != nullptr && config->find("quick")->is_bool(),
+            "config.quick");
+    require(config->find("build_type") != nullptr && config->find("build_type")->is_string(),
+            "config.build_type");
+
+    const JsonValue* cases = doc.find("cases");
+    require(cases != nullptr && cases->is_array(), "missing cases array");
+    require(!cases->as_array().empty(), "cases array is empty");
+    for (const JsonValue& c : cases->as_array()) {
+        require(c.is_object(), "case is not an object");
+        const JsonValue* name = c.find("name");
+        require(name != nullptr && name->is_string(), "case.name");
+        const JsonValue* kind = c.find("kind");
+        require(kind != nullptr && kind->is_string(), "case.kind");
+        require(kind->as_string() == "macro" || kind->as_string() == "micro",
+                "case.kind must be macro or micro");
+        for (const char* field : {"wall_seconds", "events_per_sec", "packets_per_sec"}) {
+            const JsonValue* v = c.find(field);
+            require(v != nullptr && v->is_number(), field);
+        }
+        for (const char* field : {"events", "sim_packets"}) {
+            const JsonValue* v = c.find(field);
+            require(v != nullptr && v->is_int(), field);
+        }
+        require(c.find("wall_seconds")->as_double() >= 0.0, "negative wall_seconds");
+    }
+}
+
+}  // namespace capbench::report

@@ -1,0 +1,53 @@
+// Performance-report layer: the capbench.perf.v1 document emitted by
+// bench/capbench_perf.
+//
+// Unlike capbench.scenario.v1 (simulation results, bit-stable across
+// machines), a perf document records wall-clock throughput of the
+// simulator itself on the machine at hand: events per second and simulated
+// packets per second for the macro scenarios, plus loop rates for the
+// micro hot paths.  The SCHEMA is stable — field names and shapes may only
+// change with a version bump — but the VALUES are machine-dependent, so
+// regression tracking compares documents from the same host (see
+// EXPERIMENTS.md, "Performance baseline methodology").
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "capbench/report/json.hpp"
+
+namespace capbench::report {
+
+/// Schema identifier of a perf document.
+inline constexpr const char* kPerfSchema = "capbench.perf.v1";
+
+/// One timed case.  Macro cases run a whole measurement cycle and report
+/// both simulator events and simulated packets per wall second; micro
+/// cases time a single hot loop and report iterations as `events`.
+struct PerfCase {
+    std::string name;
+    std::string kind;              // "macro" or "micro"
+    double wall_seconds = 0.0;
+    std::uint64_t events = 0;      // simulator events (macro) / iterations (micro)
+    std::uint64_t sim_packets = 0; // generated packets (macro only)
+    double events_per_sec = 0.0;
+    double packets_per_sec = 0.0;  // macro only (0 for micro)
+};
+
+struct PerfReport {
+    std::uint64_t packets_per_macro_run = 0;
+    std::uint64_t seed = 0;
+    bool quick = false;
+    std::string build_type;        // CMAKE_BUILD_TYPE baked into the binary
+    std::vector<PerfCase> cases;
+};
+
+/// Builds the capbench.perf.v1 document.
+[[nodiscard]] JsonValue perf_document(const PerfReport& report);
+
+/// Validates shape and schema tag of a perf document; throws
+/// std::runtime_error naming the first offending field.
+void validate_perf_document(const JsonValue& doc);
+
+}  // namespace capbench::report

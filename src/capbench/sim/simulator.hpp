@@ -36,6 +36,7 @@ public:
             queue_.pop_and_run();
             ++executed;
         }
+        total_executed_ += executed;
         if (until != SimTime::max() && until > now_) now_ = until;
         return executed;
     }
@@ -45,14 +46,19 @@ public:
         if (queue_.empty()) return false;
         now_ = queue_.next_time();
         queue_.pop_and_run();
+        ++total_executed_;
         return true;
     }
+
+    /// Total events executed over the simulator's lifetime (perf metric).
+    [[nodiscard]] std::uint64_t events_executed() const { return total_executed_; }
 
     EventQueue& queue() { return queue_; }
 
 private:
     EventQueue queue_;
     SimTime now_{};
+    std::uint64_t total_executed_ = 0;
 };
 
 }  // namespace capbench::sim

@@ -1,0 +1,178 @@
+// Zero-allocation guard: replaces global operator new/delete with counting
+// versions and asserts that the DES steady state — the event loop and the
+// synthetic/full packet paths — performs no heap allocation after warmup.
+//
+// This is its own binary (NOT part of capbench_tests): the global
+// replacement affects every allocation in the process, and sanitizer
+// builds interpose their own allocator, so the checks are skipped there.
+#include <atomic>
+#include <cstdint>
+#include <cstdlib>
+#include <new>
+
+#include <gtest/gtest.h>
+
+#include "capbench/net/arena.hpp"
+#include "capbench/net/link.hpp"
+#include "capbench/net/packet.hpp"
+#include "capbench/pktgen/pktgen.hpp"
+#include "capbench/sim/simulator.hpp"
+
+namespace {
+
+std::atomic<std::uint64_t> g_alloc_count{0};
+
+bool sanitizers_active() {
+#if defined(__SANITIZE_ADDRESS__) || defined(__SANITIZE_THREAD__)
+    return true;
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer) || __has_feature(thread_sanitizer) || \
+    __has_feature(memory_sanitizer)
+    return true;
+#else
+    return false;
+#endif
+#else
+    return false;
+#endif
+}
+
+void* counted_alloc(std::size_t size) {
+    g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+    if (void* p = std::malloc(size != 0 ? size : 1)) return p;
+    throw std::bad_alloc{};
+}
+
+}  // namespace
+
+void* operator new(std::size_t size) { return counted_alloc(size); }
+void* operator new[](std::size_t size) { return counted_alloc(size); }
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+    g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+    return std::malloc(size != 0 ? size : 1);
+}
+void* operator new[](std::size_t size, const std::nothrow_t&) noexcept {
+    g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+    return std::malloc(size != 0 ? size : 1);
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, const std::nothrow_t&) noexcept { std::free(p); }
+void operator delete[](void* p, const std::nothrow_t&) noexcept { std::free(p); }
+
+namespace {
+
+namespace sim = capbench::sim;
+namespace net = capbench::net;
+namespace pktgen = capbench::pktgen;
+
+#define SKIP_UNDER_SANITIZERS()                                                       \
+    if (sanitizers_active())                                                          \
+    GTEST_SKIP() << "sanitizer runtime interposes the allocator; counts meaningless"
+
+/// Allocations performed while running `body`.
+template <typename Body>
+std::uint64_t allocations_during(Body&& body) {
+    const std::uint64_t before = g_alloc_count.load(std::memory_order_relaxed);
+    body();
+    return g_alloc_count.load(std::memory_order_relaxed) - before;
+}
+
+struct ChainEvent {
+    sim::Simulator* sim;
+    std::uint64_t* remaining;
+    void operator()() const {
+        if (*remaining == 0) return;
+        --*remaining;
+        sim->schedule_in(sim::Duration{100}, ChainEvent{*this});
+    }
+};
+
+TEST(AllocGuard, SteadyStateEventLoopDoesNotAllocate) {
+    SKIP_UNDER_SANITIZERS();
+    sim::Simulator sim;
+    std::uint64_t remaining = 10'000;
+    for (int chain = 0; chain < 8; ++chain)
+        sim.schedule_in(sim::Duration{chain + 1}, ChainEvent{&sim, &remaining});
+    sim.run();  // warmup: grows the slab and the heap vector to final size
+    ASSERT_EQ(remaining, 0u);
+
+    remaining = 100'000;
+    for (int chain = 0; chain < 8; ++chain)
+        sim.schedule_in(sim::Duration{chain + 1}, ChainEvent{&sim, &remaining});
+    const std::uint64_t allocs = allocations_during([&] { sim.run(); });
+    EXPECT_EQ(remaining, 0u);
+    EXPECT_EQ(allocs, 0u) << "event loop allocated in steady state";
+}
+
+TEST(AllocGuard, EventCancellationDoesNotAllocate) {
+    SKIP_UNDER_SANITIZERS();
+    sim::Simulator sim;
+    const auto churn = [&](std::uint64_t iters) {
+        for (std::uint64_t i = 0; i < iters; ++i) {
+            auto doomed = sim.schedule_in(sim::Duration{1000}, [] {});
+            sim.schedule_in(sim::Duration{10}, [] {});
+            doomed.cancel();
+            sim.step();
+        }
+        sim.run();
+    };
+    churn(64);  // warmup
+    const std::uint64_t allocs = allocations_during([&] { churn(10'000); });
+    EXPECT_EQ(allocs, 0u) << "cancel/reschedule churn allocated in steady state";
+}
+
+/// Sink that retains each packet briefly (one in flight), like a capture
+/// buffer slot, then drops it back to the arena.
+struct RetainOneSink final : net::FrameSink {
+    net::PacketPtr held;
+    std::uint64_t frames = 0;
+    void on_frame(const net::PacketPtr& packet) override {
+        held = packet;
+        ++frames;
+    }
+};
+
+TEST(AllocGuard, SyntheticPacketPathDoesNotAllocate) {
+    SKIP_UNDER_SANITIZERS();
+    sim::Simulator sim;
+    net::Link link(sim);
+    RetainOneSink sink;
+    link.attach(sink);
+
+    pktgen::GenConfig config;
+    config.count = 2'000;
+    config.packet_size = 1500;
+    config.full_bytes = false;
+    pktgen::Generator gen(sim, link, pktgen::GenNicModel::syskonnect(), config);
+
+    gen.start(sim.now());
+    sim.run();  // warmup: arena node freelist and event slab reach steady size
+    ASSERT_EQ(sink.frames, 2'000u);
+
+    gen.config().count = 20'000;
+    sink.frames = 0;
+    gen.start(sim.now());
+    const std::uint64_t allocs = allocations_during([&] { sim.run(); });
+    EXPECT_EQ(sink.frames, 20'000u);
+    EXPECT_EQ(allocs, 0u) << "pktgen -> link -> sink synthetic path allocated";
+}
+
+TEST(AllocGuard, ArenaFullPacketChurnDoesNotAllocate) {
+    SKIP_UNDER_SANITIZERS();
+    auto arena = net::PacketArena::create();
+    std::vector<net::PacketPtr> window(64);
+    const auto churn = [&](std::uint64_t iters) {
+        for (std::uint64_t i = 0; i < iters; ++i)
+            window[i % window.size()] = arena->make_full(i, 1500, sim::SimTime{});
+    };
+    churn(256);  // warmup: window fills, freelists reach steady size
+    const std::uint64_t allocs = allocations_during([&] { churn(10'000); });
+    EXPECT_EQ(allocs, 0u) << "arena full-packet churn allocated in steady state";
+    EXPECT_GT(arena->stats().node_reuses, 0u);
+    EXPECT_GT(arena->stats().payload_reuses, 0u);
+}
+
+}  // namespace

@@ -1,0 +1,90 @@
+// capbench.perf.v1 document tests: shape, round-trip, and validator
+// rejections.
+#include <gtest/gtest.h>
+
+#include "capbench/report/json.hpp"
+#include "capbench/report/perf.hpp"
+
+namespace report = capbench::report;
+
+namespace {
+
+report::PerfReport sample_report() {
+    report::PerfReport r;
+    r.packets_per_macro_run = 200'000;
+    r.seed = 1;
+    r.quick = false;
+    r.build_type = "Release";
+    report::PerfCase macro;
+    macro.name = "fig_6_2_baseline";
+    macro.kind = "macro";
+    macro.wall_seconds = 12.5;
+    macro.events = 40'000'000;
+    macro.sim_packets = 200'000;
+    macro.events_per_sec = 3.2e6;
+    macro.packets_per_sec = 16'000.0;
+    r.cases.push_back(macro);
+    report::PerfCase micro;
+    micro.name = "event_queue_hot_loop";
+    micro.kind = "micro";
+    micro.wall_seconds = 0.5;
+    micro.events = 2'000'000;
+    micro.events_per_sec = 4e6;
+    r.cases.push_back(micro);
+    return r;
+}
+
+TEST(PerfReport, DocumentRoundTripsAndValidates) {
+    const report::JsonValue doc = report::perf_document(sample_report());
+    const std::string text = report::dump_json(doc);
+    const report::JsonValue parsed = report::parse_json(text);
+    EXPECT_EQ(parsed, doc);
+    EXPECT_NO_THROW(report::validate_perf_document(parsed));
+    EXPECT_EQ(parsed.at("schema").as_string(), report::kPerfSchema);
+    EXPECT_EQ(parsed.at("cases").as_array().size(), 2u);
+    EXPECT_EQ(parsed.at("config").at("packets_per_macro_run").as_int(), 200'000);
+}
+
+TEST(PerfReport, ValidatorRejectsWrongSchemaTag) {
+    report::JsonValue doc = report::perf_document(sample_report());
+    report::JsonValue bad = report::parse_json(report::dump_json(doc));
+    // Rebuild with a wrong tag (objects are insertion-ordered vectors; easiest
+    // is to construct a fresh document).
+    report::JsonValue wrong = report::JsonValue::object();
+    for (const auto& [key, value] : bad.as_object())
+        wrong.set(key, key == "schema" ? report::JsonValue("capbench.perf.v0") : value);
+    EXPECT_THROW(report::validate_perf_document(wrong), std::runtime_error);
+}
+
+TEST(PerfReport, ValidatorRejectsMissingFields) {
+    report::JsonValue no_cases = report::JsonValue::object();
+    no_cases.set("schema", report::kPerfSchema);
+    EXPECT_THROW(report::validate_perf_document(no_cases), std::runtime_error);
+
+    report::JsonValue bad_kind = report::perf_document(sample_report());
+    report::JsonValue rebuilt = report::JsonValue::object();
+    for (const auto& [key, value] : bad_kind.as_object()) {
+        if (key != "cases") {
+            rebuilt.set(key, value);
+            continue;
+        }
+        report::JsonValue cases = report::JsonValue::array();
+        for (const auto& c : value.as_array()) {
+            report::JsonValue entry = report::JsonValue::object();
+            for (const auto& [ck, cv] : c.as_object())
+                entry.set(ck, ck == "kind" ? report::JsonValue("mezzo") : cv);
+            cases.push_back(std::move(entry));
+        }
+        rebuilt.set("cases", std::move(cases));
+    }
+    EXPECT_THROW(report::validate_perf_document(rebuilt), std::runtime_error);
+}
+
+TEST(PerfReport, EmptyCasesRejected) {
+    report::PerfReport r = sample_report();
+    r.cases.clear();
+    EXPECT_THROW(report::validate_perf_document(report::perf_document(r)),
+                 std::runtime_error);
+}
+
+}  // namespace

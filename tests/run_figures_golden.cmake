@@ -1,0 +1,29 @@
+# Byte-identity guard for the figures pipeline: runs capbench_figures on
+# the pinned scenario set / seed / packet count and compares the JSON
+# byte-for-byte against the committed golden for this --jobs value.
+# (The documents embed "jobs" in their config, so each jobs value has its
+# own golden; apart from that field the documents are identical.)
+#
+# Expects: FIGURES_BIN, JOBS, OUT, GOLDEN.
+if(NOT FIGURES_BIN OR NOT JOBS OR NOT OUT OR NOT GOLDEN)
+  message(FATAL_ERROR "run_figures_golden.cmake: missing FIGURES_BIN/JOBS/OUT/GOLDEN")
+endif()
+
+execute_process(
+  COMMAND ${CMAKE_COMMAND} -E env CAPBENCH_PACKETS=1500 CAPBENCH_REPS=1
+          ${FIGURES_BIN} --run fig_6_2 fig_6_6 fig_6_8 --jobs ${JOBS} --json ${OUT}
+  RESULT_VARIABLE run_rc
+  OUTPUT_QUIET)
+if(NOT run_rc EQUAL 0)
+  message(FATAL_ERROR "capbench_figures failed with exit code ${run_rc}")
+endif()
+
+execute_process(
+  COMMAND ${CMAKE_COMMAND} -E compare_files ${OUT} ${GOLDEN}
+  RESULT_VARIABLE cmp_rc)
+if(NOT cmp_rc EQUAL 0)
+  message(FATAL_ERROR
+          "figures output ${OUT} is not byte-identical to golden ${GOLDEN}; "
+          "determinism regression (or an intentional model change — regenerate "
+          "the goldens and say so in the commit message)")
+endif()
