@@ -5,10 +5,12 @@
 // scenarios straight from the Chapter 6 set — the Figure 6.2 baseline
 // (synthetic packets), the Figure 6.6 filter run (full frame bytes through
 // the BPF VM) and the Figure 6.8 four-application run (scheduler heavy) —
-// plus three micro loops over the DES hot paths (event scheduling, event
-// cancellation, arena packet recycling).  Results go to stdout and,
-// with --json, into a schema-stable capbench.perf.v1 document that CI and
-// BENCH_*.json snapshots consume.
+// plus micro loops over the DES hot paths (event scheduling, event
+// cancellation, dense concurrent timers, arena packet recycling).  Every
+// event-queue-bound case runs under BOTH priority backends (`_heap` /
+// `_wheel` name suffixes) for a head-to-head comparison in one document.
+// Results go to stdout and, with --json, into a schema-stable
+// capbench.perf.v1 document that CI and BENCH_*.json snapshots consume.
 //
 // Numbers are machine-dependent: compare only documents produced on the
 // same host and build type (see EXPERIMENTS.md).
@@ -79,18 +81,23 @@ struct ChainEvent {
     }
 };
 
-PerfCase micro_event_loop(std::uint64_t iters) {
-    capbench::sim::Simulator sim;
+std::string backend_suffix(capbench::sim::EventQueueBackend backend) {
+    return std::string("_") + capbench::sim::to_string(backend);
+}
+
+PerfCase micro_event_loop(capbench::sim::EventQueueBackend backend, std::uint64_t iters) {
+    capbench::sim::Simulator sim{backend};
     std::uint64_t remaining = iters;
     for (int chain = 0; chain < 8; ++chain)
         sim.schedule_in(capbench::sim::Duration{chain + 1}, ChainEvent{&sim, &remaining});
     const auto t0 = Clock::now();
     sim.run();
-    return micro_case("event_queue_hot_loop", iters, seconds_since(t0));
+    return micro_case("event_queue_hot_loop" + backend_suffix(backend), iters,
+                      seconds_since(t0));
 }
 
-PerfCase micro_cancel_churn(std::uint64_t iters) {
-    capbench::sim::Simulator sim;
+PerfCase micro_cancel_churn(capbench::sim::EventQueueBackend backend, std::uint64_t iters) {
+    capbench::sim::Simulator sim{backend};
     const auto t0 = Clock::now();
     for (std::uint64_t i = 0; i < iters; ++i) {
         // A timeout that never fires plus the event that beats it: the
@@ -101,7 +108,40 @@ PerfCase micro_cancel_churn(std::uint64_t iters) {
         sim.step();
     }
     sim.run();
-    return micro_case("event_cancel_churn", iters, seconds_since(t0));
+    return micro_case("event_cancel_churn" + backend_suffix(backend), iters,
+                      seconds_since(t0));
+}
+
+/// A self-rescheduling timer with a fixed period — one of ~1k running
+/// concurrently, the dense steady state where the O(1) wheel beats the
+/// O(log n) heap.
+struct DenseTimer {
+    capbench::sim::Simulator* sim;
+    std::uint64_t* remaining;
+    std::int64_t period;
+
+    void operator()() const {
+        if (*remaining == 0) return;
+        --*remaining;
+        sim->schedule_in(capbench::sim::Duration{period}, DenseTimer{*this});
+    }
+};
+
+PerfCase micro_dense_timer(capbench::sim::EventQueueBackend backend, std::uint64_t iters) {
+    capbench::sim::Simulator sim{backend};
+    constexpr int kTimers = 1024;
+    std::uint64_t remaining = iters;
+    for (int i = 0; i < kTimers; ++i) {
+        // Coprime-ish periods spread firings across buckets instead of
+        // phase-locking every timer onto the same tick.
+        const std::int64_t period = 100 + 7 * (i % 97);
+        sim.schedule_in(capbench::sim::Duration{period},
+                        DenseTimer{&sim, &remaining, period});
+    }
+    const auto t0 = Clock::now();
+    sim.run();
+    return micro_case("dense_timer_steady" + backend_suffix(backend), iters,
+                      seconds_since(t0));
 }
 
 PerfCase micro_arena_churn(std::uint64_t iters) {
@@ -172,36 +212,49 @@ int main(int argc, char** argv) {
     std::cout << "capbench_perf (" << report.build_type << ", " << packets
               << " packets/macro run)\n";
 
-    {
-        // Figure 6.2 baseline: four SUTs, default buffers, synthetic packets.
-        auto suts = capbench::harness::standard_suts();
-        report.cases.push_back(run_macro("fig_6_2_baseline", suts, base));
+    const capbench::sim::EventQueueBackend backends[] = {
+        capbench::sim::EventQueueBackend::kHeap, capbench::sim::EventQueueBackend::kWheel};
+
+    for (const auto backend : backends) {
+        const std::string suffix = backend_suffix(backend);
+        {
+            // Figure 6.2 baseline: four SUTs, default buffers, synthetic packets.
+            auto suts = capbench::harness::standard_suts();
+            RunConfig cfg = base;
+            cfg.event_queue = backend;
+            report.cases.push_back(run_macro("fig_6_2_baseline" + suffix, suts, cfg));
+            print_case(report.cases.back());
+        }
+        {
+            // Figure 6.6: the 50-instruction filter over real frame bytes.
+            auto suts = capbench::harness::standard_suts();
+            capbench::harness::apply_increased_buffers(suts);
+            for (auto& sut : suts)
+                sut.filter_expression = capbench::harness::fig_6_5_filter_expression();
+            RunConfig cfg = base;
+            cfg.full_bytes = true;
+            cfg.event_queue = backend;
+            report.cases.push_back(run_macro("fig_6_6_filter" + suffix, suts, cfg));
+            print_case(report.cases.back());
+        }
+        {
+            // Figure 6.8: four capturing applications per SUT (scheduler heavy).
+            auto suts = capbench::harness::standard_suts();
+            capbench::harness::apply_increased_buffers(suts);
+            for (auto& sut : suts) sut.app_count = 4;
+            RunConfig cfg = base;
+            cfg.event_queue = backend;
+            report.cases.push_back(run_macro("fig_6_8_multiapp4" + suffix, suts, cfg));
+            print_case(report.cases.back());
+        }
+        report.cases.push_back(micro_event_loop(backend, micro_iters));
         print_case(report.cases.back());
-    }
-    {
-        // Figure 6.6: the 50-instruction filter over real frame bytes.
-        auto suts = capbench::harness::standard_suts();
-        capbench::harness::apply_increased_buffers(suts);
-        for (auto& sut : suts)
-            sut.filter_expression = capbench::harness::fig_6_5_filter_expression();
-        RunConfig cfg = base;
-        cfg.full_bytes = true;
-        report.cases.push_back(run_macro("fig_6_6_filter", suts, cfg));
+        report.cases.push_back(micro_cancel_churn(backend, micro_iters));
         print_case(report.cases.back());
-    }
-    {
-        // Figure 6.8: four capturing applications per SUT (scheduler heavy).
-        auto suts = capbench::harness::standard_suts();
-        capbench::harness::apply_increased_buffers(suts);
-        for (auto& sut : suts) sut.app_count = 4;
-        report.cases.push_back(run_macro("fig_6_8_multiapp4", suts, base));
+        report.cases.push_back(micro_dense_timer(backend, micro_iters));
         print_case(report.cases.back());
     }
 
-    report.cases.push_back(micro_event_loop(micro_iters));
-    print_case(report.cases.back());
-    report.cases.push_back(micro_cancel_churn(micro_iters));
-    print_case(report.cases.back());
     report.cases.push_back(micro_arena_churn(micro_iters));
     print_case(report.cases.back());
 

@@ -1,6 +1,7 @@
 #include "capbench/capture/bsd_bpf.hpp"
 
 #include <algorithm>
+#include <utility>
 
 namespace capbench::capture {
 
@@ -28,22 +29,26 @@ hostsim::Work BsdBpfDev::plan(const net::PacketPtr& packet) {
         work.copy_bytes += verdict.caplen;
         work.working_set_bytes = static_cast<double>(2 * buffer_bytes_);
     }
-    pending_.push_back(verdict);
+    pending_.push(verdict);
     return work.scaled(os_->kernel_cost_multiplier);
 }
 
 void BsdBpfDev::commit(const net::PacketPtr& packet) {
-    const auto verdict = pending_[pending_head_++];
-    if (pending_head_ == pending_.size()) {
-        pending_.clear();
-        pending_head_ = 0;
-    }
+    const auto verdict = pending_.pop();
     if (!verdict.accept) {
         ++stats_.dropped_filter;
         return;
     }
     ++stats_.accepted;
     const std::uint64_t need = slot_bytes(verdict.caplen);
+    if (need > buffer_bytes_) {
+        // catchpacket(): a slot larger than a whole buffer half can never
+        // be stored; rotating would not help.  (Without this check the
+        // packet used to be stored anyway, pushing stored_bytes past the
+        // configured buffer size.)
+        ++stats_.dropped_buffer;
+        return;
+    }
     if (store_.stored_bytes + need > buffer_bytes_) {
         if (hold_ready_) {
             // Both halves occupied: the classic bpf "buffer full" drop.
@@ -58,7 +63,9 @@ void BsdBpfDev::commit(const net::PacketPtr& packet) {
 }
 
 void BsdBpfDev::rotate() {
-    hold_ = std::move(store_);
+    // Swap instead of move so STORE inherits the old HOLD's vector
+    // capacity — steady-state rotation reallocates nothing.
+    std::swap(hold_, store_);
     store_.clear();
     hold_ready_ = true;
     if (reader_ != nullptr) machine_->wake(*reader_);
@@ -70,7 +77,8 @@ std::optional<StackEndpoint::Batch> BsdBpfDev::fetch(std::size_t /*max_packets*/
         return std::nullopt;
     }
     Batch batch;
-    batch.packets = std::move(hold_.packets);
+    batch.packets = take_spare();
+    std::swap(batch.packets, hold_.packets);
     batch.bytes = hold_.caplen_bytes;
     // One read(): syscall + copyout of the whole HOLD buffer.
     batch.fetch_work = os_->syscall_overhead;

@@ -68,8 +68,7 @@ private:
     bool hold_ready_ = false;
     hostsim::Thread* reader_ = nullptr;
     CaptureStats stats_;
-    std::vector<FilterRunner::Verdict> pending_;  // FIFO plan->commit handoff
-    std::size_t pending_head_ = 0;
+    PendingVerdicts pending_;  // FIFO plan->commit handoff
     sim::Duration timeout_{};
     bool timeout_armed_ = false;
 };

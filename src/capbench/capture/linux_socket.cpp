@@ -25,16 +25,12 @@ hostsim::Work LinuxPacketSocket::plan(const net::PacketPtr& packet) {
     auto verdict = filter_.run(*packet, snaplen_);
     hostsim::Work work = os_->tap_per_packet;  // skb_clone + queue insert
     work.cycles += verdict.insns * os_->filter_cycles_per_insn;
-    pending_.push_back(verdict);
+    pending_.push(verdict);
     return work.scaled(os_->kernel_cost_multiplier);
 }
 
 void LinuxPacketSocket::commit(const net::PacketPtr& packet) {
-    const auto verdict = pending_[pending_head_++];
-    if (pending_head_ == pending_.size()) {
-        pending_.clear();
-        pending_head_ = 0;
-    }
+    const auto verdict = pending_.pop();
     if (!verdict.accept) {
         ++stats_.dropped_filter;
         return;
@@ -57,6 +53,7 @@ std::optional<StackEndpoint::Batch> LinuxPacketSocket::fetch(std::size_t max_pac
     if (queue_.empty()) return std::nullopt;
     Batch batch;
     const std::size_t n = std::min(max_packets, queue_.size());
+    batch.packets = take_spare();
     batch.packets.reserve(n);
     for (std::size_t i = 0; i < n; ++i) {
         Queued& q = queue_.front();

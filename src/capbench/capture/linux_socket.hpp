@@ -67,8 +67,7 @@ private:
     hostsim::Thread* reader_ = nullptr;
     SkbPool* pool_ = nullptr;
     CaptureStats stats_;
-    std::vector<FilterRunner::Verdict> pending_;
-    std::size_t pending_head_ = 0;
+    PendingVerdicts pending_;
 };
 
 }  // namespace capbench::capture

@@ -22,16 +22,12 @@ hostsim::Work MmapRing::plan(const net::PacketPtr& packet) {
         // The kernel still copies the packet once, into the mapped ring.
         work.copy_bytes += verdict.caplen;
     }
-    pending_.push_back(verdict);
+    pending_.push(verdict);
     return work.scaled(os_->kernel_cost_multiplier);
 }
 
 void MmapRing::commit(const net::PacketPtr& packet) {
-    const auto verdict = pending_[pending_head_++];
-    if (pending_head_ == pending_.size()) {
-        pending_.clear();
-        pending_head_ = 0;
-    }
+    const auto verdict = pending_.pop();
     if (!verdict.accept) {
         ++stats_.dropped_filter;
         return;
@@ -49,6 +45,7 @@ std::optional<StackEndpoint::Batch> MmapRing::fetch(std::size_t max_packets) {
     if (ring_.empty()) return std::nullopt;
     Batch batch;
     const std::size_t n = std::min(max_packets, ring_.size());
+    batch.packets = take_spare();
     batch.packets.reserve(n);
     for (std::size_t i = 0; i < n; ++i) {
         Queued& q = ring_.front();

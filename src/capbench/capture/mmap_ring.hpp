@@ -10,10 +10,10 @@
 #pragma once
 
 #include <cstdint>
-#include <deque>
 
 #include "capbench/capture/os.hpp"
 #include "capbench/capture/tap.hpp"
+#include "capbench/sim/ring_buffer.hpp"
 
 namespace capbench::capture {
 
@@ -46,11 +46,10 @@ private:
     std::size_t slots_;
     std::uint32_t snaplen_;
     FilterRunner filter_;
-    std::deque<Queued> ring_;
+    sim::RingBuffer<Queued> ring_;
     hostsim::Thread* reader_ = nullptr;
     CaptureStats stats_;
-    std::vector<FilterRunner::Verdict> pending_;
-    std::size_t pending_head_ = 0;
+    PendingVerdicts pending_;
 };
 
 }  // namespace capbench::capture

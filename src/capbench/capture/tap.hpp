@@ -2,8 +2,10 @@
 // between capture stacks and application threads (reader side).
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <optional>
+#include <stdexcept>
 #include <vector>
 
 #include "capbench/bpf/insn.hpp"
@@ -63,6 +65,22 @@ public:
     virtual void install_filter(bpf::Program program) = 0;
 
     [[nodiscard]] virtual const CaptureStats& stats() const = 0;
+
+    /// Hands a consumed batch's packet vector back for reuse: the next
+    /// fetch() builds its batch in it, capacity intact, so steady-state
+    /// fetch loops allocate nothing.
+    void recycle(std::vector<net::PacketPtr> packets) {
+        packets.clear();
+        spare_packets_ = std::move(packets);
+    }
+
+protected:
+    /// The pooled vector from the last recycle() (empty, capacity kept);
+    /// an empty fresh vector if none was returned yet.
+    [[nodiscard]] std::vector<net::PacketPtr> take_spare() { return std::move(spare_packets_); }
+
+private:
+    std::vector<net::PacketPtr> spare_packets_;
 };
 
 /// Shared filter-execution helper.  Runs the real BPF VM when packet bytes
@@ -106,6 +124,36 @@ private:
     static std::span<const std::byte> synthetic_template();
 
     bpf::Program program_;
+};
+
+/// FIFO verdict handoff between plan() and commit().  The driver calls the
+/// two in strictly matched pairs per tap; a commit without a matching plan
+/// is a protocol violation that used to read `pending_[pending_head_++]`
+/// out of bounds silently in Release builds — this helper fail-fasts
+/// instead.  Storage is a vector reset once drained, so the steady state
+/// reuses its capacity.
+class PendingVerdicts {
+public:
+    void push(FilterRunner::Verdict verdict) { pending_.push_back(verdict); }
+
+    /// Pops the oldest planned verdict; throws std::logic_error when no
+    /// plan is outstanding (plan/commit mismatch).
+    FilterRunner::Verdict pop() {
+        if (head_ >= pending_.size())
+            throw std::logic_error("PendingVerdicts: commit without a matching plan");
+        const FilterRunner::Verdict verdict = pending_[head_++];
+        if (head_ == pending_.size()) {
+            pending_.clear();
+            head_ = 0;
+        }
+        return verdict;
+    }
+
+    [[nodiscard]] std::size_t outstanding() const { return pending_.size() - head_; }
+
+private:
+    std::vector<FilterRunner::Verdict> pending_;
+    std::size_t head_ = 0;
 };
 
 }  // namespace capbench::capture

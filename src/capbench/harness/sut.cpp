@@ -199,6 +199,9 @@ void CaptureApp::after_loads(capture::StackEndpoint::Batch batch, std::size_t en
         process(std::move(batch), end);
         return;
     }
+    // Batch fully consumed: return its vector to the stack so the next
+    // fetch() reuses the capacity instead of reallocating.
+    endpoint_->recycle(std::move(batch.packets));
     if (++batches_since_yield_ >= os_->sched.yield_every_batches) {
         batches_since_yield_ = 0;
         yield([this] { fetch_loop(); });

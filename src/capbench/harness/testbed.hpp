@@ -25,6 +25,9 @@ struct TestbedConfig {
     /// a round-robin distributor (each packet goes to ONE sniffer) — the
     /// load-distribution approach of Section 7.2.
     bool distribute_round_robin = false;
+    /// Priority backend for the simulator's event queue.  Purely a perf
+    /// choice: results are bit-identical under either.
+    sim::EventQueueBackend event_queue = sim::event_queue_backend_from_env();
 };
 
 class Testbed {

@@ -13,7 +13,13 @@ namespace capbench::sim {
 /// Owns the clock and the event queue; components schedule callbacks on it.
 class Simulator {
 public:
+    explicit Simulator(EventQueueBackend backend = event_queue_backend_from_env())
+        : queue_(backend) {}
+
     [[nodiscard]] SimTime now() const { return now_; }
+
+    /// Which priority backend the event queue runs on (heap or wheel).
+    [[nodiscard]] EventQueueBackend backend() const { return queue_.backend(); }
 
     /// Schedules `action` to run `delay` after the current time.
     EventHandle schedule_in(Duration delay, EventQueue::Action action) {
@@ -30,9 +36,11 @@ public:
     /// Returns the number of events executed.
     std::uint64_t run(SimTime until = SimTime::max()) {
         std::uint64_t executed = 0;
-        while (!queue_.empty() && queue_.next_time() <= until) {
+        while (!queue_.empty()) {
+            const SimTime t = queue_.next_time();
+            if (t > until) break;
             // Advance the clock before the action runs so it observes now().
-            now_ = queue_.next_time();
+            now_ = t;
             queue_.pop_and_run();
             ++executed;
         }

@@ -1,0 +1,271 @@
+#include "capbench/sim/timing_wheel.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <stdexcept>
+
+namespace capbench::sim {
+
+TimingWheel::TimingWheel() = default;
+
+std::uint64_t TimingWheel::tick_of(SimTime t) {
+    // Negative times cannot occur on the simulator path (the clock starts
+    // at zero and only moves forward), but clamp defensively; place()
+    // routes them through the sorted ready list so the exact (time, seq)
+    // order survives the clamp.
+    const std::int64_t ns = t.ns();
+    return ns < 0 ? 0 : static_cast<std::uint64_t>(ns);
+}
+
+bool TimingWheel::key_less(std::uint32_t a, std::uint32_t b) const {
+    const Node& na = nodes_[a];
+    const Node& nb = nodes_[b];
+    if (na.time != nb.time) return na.time < nb.time;
+    return na.seq < nb.seq;
+}
+
+void TimingWheel::insert(std::uint32_t id, SimTime time, std::uint64_t seq) {
+    if (id >= nodes_.size()) nodes_.resize(static_cast<std::size_t>(id) + 1);
+    Node& n = nodes_[id];
+    n.time = time;
+    n.seq = seq;
+    n.prev = kNil;
+    n.next = kNil;
+    place(id);
+    ++size_;
+}
+
+void TimingWheel::place(std::uint32_t id) {
+    Node& n = nodes_[id];
+    const std::uint64_t tick = tick_of(n.time);
+    if (tick < cur_tick_ || n.time.ns() < 0) {
+        // Earlier than the cursor: only reachable through the
+        // peek-then-push pattern (next_time() advanced the cursor, then an
+        // earlier event was scheduled from outside the run loop) or the
+        // defensive negative-time clamp.  Keep the total order by merging
+        // straight into the sorted ready list.
+        ready_insert_sorted(id);
+        return;
+    }
+    // Smallest level whose block (kBucketsPerLevel^(level+1) ticks,
+    // aligned) contains both the cursor and the tick — the strict
+    // hierarchical placement, so a level's buckets only ever hold ticks
+    // inside the cursor's current block one level up.
+    const std::uint64_t diverging = tick ^ cur_tick_;
+    for (int level = 0; level < kLevels; ++level) {
+        if ((diverging >> (kLevelBits * (level + 1))) == 0) {
+            const auto bucket =
+                static_cast<std::uint32_t>((tick >> (kLevelBits * level)) & kBucketMask);
+            bucket_push(level, bucket, id);
+            return;
+        }
+    }
+    // Beyond the top-level block: far-future overflow list.  Appended at
+    // the tail so the list stays in push-seq order, like every bucket.
+    n.home = kHomeOverflow;
+    n.prev = overflow_tail_;
+    if (overflow_tail_ != kNil)
+        nodes_[overflow_tail_].next = id;
+    else
+        overflow_head_ = id;
+    overflow_tail_ = id;
+    ++overflow_count_;
+}
+
+void TimingWheel::bucket_push(int level, std::uint32_t bucket, std::uint32_t id) {
+    const std::uint32_t slot = static_cast<std::uint32_t>(level) * kBucketsPerLevel + bucket;
+    BucketList& list = buckets_[slot];
+    Node& n = nodes_[id];
+    n.home = slot;
+    n.prev = list.tail;
+    if (list.tail != kNil)
+        nodes_[list.tail].next = id;
+    else
+        list.head = id;
+    list.tail = id;
+    occupied_[static_cast<std::size_t>(level)][bucket >> 6] |= std::uint64_t{1} << (bucket & 63);
+}
+
+void TimingWheel::ready_insert_sorted(std::uint32_t id) {
+    Node& n = nodes_[id];
+    n.home = kHomeReady;
+    std::uint32_t after = ready_tail_;
+    while (after != kNil && key_less(id, after)) after = nodes_[after].prev;
+    if (after == kNil) {
+        n.prev = kNil;
+        n.next = ready_head_;
+        if (ready_head_ != kNil) nodes_[ready_head_].prev = id;
+        ready_head_ = id;
+        if (ready_tail_ == kNil) ready_tail_ = id;
+    } else {
+        n.prev = after;
+        n.next = nodes_[after].next;
+        nodes_[after].next = id;
+        if (n.next != kNil)
+            nodes_[n.next].prev = id;
+        else
+            ready_tail_ = id;
+    }
+    ++ready_count_;
+}
+
+void TimingWheel::erase(std::uint32_t id) {
+    Node& n = nodes_[id];
+    if (n.home == kHomeNone) throw std::logic_error("TimingWheel::erase of an absent id");
+    if (n.prev != kNil) nodes_[n.prev].next = n.next;
+    if (n.next != kNil) nodes_[n.next].prev = n.prev;
+    if (n.home == kHomeReady) {
+        if (ready_head_ == id) ready_head_ = n.next;
+        if (ready_tail_ == id) ready_tail_ = n.prev;
+        --ready_count_;
+    } else if (n.home == kHomeOverflow) {
+        if (overflow_head_ == id) overflow_head_ = n.next;
+        if (overflow_tail_ == id) overflow_tail_ = n.prev;
+        --overflow_count_;
+    } else {
+        BucketList& list = buckets_[n.home];
+        if (list.head == id) list.head = n.next;
+        if (list.tail == id) list.tail = n.prev;
+        if (list.head == kNil) {
+            const std::uint32_t level = n.home / kBucketsPerLevel;
+            const std::uint32_t bucket = n.home & kBucketMask;
+            occupied_[level][bucket >> 6] &= ~(std::uint64_t{1} << (bucket & 63));
+        }
+    }
+    n.prev = kNil;
+    n.next = kNil;
+    n.home = kHomeNone;
+    --size_;
+}
+
+void TimingWheel::stage() {
+    if (ready_head_ != kNil) return;
+    if (size_ == 0) throw std::logic_error("TimingWheel: stage on empty wheel");
+    for (;;) {
+        if (size_ == overflow_count_) {
+            reingest_overflow();
+            if (ready_head_ != kNil) return;
+            continue;
+        }
+        // Walk levels bottom-up, scanning each level from the cursor's own
+        // index at that level.  Invariant: buckets below that index are
+        // empty (placement always lands at or ahead of the cursor index,
+        // earlier-than-cursor pushes go to the ready list, and cascades
+        // refill lower levels only ahead of the advanced cursor).
+        bool cascaded = false;
+        for (int level = 0; level < kLevels; ++level) {
+            const int shift = kLevelBits * level;
+            const auto idx = static_cast<std::uint32_t>((cur_tick_ >> shift) & kBucketMask);
+            const int found = scan_occupied(level, idx);
+            if (found >= 0) {
+                const auto bucket = static_cast<std::uint32_t>(found);
+                if (level == 0) {
+                    cur_tick_ = (cur_tick_ & ~std::uint64_t{kBucketMask}) | bucket;
+                    stage_level0_bucket(bucket);
+                    return;
+                }
+                // Advance the cursor to the bucket's start and spill its
+                // events into the lower levels, then rescan from level 0.
+                const std::uint64_t high = cur_tick_ >> shift;
+                cur_tick_ = ((high & ~std::uint64_t{kBucketMask}) | bucket) << shift;
+                cascade(level, bucket);
+                cascaded = true;
+                break;
+            }
+        }
+        if (!cascaded && size_ > overflow_count_)
+            throw std::logic_error("TimingWheel: occupancy bitmaps corrupt");
+    }
+}
+
+void TimingWheel::stage_level0_bucket(std::uint32_t bucket) {
+    // A level-0 bucket is one tick, and every list in the wheel is kept in
+    // push-seq order by construction: inserts append at the tail, a later
+    // direct insert always carries a later seq than anything a cascade put
+    // there (cascades only fill buckets that were empty when the cursor
+    // arrived, preserving the source list's relative order), and the
+    // overflow list re-ingests in order too.  So the bucket list already
+    // IS the (time, seq) order — splice it into the ready list as-is.
+    BucketList& list = buckets_[bucket];
+    const std::uint32_t head = list.head;
+    const std::uint32_t tail = list.tail;
+    list.head = kNil;
+    list.tail = kNil;
+    occupied_[0][bucket >> 6] &= ~(std::uint64_t{1} << (bucket & 63));
+    std::size_t count = 0;
+    for (std::uint32_t id = head; id != kNil; id = nodes_[id].next) {
+        nodes_[id].home = kHomeReady;
+        ++count;
+    }
+    ready_head_ = head;
+    ready_tail_ = tail;
+    ready_count_ += count;
+}
+
+void TimingWheel::cascade(int level, std::uint32_t bucket) {
+    const std::uint32_t slot = static_cast<std::uint32_t>(level) * kBucketsPerLevel + bucket;
+    std::uint32_t id = buckets_[slot].head;
+    buckets_[slot].head = kNil;
+    buckets_[slot].tail = kNil;
+    occupied_[static_cast<std::size_t>(level)][bucket >> 6] &=
+        ~(std::uint64_t{1} << (bucket & 63));
+    while (id != kNil) {
+        const std::uint32_t next = nodes_[id].next;
+        nodes_[id].prev = kNil;
+        nodes_[id].next = kNil;
+        nodes_[id].home = kHomeNone;
+        place(id);  // relative to the advanced cursor: lands one+ level down
+        id = next;
+    }
+}
+
+void TimingWheel::reingest_overflow() {
+    // The wheels and the ready list are empty; jump the cursor to the
+    // earliest far-future entry and re-place everything relative to it.
+    std::uint64_t min_tick = ~std::uint64_t{0};
+    for (std::uint32_t id = overflow_head_; id != kNil; id = nodes_[id].next)
+        min_tick = std::min(min_tick, tick_of(nodes_[id].time));
+    cur_tick_ = std::max(cur_tick_, min_tick);
+    std::uint32_t id = overflow_head_;
+    overflow_head_ = kNil;
+    overflow_tail_ = kNil;
+    overflow_count_ = 0;
+    while (id != kNil) {
+        const std::uint32_t next = nodes_[id].next;
+        nodes_[id].prev = kNil;
+        nodes_[id].next = kNil;
+        nodes_[id].home = kHomeNone;
+        place(id);
+        id = next;
+    }
+}
+
+int TimingWheel::scan_occupied(int level, std::uint32_t from) const {
+    const auto& words = occupied_[static_cast<std::size_t>(level)];
+    std::uint32_t w = from >> 6;
+    if (w >= words.size()) return -1;
+    std::uint64_t word = words[w] & (~std::uint64_t{0} << (from & 63));
+    for (;;) {
+        if (word != 0)
+            return static_cast<int>(w * 64 + static_cast<std::uint32_t>(std::countr_zero(word)));
+        if (++w >= words.size()) return -1;
+        word = words[w];
+    }
+}
+
+void TimingWheel::clear() {
+    buckets_.fill(BucketList{});
+    for (auto& level : occupied_) level.fill(0);
+    ready_head_ = kNil;
+    ready_tail_ = kNil;
+    overflow_head_ = kNil;
+    overflow_tail_ = kNil;
+    cur_tick_ = 0;
+    size_ = 0;
+    ready_count_ = 0;
+    overflow_count_ = 0;
+    // nodes_ keeps stale key/link state; every id is re-initialized by the
+    // insert() that next uses it.
+}
+
+}  // namespace capbench::sim

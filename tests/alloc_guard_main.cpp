@@ -12,6 +12,10 @@
 
 #include <gtest/gtest.h>
 
+#include "capbench/capture/bsd_bpf.hpp"
+#include "capbench/capture/mmap_ring.hpp"
+#include "capbench/capture/os.hpp"
+#include "capbench/hostsim/machine.hpp"
 #include "capbench/net/arena.hpp"
 #include "capbench/net/link.hpp"
 #include "capbench/net/packet.hpp"
@@ -90,13 +94,12 @@ struct ChainEvent {
     }
 };
 
-TEST(AllocGuard, SteadyStateEventLoopDoesNotAllocate) {
-    SKIP_UNDER_SANITIZERS();
-    sim::Simulator sim;
+void check_event_loop_steady_state(sim::EventQueueBackend backend) {
+    sim::Simulator sim{backend};
     std::uint64_t remaining = 10'000;
     for (int chain = 0; chain < 8; ++chain)
         sim.schedule_in(sim::Duration{chain + 1}, ChainEvent{&sim, &remaining});
-    sim.run();  // warmup: grows the slab and the heap vector to final size
+    sim.run();  // warmup: grows the slab and the priority structure to final size
     ASSERT_EQ(remaining, 0u);
 
     remaining = 100'000;
@@ -104,12 +107,22 @@ TEST(AllocGuard, SteadyStateEventLoopDoesNotAllocate) {
         sim.schedule_in(sim::Duration{chain + 1}, ChainEvent{&sim, &remaining});
     const std::uint64_t allocs = allocations_during([&] { sim.run(); });
     EXPECT_EQ(remaining, 0u);
-    EXPECT_EQ(allocs, 0u) << "event loop allocated in steady state";
+    EXPECT_EQ(allocs, 0u) << "event loop allocated in steady state ("
+                          << sim::to_string(backend) << " backend)";
 }
 
-TEST(AllocGuard, EventCancellationDoesNotAllocate) {
+TEST(AllocGuard, SteadyStateEventLoopDoesNotAllocate) {
     SKIP_UNDER_SANITIZERS();
-    sim::Simulator sim;
+    check_event_loop_steady_state(sim::EventQueueBackend::kHeap);
+}
+
+TEST(AllocGuard, SteadyStateEventLoopDoesNotAllocateOnWheel) {
+    SKIP_UNDER_SANITIZERS();
+    check_event_loop_steady_state(sim::EventQueueBackend::kWheel);
+}
+
+void check_cancel_churn_steady_state(sim::EventQueueBackend backend) {
+    sim::Simulator sim{backend};
     const auto churn = [&](std::uint64_t iters) {
         for (std::uint64_t i = 0; i < iters; ++i) {
             auto doomed = sim.schedule_in(sim::Duration{1000}, [] {});
@@ -121,7 +134,18 @@ TEST(AllocGuard, EventCancellationDoesNotAllocate) {
     };
     churn(64);  // warmup
     const std::uint64_t allocs = allocations_during([&] { churn(10'000); });
-    EXPECT_EQ(allocs, 0u) << "cancel/reschedule churn allocated in steady state";
+    EXPECT_EQ(allocs, 0u) << "cancel/reschedule churn allocated in steady state ("
+                          << sim::to_string(backend) << " backend)";
+}
+
+TEST(AllocGuard, EventCancellationDoesNotAllocate) {
+    SKIP_UNDER_SANITIZERS();
+    check_cancel_churn_steady_state(sim::EventQueueBackend::kHeap);
+}
+
+TEST(AllocGuard, EventCancellationDoesNotAllocateOnWheel) {
+    SKIP_UNDER_SANITIZERS();
+    check_cancel_churn_steady_state(sim::EventQueueBackend::kWheel);
 }
 
 /// Sink that retains each packet briefly (one in flight), like a capture
@@ -158,6 +182,56 @@ TEST(AllocGuard, SyntheticPacketPathDoesNotAllocate) {
     const std::uint64_t allocs = allocations_during([&] { sim.run(); });
     EXPECT_EQ(sink.frames, 20'000u);
     EXPECT_EQ(allocs, 0u) << "pktgen -> link -> sink synthetic path allocated";
+}
+
+TEST(AllocGuard, BsdBpfFetchLoopDoesNotAllocate) {
+    SKIP_UNDER_SANITIZERS();
+    namespace capture = capbench::capture;
+    namespace hostsim = capbench::hostsim;
+    sim::Simulator sim;
+    hostsim::Machine machine{
+        sim, hostsim::MachineSpec{hostsim::ArchSpec::amd_opteron(), 2, false}, {}};
+    // 4096-byte halves: four 1000-byte packets (1020-byte slots) fill a
+    // half, the fifth rotates — fetch/recycle runs every few packets.
+    capture::BsdBpfDev dev{machine, capture::OsSpec::freebsd_5_4(), 4096, 1515};
+    auto arena = capbench::net::PacketArena::create();
+    const auto churn = [&](std::uint64_t iters) {
+        for (std::uint64_t i = 0; i < iters; ++i) {
+            auto p = arena->make_full(i, 1000, sim::SimTime{});
+            dev.plan(p);
+            dev.commit(p);
+            if (auto batch = dev.fetch(64)) dev.recycle(std::move(batch->packets));
+        }
+    };
+    churn(64);  // warmup: store/hold/spare vectors reach steady capacity
+    const std::uint64_t allocs = allocations_during([&] { churn(10'000); });
+    EXPECT_EQ(allocs, 0u) << "bsd_bpf deliver/fetch/recycle loop allocated";
+    EXPECT_GT(dev.stats().delivered, 0u);
+}
+
+TEST(AllocGuard, MmapRingFetchLoopDoesNotAllocate) {
+    SKIP_UNDER_SANITIZERS();
+    namespace capture = capbench::capture;
+    namespace hostsim = capbench::hostsim;
+    sim::Simulator sim;
+    hostsim::Machine machine{
+        sim, hostsim::MachineSpec{hostsim::ArchSpec::amd_opteron(), 2, false}, {}};
+    capture::MmapRing ring{machine, capture::OsSpec::linux_2_6_11(), 64 * 2048, 1515};
+    auto arena = capbench::net::PacketArena::create();
+    const auto churn = [&](std::uint64_t iters) {
+        for (std::uint64_t i = 0; i < iters; ++i) {
+            auto p = arena->make_full(i, 1000, sim::SimTime{});
+            ring.plan(p);
+            ring.commit(p);
+            if ((i & 7) == 7) {
+                if (auto batch = ring.fetch(8)) ring.recycle(std::move(batch->packets));
+            }
+        }
+    };
+    churn(64);  // warmup: ring buffer and batch vector reach steady capacity
+    const std::uint64_t allocs = allocations_during([&] { churn(10'000); });
+    EXPECT_EQ(allocs, 0u) << "mmap_ring deliver/fetch/recycle loop allocated";
+    EXPECT_GT(ring.stats().delivered, 0u);
 }
 
 TEST(AllocGuard, ArenaFullPacketChurnDoesNotAllocate) {

@@ -16,6 +16,7 @@ using hostsim::ArchSpec;
 using hostsim::CpuState;
 using hostsim::Machine;
 using hostsim::MachineSpec;
+using hostsim::Thread;
 using hostsim::Work;
 
 net::PacketPtr synthetic(std::uint64_t id, std::uint32_t frame_len) {
@@ -86,6 +87,32 @@ TEST(BsdBpf, SnaplenTruncatesCaptureLength) {
     const auto batch = dev.fetch(999);
     ASSERT_TRUE(batch.has_value());
     EXPECT_EQ(batch->bytes, 2u * 76u);
+}
+
+TEST(BsdBpf, OversizedPacketIsDroppedNotStored) {
+    Fixture f;
+    // A 1000-byte packet occupies 1000 + 18 header, word aligned = 1020
+    // slot bytes — more than an entire 512-byte buffer half.  Real bpf
+    // catchpacket() drops it; storing it would push stored_bytes past the
+    // configured buffer size.
+    BsdBpfDev dev{f.machine, OsSpec::freebsd_5_4(), 512, 1515};
+    dev.enable_read_timeout(sim::milliseconds(20));
+    deliver(dev, synthetic(1, 1000));
+    EXPECT_EQ(dev.stats().accepted, 1u);
+    EXPECT_EQ(dev.stats().dropped_buffer, 1u);
+    // Nothing was stored: even after the read timeout there is no data.
+    EXPECT_EQ(dev.fetch(999), std::nullopt);
+    f.sim.run(f.sim.now() + sim::milliseconds(25));
+    EXPECT_EQ(dev.fetch(999), std::nullopt);
+
+    // A packet that does fit still flows through normally.
+    deliver(dev, synthetic(2, 100));
+    EXPECT_EQ(dev.fetch(999), std::nullopt);
+    f.sim.run(f.sim.now() + sim::milliseconds(25));
+    const auto batch = dev.fetch(999);
+    ASSERT_TRUE(batch.has_value());
+    EXPECT_EQ(batch->packets.size(), 1u);
+    EXPECT_EQ(batch->packets.front()->id(), 2u);
 }
 
 TEST(BsdBpf, FilterRejectsAndCountsSeparately) {
@@ -185,6 +212,128 @@ TEST(Taps, RealBytesRunTheRealFilter) {
     auto arp = std::make_shared<net::Packet>(1, std::move(frame), sim::SimTime{});
     deliver(sock, arp);
     EXPECT_EQ(sock.stats().dropped_filter, 1u);
+}
+
+// ---- plan/commit protocol -----------------------------------------------------
+
+TEST(Taps, CommitWithoutPlanFailsFast) {
+    // A commit with no outstanding plan used to read the verdict FIFO out
+    // of bounds silently in Release builds; all three stacks must throw.
+    Fixture f;
+    const auto p = synthetic(1, 500);
+
+    BsdBpfDev bpf{f.machine, OsSpec::freebsd_5_4(), 1 << 20, 1515};
+    EXPECT_THROW(bpf.commit(p), std::logic_error);
+
+    LinuxPacketSocket sock{f.machine, OsSpec::linux_2_6_11(), 1 << 20, 1515};
+    EXPECT_THROW(sock.commit(p), std::logic_error);
+
+    MmapRing ring{f.machine, OsSpec::linux_2_6_11(), 1 << 20, 1515};
+    EXPECT_THROW(ring.commit(p), std::logic_error);
+}
+
+TEST(Taps, ExtraCommitAfterMatchedPairsFailsFast) {
+    Fixture f;
+    const auto p = synthetic(1, 500);
+    LinuxPacketSocket sock{f.machine, OsSpec::linux_2_6_11(), 1 << 20, 1515};
+    deliver(sock, p);                                  // matched pair: fine
+    EXPECT_THROW(sock.commit(p), std::logic_error);    // one commit too many
+    deliver(sock, p);                                  // queue still usable
+    EXPECT_EQ(sock.stats().accepted, 2u);
+}
+
+// ---- read-timeout re-arm ------------------------------------------------------
+
+/// An application thread that blocks forever (re-blocking each time it is
+/// woken) — keeps BsdBpfDev's reader in State::kBlocked so the timeout
+/// re-arm path is taken.
+struct ParkedReader final : Thread {
+    ParkedReader() : Thread("parked-reader") {}
+    void main() override { park(); }
+    void park() {
+        block([this] { park(); });
+    }
+};
+
+TEST(BsdBpf, TimeoutReArmsWhileReaderStaysBlocked) {
+    Fixture f;
+    BsdBpfDev dev{f.machine, OsSpec::freebsd_5_4(), 1 << 20, 1515};
+    auto reader = std::make_shared<ParkedReader>();
+    f.machine.spawn(reader);
+    dev.set_reader(reader.get());
+    dev.enable_read_timeout(sim::milliseconds(20));
+
+    // The reader finds no data and goes to sleep; this arms the timeout.
+    EXPECT_EQ(dev.fetch(999), std::nullopt);
+    // A packet arrives only at t=50ms — after the first timeout fired on
+    // an empty STORE.  Delivery depends on the timer re-arming at 20ms and
+    // 40ms while the reader stays blocked: the 60ms firing rotates.
+    f.sim.schedule_at(sim::SimTime{} + sim::milliseconds(50),
+                      [&dev] { deliver(dev, synthetic(1, 400)); });
+    f.sim.run(sim::SimTime{} + sim::milliseconds(100));
+    EXPECT_EQ(reader->state(), Thread::State::kBlocked);
+
+    const auto batch = dev.fetch(999);
+    ASSERT_TRUE(batch.has_value()) << "timeout did not re-arm while the reader waited";
+    EXPECT_EQ(batch->packets.size(), 1u);
+}
+
+TEST(BsdBpf, NoReArmAfterHoldReadyUntilNextFetch) {
+    Fixture f;
+    BsdBpfDev dev{f.machine, OsSpec::freebsd_5_4(), 1 << 20, 1515};
+    auto reader = std::make_shared<ParkedReader>();
+    f.machine.spawn(reader);
+    dev.set_reader(reader.get());
+    dev.enable_read_timeout(sim::milliseconds(20));
+
+    EXPECT_EQ(dev.fetch(999), std::nullopt);  // arm
+    deliver(dev, synthetic(1, 400));
+    f.sim.run(sim::SimTime{} + sim::milliseconds(25));  // rotate at 20ms
+
+    // HOLD is ready; the timer must NOT have re-armed.  A second packet
+    // sits in STORE and stays there however long we wait...
+    deliver(dev, synthetic(2, 400));
+    f.sim.run(sim::SimTime{} + sim::milliseconds(150));
+    const auto first = dev.fetch(999);
+    ASSERT_TRUE(first.has_value());
+    EXPECT_EQ(first->packets.size(), 1u);
+    EXPECT_EQ(first->packets.front()->id(), 1u);
+
+    // ...until the NEXT empty fetch arms a fresh timeout that rotates it.
+    EXPECT_EQ(dev.fetch(999), std::nullopt);
+    f.sim.run(f.sim.now() + sim::milliseconds(25));
+    const auto second = dev.fetch(999);
+    ASSERT_TRUE(second.has_value());
+    EXPECT_EQ(second->packets.size(), 1u);
+    EXPECT_EQ(second->packets.front()->id(), 2u);
+}
+
+// ---- batch vector pooling -----------------------------------------------------
+
+TEST(Taps, RecycledBatchVectorsKeepTheirStorage) {
+    // After recycle(), the next fetch must reuse the returned vector's
+    // storage instead of allocating a new one.
+    Fixture f;
+    LinuxPacketSocket sock{f.machine, OsSpec::linux_2_6_11(), 1 << 20, 1515};
+    for (int i = 0; i < 8; ++i) deliver(sock, synthetic(i, 200));
+    auto batch = sock.fetch(8);
+    ASSERT_TRUE(batch.has_value());
+    const net::PacketPtr* storage = batch->packets.data();
+    sock.recycle(std::move(batch->packets));
+
+    for (int i = 8; i < 16; ++i) deliver(sock, synthetic(i, 200));
+    const auto again = sock.fetch(8);
+    ASSERT_TRUE(again.has_value());
+    EXPECT_EQ(again->packets.data(), storage) << "fetch reallocated instead of reusing";
+
+    MmapRing ring{f.machine, OsSpec::linux_2_6_11(), 1 << 20, 1515};
+    for (int i = 0; i < 8; ++i) deliver(ring, synthetic(i, 200));
+    auto rb = ring.fetch(8);
+    ASSERT_TRUE(rb.has_value());
+    const net::PacketPtr* ring_storage = rb->packets.data();
+    ring.recycle(std::move(rb->packets));
+    for (int i = 8; i < 16; ++i) deliver(ring, synthetic(i, 200));
+    EXPECT_EQ(ring.fetch(8)->packets.data(), ring_storage);
 }
 
 // ---- NIC + driver -------------------------------------------------------------

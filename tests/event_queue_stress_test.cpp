@@ -1,9 +1,12 @@
 // Stress tests for the slab-backed event queue: slot reuse under heavy
 // cancellation (the ABA hazard generation stamps exist to prevent),
-// clear() semantics, and the live-only size accounting.
+// clear() semantics, and the live-only size accounting.  Every test runs
+// against both priority backends (4-ary heap and hierarchical timing
+// wheel); they must pop the identical (time, seq) total order.
 #include <algorithm>
 #include <cstdint>
 #include <map>
+#include <string>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -17,7 +20,19 @@ namespace {
 
 sim::SimTime at(std::int64_t ns) { return sim::SimTime{} + sim::Duration{ns}; }
 
-TEST(EventQueueStress, RandomCancelReplayMatchesReferenceModel) {
+class EventQueueStress : public ::testing::TestWithParam<sim::EventQueueBackend> {
+protected:
+    [[nodiscard]] bool heap_backend() const {
+        return GetParam() == sim::EventQueueBackend::kHeap;
+    }
+};
+
+INSTANTIATE_TEST_SUITE_P(Backends, EventQueueStress,
+                         ::testing::Values(sim::EventQueueBackend::kHeap,
+                                           sim::EventQueueBackend::kWheel),
+                         [](const auto& info) { return std::string(sim::to_string(info.param)); });
+
+TEST_P(EventQueueStress, RandomCancelReplayMatchesReferenceModel) {
     // Drive the slab queue and a reference model (multimap of live events
     // ordered by the same (time, push-seq) key) with one random
     // push/cancel/pop mix; every pop must execute exactly the reference
@@ -25,7 +40,7 @@ TEST(EventQueueStress, RandomCancelReplayMatchesReferenceModel) {
     // slot reuse while stale handles are still alive — the ABA scenario
     // the generation stamps exist for.
     sim::Rng rng(20260806);
-    sim::EventQueue q;
+    sim::EventQueue q{GetParam()};
     std::uint64_t last_fired = 0;
     bool fired_flag = false;
 
@@ -87,10 +102,10 @@ TEST(EventQueueStress, RandomCancelReplayMatchesReferenceModel) {
     EXPECT_EQ(q.stats().pushed, q.stats().executed + q.stats().cancelled);
 }
 
-TEST(EventQueueStress, StaleHandleCannotCancelSlotReuse) {
+TEST_P(EventQueueStress, StaleHandleCannotCancelSlotReuse) {
     // The ABA scenario: a handle to a consumed event must not affect a new
     // event that happens to land in the same slot.
-    sim::EventQueue q;
+    sim::EventQueue q{GetParam()};
     int first_fired = 0;
     int second_fired = 0;
     auto stale = q.push(at(1), [&first_fired] { ++first_fired; });
@@ -108,28 +123,30 @@ TEST(EventQueueStress, StaleHandleCannotCancelSlotReuse) {
     EXPECT_EQ(second_fired, 1);
 }
 
-TEST(EventQueueStress, SizeCountsLiveEventsOnly) {
-    sim::EventQueue q;
+TEST_P(EventQueueStress, SizeCountsLiveEventsOnly) {
+    sim::EventQueue q{GetParam()};
     auto a = q.push(at(1), [] {});
     auto b = q.push(at(2), [] {});
     auto c = q.push(at(3), [] {});
     EXPECT_EQ(q.size(), 3u);
     EXPECT_EQ(q.cancelled_backlog(), 0u);
 
+    // The heap cancels lazily (tombstones surface later); the wheel
+    // unlinks eagerly and never builds a backlog.
     b.cancel();
     EXPECT_EQ(q.size(), 2u) << "cancelled events must not count as live";
-    EXPECT_EQ(q.cancelled_backlog(), 1u);
+    EXPECT_EQ(q.cancelled_backlog(), heap_backend() ? 1u : 0u);
     EXPECT_FALSE(q.empty());
 
     a.cancel();
     c.cancel();
     EXPECT_EQ(q.size(), 0u);
     EXPECT_TRUE(q.empty()) << "a queue holding only tombstones is empty";
-    EXPECT_EQ(q.cancelled_backlog(), 3u);
+    EXPECT_EQ(q.cancelled_backlog(), heap_backend() ? 3u : 0u);
 }
 
-TEST(EventQueueStress, CancelAfterClearIsInert) {
-    sim::EventQueue q;
+TEST_P(EventQueueStress, CancelAfterClearIsInert) {
+    sim::EventQueue q{GetParam()};
     int fired = 0;
     auto before = q.push(at(5), [&fired] { ++fired; });
     auto also_before = q.push(at(6), [&fired] { ++fired; });
@@ -151,8 +168,8 @@ TEST(EventQueueStress, CancelAfterClearIsInert) {
     EXPECT_EQ(fired, 0);
 }
 
-TEST(EventQueueStress, ClearResetsFreelistDeterministically) {
-    sim::EventQueue q;
+TEST_P(EventQueueStress, ClearResetsFreelistDeterministically) {
+    sim::EventQueue q{GetParam()};
     std::vector<sim::EventHandle> handles;
     for (int i = 0; i < 32; ++i) handles.push_back(q.push(at(i), [] {}));
     for (int i = 0; i < 32; i += 2) handles[static_cast<std::size_t>(i)].cancel();
@@ -170,10 +187,10 @@ TEST(EventQueueStress, ClearResetsFreelistDeterministically) {
     EXPECT_EQ(fired, 32);
 }
 
-TEST(EventQueueStress, RescheduleFromRunningActionReusesOwnSlot) {
+TEST_P(EventQueueStress, RescheduleFromRunningActionReusesOwnSlot) {
     // The steady-state DES shape: the running action pushes its successor.
     // With a single chain the queue must never grow past one slot.
-    sim::EventQueue q;
+    sim::EventQueue q{GetParam()};
     struct Chain {
         sim::EventQueue* q;
         int* remaining;
@@ -188,6 +205,96 @@ TEST(EventQueueStress, RescheduleFromRunningActionReusesOwnSlot) {
     while (!q.empty()) q.pop_and_run();
     EXPECT_EQ(remaining, 0);
     EXPECT_EQ(q.slot_count(), 1u) << "self-rescheduling must recycle the slot just freed";
+}
+
+TEST_P(EventQueueStress, CrossWindowAndFarFutureOrdering) {
+    // Times spanning every timing-wheel level — same level-0 bucket,
+    // adjacent buckets, window-crossing carries (the 0x1FFFF -> 0x25000
+    // shape), multi-level jumps, and entries past the 2^48 ns top-level
+    // span that land on the far-future overflow list.  The pops must come
+    // out in exact (time, push-order) sequence on both backends.
+    sim::EventQueue q{GetParam()};
+    const std::int64_t times[] = {
+        0x1FFFF,        0x25000,         5,   5, 0x100, 0xFF, 0x10000,  0x123456,
+        0x1'0000'0000,  0x30000,         1,   (std::int64_t{1} << 49),  0x123457,
+        (std::int64_t{1} << 49) + 1,     0,   0x2FFFF, 300,   0xFFFF,
+        (std::int64_t{1} << 48) - 1,     (std::int64_t{1} << 48)};
+    std::multimap<std::pair<std::int64_t, int>, int> reference;
+    std::vector<int> fired;
+    int idx = 0;
+    for (const std::int64_t t : times) {
+        const int id = idx++;
+        q.push(at(t), [&fired, id] { fired.push_back(id); });
+        reference.emplace(std::pair{t, id}, id);
+    }
+    while (!q.empty()) q.pop_and_run();
+    std::vector<int> expected;
+    for (const auto& [key, id] : reference) expected.push_back(id);
+    EXPECT_EQ(fired, expected);
+}
+
+TEST_P(EventQueueStress, PeekThenEarlierPushStillPopsInTimeOrder) {
+    // Simulator::run peeks next_time() before the loop body; code outside
+    // the loop can then push an EARLIER event (chunked run() + re-armed
+    // timeouts do exactly this).  The peek advances the wheel cursor, so
+    // the earlier event must merge ahead of the staged one.
+    sim::EventQueue q{GetParam()};
+    std::vector<int> fired;
+    q.push(at(1'000), [&fired] { fired.push_back(1); });
+    EXPECT_EQ(q.next_time(), at(1'000));
+    q.push(at(10), [&fired] { fired.push_back(0); });
+    q.push(at(500), [&fired] { fired.push_back(2); });  // between the two
+    EXPECT_EQ(q.next_time(), at(10));
+    q.pop_and_run();
+    q.pop_and_run();
+    q.pop_and_run();
+    EXPECT_EQ(fired, (std::vector<int>{0, 2, 1}));
+}
+
+TEST(EventQueueBackendEquivalence, HeapAndWheelPopIdenticalSequences) {
+    // One random push/cancel/pop workload applied to both backends in
+    // lock-step: every pop must fire the same event id at the same time.
+    sim::Rng rng(0xC0FFEE);
+    sim::EventQueue heap{sim::EventQueueBackend::kHeap};
+    sim::EventQueue wheel{sim::EventQueueBackend::kWheel};
+    std::vector<std::uint64_t> heap_fired;
+    std::vector<std::uint64_t> wheel_fired;
+    std::vector<std::pair<sim::EventHandle, sim::EventHandle>> handles;
+    std::uint64_t next_id = 0;
+
+    for (int round = 0; round < 300; ++round) {
+        const int pushes = 1 + static_cast<int>(rng.next_below(6));
+        for (int i = 0; i < pushes; ++i) {
+            // Mix dense near-term ticks with occasional far jumps so the
+            // wheel exercises cascades and the overflow list.
+            std::int64_t t = static_cast<std::int64_t>(rng.next_below(2'000));
+            if (rng.next_below(20) == 0) t += std::int64_t{1} << (20 + rng.next_below(30));
+            const std::uint64_t id = next_id++;
+            handles.emplace_back(
+                heap.push(at(t), [&heap_fired, id] { heap_fired.push_back(id); }),
+                wheel.push(at(t), [&wheel_fired, id] { wheel_fired.push_back(id); }));
+        }
+        if (!handles.empty() && rng.next_below(3) == 0) {
+            const std::size_t pick =
+                static_cast<std::size_t>(rng.next_below(handles.size()));
+            handles[pick].first.cancel();
+            handles[pick].second.cancel();
+        }
+        const int pops = static_cast<int>(rng.next_below(4));
+        for (int i = 0; i < pops && !heap.empty(); ++i) {
+            const sim::SimTime th = heap.pop_and_run();
+            const sim::SimTime tw = wheel.pop_and_run();
+            ASSERT_EQ(th, tw);
+        }
+        ASSERT_EQ(heap.size(), wheel.size());
+        ASSERT_EQ(heap_fired, wheel_fired);
+    }
+    while (!heap.empty()) {
+        ASSERT_FALSE(wheel.empty());
+        ASSERT_EQ(heap.pop_and_run(), wheel.pop_and_run());
+    }
+    EXPECT_TRUE(wheel.empty());
+    EXPECT_EQ(heap_fired, wheel_fired);
 }
 
 }  // namespace
