@@ -8,6 +8,7 @@
 //   capbench_figures --list
 //   capbench_figures --run fig_6_2 fig_6_4 --jobs 8
 //   capbench_figures --all --jobs 8 --json results.json --gnuplot plots/
+//   capbench_figures --run fig_6_2 --trace=trace.json --metrics=metrics.json
 //
 // Scale knobs: CAPBENCH_PACKETS, CAPBENCH_REPS, CAPBENCH_JOBS (the
 // --jobs default) and CAPBENCH_GNUPLOT_DIR (the --gnuplot default).
@@ -19,6 +20,8 @@
 #include <string>
 #include <vector>
 
+#include "capbench/obs/trace.hpp"
+#include "capbench/report/metrics_writer.hpp"
 #include "capbench/report/writer.hpp"
 #include "capbench/scenario/runner.hpp"
 
@@ -29,6 +32,7 @@ using namespace capbench;
 constexpr const char* kUsage =
     "usage: capbench_figures [--list] [--run <id>...] [--all] [--jobs N]\n"
     "                        [--json <path>] [--gnuplot <dir>]\n"
+    "                        [--metrics <path>] [--trace <path>]\n"
     "\n"
     "  --list          print every registered scenario id and caption\n"
     "  --run <id>...   run the named scenarios (ids as shown by --list)\n"
@@ -37,7 +41,15 @@ constexpr const char* kUsage =
     "                  results are bit-identical regardless of N\n"
     "  --json <path>   write one capbench.figures.v1 suite document covering\n"
     "                  all scenarios run\n"
-    "  --gnuplot <dir> write <id>.dat/.gp per figure (default: CAPBENCH_GNUPLOT_DIR)\n";
+    "  --gnuplot <dir> write <id>.dat/.gp per figure (default: CAPBENCH_GNUPLOT_DIR)\n"
+    "  --metrics <path> collect packet-lifecycle metrics for every sweep point\n"
+    "                  and write one capbench.metrics-suite.v1 document\n"
+    "  --trace <path>  write a Chrome trace-event JSON timeline (load in\n"
+    "                  Perfetto / chrome://tracing) of one designated run:\n"
+    "                  first selected sweep scenario, first variant, last\n"
+    "                  sweep point, rep 0\n"
+    "\n"
+    "Flags taking a value also accept the --flag=value form.\n";
 
 struct CliOptions {
     bool list = false;
@@ -46,6 +58,8 @@ struct CliOptions {
     int jobs = 0;  // 0 = CAPBENCH_JOBS / 1
     std::string json_path;
     std::string gnuplot_dir;
+    std::string metrics_path;
+    std::string trace_path;
 };
 
 int parse_int_arg(const char* flag, const std::string& value) {
@@ -66,19 +80,39 @@ CliOptions parse_cli(int argc, char** argv) {
     CliOptions opts;
     bool collecting_ids = false;
     for (int i = 1; i < argc; ++i) {
-        const std::string arg = argv[i];
+        std::string arg = argv[i];
+        // --flag=value form: split once so the dispatch below only ever
+        // sees the bare flag; `next()` then consumes the inline value.
+        std::string inline_value;
+        bool has_inline_value = false;
+        if (arg.rfind("--", 0) == 0) {
+            const std::size_t eq = arg.find('=');
+            if (eq != std::string::npos) {
+                inline_value = arg.substr(eq + 1);
+                arg.resize(eq);
+                has_inline_value = true;
+            }
+        }
         const auto next = [&](const char* flag) -> std::string {
+            if (has_inline_value) return inline_value;
             if (i + 1 >= argc)
                 throw std::runtime_error(std::string(flag) + " requires an argument");
             return argv[++i];
         };
+        const auto no_value = [&](const char* flag) {
+            if (has_inline_value)
+                throw std::runtime_error(std::string(flag) + " does not take a value");
+        };
         if (arg == "--list") {
+            no_value("--list");
             opts.list = true;
             collecting_ids = false;
         } else if (arg == "--all") {
+            no_value("--all");
             opts.all = true;
             collecting_ids = false;
         } else if (arg == "--run") {
+            no_value("--run");
             collecting_ids = true;
         } else if (arg == "--jobs") {
             opts.jobs = parse_int_arg("--jobs", next("--jobs"));
@@ -88,6 +122,12 @@ CliOptions parse_cli(int argc, char** argv) {
             collecting_ids = false;
         } else if (arg == "--gnuplot") {
             opts.gnuplot_dir = next("--gnuplot");
+            collecting_ids = false;
+        } else if (arg == "--metrics") {
+            opts.metrics_path = next("--metrics");
+            collecting_ids = false;
+        } else if (arg == "--trace") {
+            opts.trace_path = next("--trace");
             collecting_ids = false;
         } else if (arg == "--help" || arg == "-h") {
             std::fputs(kUsage, stdout);
@@ -139,12 +179,27 @@ int main(int argc, char** argv) {
         run_opts.out = &std::cout;
         run_opts.jobs = cli.jobs != 0 ? cli.jobs : harness::default_jobs();
         run_opts.gnuplot_dir = cli.gnuplot_dir;
+        run_opts.metrics = !cli.metrics_path.empty();
+
+        obs::TraceSink trace_sink;
+        bool trace_assigned = false;
 
         std::vector<report::JsonValue> documents;
+        std::vector<report::JsonValue> metric_docs;
         for (const scenario::Scenario* s : selected) {
+            // The timeline records one designated run; it goes to the first
+            // sweep scenario on the command line (custom/table scenarios
+            // run no measurement and cannot be traced).
+            run_opts.trace = nullptr;
+            if (!cli.trace_path.empty() && !trace_assigned && !s->is_custom()) {
+                run_opts.trace = &trace_sink;
+                trace_assigned = true;
+            }
             const scenario::ScenarioResult result = scenario::run_scenario(*s, run_opts);
             if (!cli.json_path.empty())
                 documents.push_back(report::JsonWriter::document(result));
+            if (!cli.metrics_path.empty())
+                metric_docs.push_back(report::MetricsWriter::document(result));
         }
 
         if (!cli.json_path.empty()) {
@@ -155,6 +210,26 @@ int main(int argc, char** argv) {
                 throw std::runtime_error("cannot write JSON results to '" + cli.json_path +
                                          "'");
             std::printf("(JSON results written to %s)\n", cli.json_path.c_str());
+        }
+        if (!cli.metrics_path.empty()) {
+            std::ofstream out{cli.metrics_path};
+            out << report::MetricsWriter::serialize(
+                report::MetricsWriter::suite(std::move(metric_docs)));
+            if (!out)
+                throw std::runtime_error("cannot write metrics to '" + cli.metrics_path +
+                                         "'");
+            std::printf("(metrics written to %s)\n", cli.metrics_path.c_str());
+        }
+        if (!cli.trace_path.empty()) {
+            if (!trace_assigned)
+                throw std::runtime_error(
+                    "--trace needs at least one sweep (non-table) scenario");
+            std::ofstream out{cli.trace_path};
+            trace_sink.write_chrome_json(out);
+            if (!out)
+                throw std::runtime_error("cannot write trace to '" + cli.trace_path + "'");
+            std::printf("(trace written to %s — load in Perfetto or chrome://tracing)\n",
+                        cli.trace_path.c_str());
         }
         return 0;
     } catch (const std::exception& e) {

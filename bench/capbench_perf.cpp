@@ -24,6 +24,7 @@
 #include "capbench/harness/experiment.hpp"
 #include "capbench/harness/measurement.hpp"
 #include "capbench/net/arena.hpp"
+#include "capbench/obs/trace.hpp"
 #include "capbench/report/json.hpp"
 #include "capbench/report/perf.hpp"
 #include "capbench/sim/simulator.hpp"
@@ -144,6 +145,38 @@ PerfCase micro_dense_timer(capbench::sim::EventQueueBackend backend, std::uint64
                       seconds_since(t0));
 }
 
+/// Defeats constant propagation of a value so a branch on it is really
+/// executed (the observability hooks are `if (trace_) ...` at every site;
+/// this measures that branch, not dead code).
+template <typename T>
+void opaque(T& value) {
+    asm volatile("" : "+r"(value));
+}
+
+/// The tracing fast path as seen from an instrumented call site: a null
+/// check plus, when enabled, one slab push of a POD event.  `sink == null`
+/// measures the disabled cost (what every figure run pays per hook when no
+/// --trace is given); a live sink measures the enabled emit cost including
+/// amortized chunk growth.
+PerfCase micro_trace_hook(capbench::obs::TraceSink* sink, std::string name,
+                          std::uint64_t iters) {
+    const char* slice = sink != nullptr ? sink->intern("slice") : nullptr;
+    const char* cat = sink != nullptr ? sink->intern("user") : nullptr;
+    const auto t0 = Clock::now();
+    for (std::uint64_t i = 0; i < iters; ++i) {
+        capbench::obs::TraceSink* t = sink;
+        opaque(t);
+        if (t != nullptr) {
+            const auto start = capbench::sim::SimTime{static_cast<std::int64_t>(i) * 1000};
+            t->complete(1, capbench::obs::kThreadTidBase, slice, cat, start,
+                        start + capbench::sim::Duration{500});
+        }
+    }
+    double wall = seconds_since(t0);
+    opaque(wall);  // keep the empty-body disabled loop observable
+    return micro_case(std::move(name), iters, wall);
+}
+
 PerfCase micro_arena_churn(std::uint64_t iters) {
     auto arena = capbench::net::PacketArena::create();
     // A sliding window of live packets, as the splitter and capture
@@ -257,6 +290,14 @@ int main(int argc, char** argv) {
 
     report.cases.push_back(micro_arena_churn(micro_iters));
     print_case(report.cases.back());
+
+    report.cases.push_back(micro_trace_hook(nullptr, "trace_hook_disabled", micro_iters));
+    print_case(report.cases.back());
+    {
+        capbench::obs::TraceSink sink;
+        report.cases.push_back(micro_trace_hook(&sink, "trace_emit_enabled", micro_iters));
+        print_case(report.cases.back());
+    }
 
     const capbench::report::JsonValue doc = capbench::report::perf_document(report);
     const std::string text = capbench::report::dump_json(doc) + "\n";

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <utility>
 
+#include "capbench/obs/observer.hpp"
+
 namespace capbench::capture {
 
 BsdBpfDev::BsdBpfDev(hostsim::Machine& machine, const OsSpec& os, std::uint64_t buffer_bytes,
@@ -60,6 +62,9 @@ void BsdBpfDev::commit(const net::PacketPtr& packet) {
     store_.packets.push_back(packet);
     store_.stored_bytes += need;
     store_.caplen_bytes += verdict.caplen;
+    if (obs::AppObserver* o = app_obs())
+        o->enqueued(packet->id(), machine_->sim().now(),
+                    static_cast<std::int64_t>(store_.stored_bytes));
 }
 
 void BsdBpfDev::rotate() {
@@ -88,6 +93,12 @@ std::optional<StackEndpoint::Batch> BsdBpfDev::fetch(std::size_t /*max_packets*/
     stats_.delivered_bytes += batch.bytes;
     hold_.clear();
     hold_ready_ = false;
+    if (obs::AppObserver* o = app_obs()) {
+        const sim::SimTime now = machine_->sim().now();
+        for (const net::PacketPtr& p : batch.packets) o->delivered(p->id(), now);
+        o->fetched(batch.packets.size(),
+                   static_cast<std::int64_t>(store_.stored_bytes), now);
+    }
     return batch;
 }
 

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "capbench/obs/observer.hpp"
+
 namespace capbench::capture {
 
 LinuxPacketSocket::LinuxPacketSocket(hostsim::Machine& machine, const OsSpec& os,
@@ -46,6 +48,9 @@ void LinuxPacketSocket::commit(const net::PacketPtr& packet) {
     queue_.push_back(Queued{packet, verdict.caplen, ts});
     queued_truesize_ += ts;
     if (pool_ != nullptr) pool_->used += ts;
+    if (obs::AppObserver* o = app_obs())
+        o->enqueued(packet->id(), machine_->sim().now(),
+                    static_cast<std::int64_t>(queued_truesize_));
     if (reader_ != nullptr) machine_->wake(*reader_);
 }
 
@@ -69,6 +74,11 @@ std::optional<StackEndpoint::Batch> LinuxPacketSocket::fetch(std::size_t max_pac
     }
     stats_.delivered += n;
     stats_.delivered_bytes += batch.bytes;
+    if (obs::AppObserver* o = app_obs()) {
+        const sim::SimTime now = machine_->sim().now();
+        for (const net::PacketPtr& p : batch.packets) o->delivered(p->id(), now);
+        o->fetched(n, static_cast<std::int64_t>(queued_truesize_), now);
+    }
     return batch;
 }
 

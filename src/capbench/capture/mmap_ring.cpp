@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "capbench/obs/observer.hpp"
+
 namespace capbench::capture {
 
 MmapRing::MmapRing(hostsim::Machine& machine, const OsSpec& os, std::uint64_t ring_bytes,
@@ -38,6 +40,9 @@ void MmapRing::commit(const net::PacketPtr& packet) {
         return;
     }
     ring_.push_back(Queued{packet, verdict.caplen});
+    if (obs::AppObserver* o = app_obs())
+        o->enqueued(packet->id(), machine_->sim().now(),
+                    static_cast<std::int64_t>(ring_.size()));
     if (reader_ != nullptr) machine_->wake(*reader_);
 }
 
@@ -58,6 +63,11 @@ std::optional<StackEndpoint::Batch> MmapRing::fetch(std::size_t max_packets) {
     batch.fetch_work.mem_misses = 1.0 * static_cast<double>(n);
     stats_.delivered += n;
     stats_.delivered_bytes += batch.bytes;
+    if (obs::AppObserver* o = app_obs()) {
+        const sim::SimTime now = machine_->sim().now();
+        for (const net::PacketPtr& p : batch.packets) o->delivered(p->id(), now);
+        o->fetched(n, static_cast<std::int64_t>(ring_.size()), now);
+    }
     return batch;
 }
 

@@ -1,5 +1,7 @@
 #include "capbench/capture/nic.hpp"
 
+#include "capbench/obs/observer.hpp"
+
 namespace capbench::capture {
 
 Nic::Nic(hostsim::Machine& machine, const OsSpec& os, NicModel model, Driver& driver)
@@ -7,6 +9,7 @@ Nic::Nic(hostsim::Machine& machine, const OsSpec& os, NicModel model, Driver& dr
 
 void Nic::on_frame(const net::PacketPtr& packet) {
     ++frames_seen_;
+    if (obs_) obs_->nic_arrival(packet->id(), machine_->sim().now());
     if (ring_.size() >= model_.ring_slots) {
         ++ring_drops_;
         return;
@@ -15,12 +18,14 @@ void Nic::on_frame(const net::PacketPtr& packet) {
     if (!service_active_) {
         service_active_ = true;
         // First frame of a burst: pay the interrupt overhead, then serve.
+        if (obs_) obs_->irq_raised(machine_->sim().now());
         machine_->post_kernel_work(os_->irq_overhead.scaled(os_->kernel_cost_multiplier),
                                    hostsim::CpuState::kInterrupt, [this] { serve(); });
     }
 }
 
 void Nic::serve() {
+    if (obs_) obs_->ring_occupancy(machine_->sim().now(), ring_.size());
     const std::size_t batch = model_.interrupt_moderation ? model_.poll_batch : 1;
     std::size_t n = 0;
     while (!ring_.empty() && n < batch) {
@@ -30,6 +35,7 @@ void Nic::serve() {
             ++backlog_drops_;
             continue;
         }
+        if (obs_) obs_->kernel_handoff(ring_.front()->id(), machine_->sim().now());
         driver_->process(ring_.front());
         ring_.pop_front();
         ++n;
@@ -42,6 +48,7 @@ void Nic::serve() {
 
 void Nic::after_batch() {
     if (ring_.empty()) {
+        if (obs_) obs_->ring_occupancy(machine_->sim().now(), 0);
         service_active_ = false;
         return;
     }
@@ -49,6 +56,7 @@ void Nic::after_batch() {
         serve();  // NAPI-style: stay in polling mode while frames pend
     } else {
         // One interrupt per packet: pay the overhead again (livelock mode).
+        if (obs_) obs_->irq_raised(machine_->sim().now());
         machine_->post_kernel_work(os_->irq_overhead.scaled(os_->kernel_cost_multiplier),
                                    hostsim::CpuState::kInterrupt, [this] { serve(); });
     }

@@ -18,6 +18,10 @@
 #include "capbench/net/packet.hpp"
 #include "capbench/sim/ring_buffer.hpp"
 
+namespace capbench::obs {
+class SutObserver;
+}
+
 namespace capbench::capture {
 
 struct NicModel {
@@ -37,6 +41,10 @@ public:
 
     void on_frame(const net::PacketPtr& packet) override;
 
+    /// Installs lifecycle-tracing hooks (may be null; hooks are
+    /// branch-guarded so an untraced run pays one predictable branch).
+    void set_observer(obs::SutObserver* obs) { obs_ = obs; }
+
     [[nodiscard]] std::uint64_t frames_seen() const { return frames_seen_; }
     [[nodiscard]] std::uint64_t ring_drops() const { return ring_drops_; }
     [[nodiscard]] std::uint64_t backlog_drops() const { return backlog_drops_; }
@@ -49,6 +57,7 @@ private:
     const OsSpec* os_;
     NicModel model_;
     Driver* driver_;
+    obs::SutObserver* obs_ = nullptr;
     sim::RingBuffer<net::PacketPtr> ring_;
     bool service_active_ = false;
     std::uint64_t frames_seen_ = 0;

@@ -14,6 +14,10 @@
 #include "capbench/hostsim/machine.hpp"
 #include "capbench/net/packet.hpp"
 
+namespace capbench::obs {
+class AppObserver;
+}
+
 namespace capbench::capture {
 
 /// Per-consumer capture statistics (the pcap_stats analog).
@@ -74,13 +78,20 @@ public:
         spare_packets_ = std::move(packets);
     }
 
+    /// Installs packet-lifecycle hooks (may be null; every use inside the
+    /// stacks is branch-guarded so untraced runs stay zero-cost).
+    void set_observer(obs::AppObserver* obs) { app_obs_ = obs; }
+
 protected:
+    [[nodiscard]] obs::AppObserver* app_obs() const { return app_obs_; }
+
     /// The pooled vector from the last recycle() (empty, capacity kept);
     /// an empty fresh vector if none was returned yet.
     [[nodiscard]] std::vector<net::PacketPtr> take_spare() { return std::move(spare_packets_); }
 
 private:
     std::vector<net::PacketPtr> spare_packets_;
+    obs::AppObserver* app_obs_ = nullptr;
 };
 
 /// Shared filter-execution helper.  Runs the real BPF VM when packet bytes

@@ -87,11 +87,14 @@ std::string fig_6_5_filter_expression() {
 
 std::vector<SweepRow> rate_sweep(const std::vector<SutConfig>& suts, const RunConfig& base,
                                  const std::vector<double>& rates, int reps,
-                                 const ParallelExecutor* exec) {
+                                 const ParallelExecutor* exec, obs::TraceSink* trace) {
     std::vector<SweepRow> rows(rates.size());
     const auto run_point = [&](std::size_t i) {
         RunConfig cfg = base;
         cfg.rate_mbps = rates[i];
+        // The designated trace point is the last of the grid (the deepest
+        // overload) so the sink has exactly one writer at any job count.
+        cfg.trace = (trace != nullptr && i == rows.size() - 1) ? trace : nullptr;
         rows[i] = SweepRow{rates[i], run_repeated(suts, cfg, reps)};
     };
     if (exec != nullptr) {
@@ -104,7 +107,7 @@ std::vector<SweepRow> rate_sweep(const std::vector<SutConfig>& suts, const RunCo
 
 std::vector<SweepRow> buffer_sweep(std::vector<SutConfig> suts, const RunConfig& base,
                                    const std::vector<std::uint64_t>& buffer_kb, int reps,
-                                   const ParallelExecutor* exec) {
+                                   const ParallelExecutor* exec, obs::TraceSink* trace) {
     std::vector<SweepRow> rows(buffer_kb.size());
     const auto run_point = [&](std::size_t i) {
         const std::uint64_t kb = buffer_kb[i];
@@ -117,6 +120,7 @@ std::vector<SweepRow> buffer_sweep(std::vector<SutConfig> suts, const RunConfig&
         }
         RunConfig cfg = base;
         cfg.rate_mbps = 0.0;  // highest possible rate, no inter-packet gap
+        cfg.trace = (trace != nullptr && i == rows.size() - 1) ? trace : nullptr;
         rows[i] = SweepRow{static_cast<double>(kb), run_repeated(sized, cfg, reps)};
     };
     if (exec != nullptr) {

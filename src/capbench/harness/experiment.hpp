@@ -52,15 +52,23 @@ struct SweepRow {
 /// executor the points run concurrently; every point builds its own
 /// testbed, so the rows are bit-identical to the serial path regardless
 /// of the job count.
+///
+/// `trace` (may be null) records the timeline of ONE designated point —
+/// the last of the grid, i.e. the highest rate / deepest overload, and
+/// within it rep 0.  A single fixed point keeps the sink single-writer
+/// under parallel execution and the output identical at any job count.
 std::vector<SweepRow> rate_sweep(const std::vector<SutConfig>& suts, const RunConfig& base,
                                  const std::vector<double>& rates, int reps,
-                                 const ParallelExecutor* exec = nullptr);
+                                 const ParallelExecutor* exec = nullptr,
+                                 obs::TraceSink* trace = nullptr);
 
 /// Runs a sweep over capture buffer sizes at maximum data rate (the
 /// Figure 6.4 experiment).  `buffer_kb` values apply to all SUTs; FreeBSD
 /// halves them per Section 6.3.1's fairness note (double buffer).
+/// `trace` designates the last point, as in rate_sweep.
 std::vector<SweepRow> buffer_sweep(std::vector<SutConfig> suts, const RunConfig& base,
                                    const std::vector<std::uint64_t>& buffer_kb, int reps,
-                                   const ParallelExecutor* exec = nullptr);
+                                   const ParallelExecutor* exec = nullptr,
+                                   obs::TraceSink* trace = nullptr);
 
 }  // namespace capbench::harness

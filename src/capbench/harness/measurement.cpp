@@ -1,14 +1,25 @@
 #include "capbench/harness/measurement.hpp"
 
 #include <algorithm>
+#include <memory>
 #include <stdexcept>
 
 #include "capbench/dist/builtin.hpp"
+#include "capbench/obs/observer.hpp"
+#include "capbench/profiling/cpusage.hpp"
 
 namespace capbench::harness {
 
 RunResult run_once(const std::vector<SutConfig>& suts, const RunConfig& config) {
+    // A trace sink implies observation; plain metrics can be requested
+    // alone.  Without either, no Observer exists and every hook in the hot
+    // path is a null-pointer branch — the zero-cost-when-disabled contract.
+    const bool observe = config.collect_metrics || config.trace != nullptr;
+    std::unique_ptr<obs::Observer> observer;
+    if (observe) observer = std::make_unique<obs::Observer>(config.trace);
+
     TestbedConfig tb;
+    tb.observer = observer.get();
     tb.suts = suts;
     tb.gen.count = config.packets;
     tb.gen.rate_mbps = config.rate_mbps;
@@ -26,7 +37,20 @@ RunResult run_once(const std::vector<SutConfig>& suts, const RunConfig& config) 
     tb.distribute_round_robin = config.distribute_round_robin;
     tb.event_queue = config.event_queue;
     Testbed bed{std::move(tb)};
+    if (observer) observer->reserve(config.packets);
     bed.start_suts();
+
+    // Per-SUT cpusage profilers (step 1 also starts the profiling
+    // applications).  Sampling only reads the Machine's accounting, so the
+    // simulation's observable behaviour is unchanged.
+    std::vector<std::unique_ptr<profiling::CpuSage>> profilers;
+    if (observer) {
+        for (auto& sut : bed.suts()) {
+            profilers.push_back(std::make_unique<profiling::CpuSage>(
+                sut->machine(), config.cpusage_interval));
+            profilers.back()->start();
+        }
+    }
 
     // Step 2: counters before generation.
     const auto counters_before = bed.monitor_switch().egress_counters();
@@ -41,6 +65,7 @@ RunResult run_once(const std::vector<SutConfig>& suts, const RunConfig& config) 
     // packet; later deliveries do not count).
     std::vector<std::vector<std::uint64_t>> delivered_at_stop(bed.suts().size());
     std::vector<std::uint64_t> drops_at_stop(bed.suts().size(), 0);
+    std::vector<obs::SutSnapshot> snapshots;
 
     bed.sim().schedule_at(sim::SimTime{} + config.warmup, [&] {
         for (std::size_t i = 0; i < bed.suts().size(); ++i)
@@ -59,6 +84,24 @@ RunResult run_once(const std::vector<SutConfig>& suts, const RunConfig& config) 
                 for (std::size_t a = 0; a < sut.sessions().size(); ++a) {
                     delivered_at_stop[i].push_back(sut.delivered(a));
                     drops_at_stop[i] += sut.sessions()[a]->stats().ps_drop;
+                }
+            }
+            if (observer) {
+                // Freeze the observer and snapshot every counter at the
+                // same instant the headline statistics are frozen, so the
+                // drop-attribution identity is exact.
+                observer->freeze();
+                for (std::size_t i = 0; i < bed.suts().size(); ++i) {
+                    auto& sut = *bed.suts()[i];
+                    obs::SutSnapshot snap;
+                    snap.frames_seen = sut.nic().frames_seen();
+                    snap.ring_drops = sut.nic().ring_drops();
+                    snap.backlog_drops = sut.nic().backlog_drops();
+                    for (std::size_t a = 0; a < sut.sessions().size(); ++a)
+                        snap.apps.push_back(sut.capture_stats(a));
+                    profilers[i]->stop();
+                    snap.cpu_samples = profilers[i]->samples();
+                    snapshots.push_back(std::move(snap));
                 }
             }
             stopped = true;
@@ -108,6 +151,7 @@ RunResult run_once(const std::vector<SutConfig>& suts, const RunConfig& config) 
         r.backlog_drops = sut.nic().backlog_drops();
         result.suts.push_back(std::move(r));
     }
+    if (observer) result.metrics = observer->finalize(snapshots, generated);
     return result;
 }
 
@@ -117,11 +161,15 @@ RunResult run_repeated(const std::vector<SutConfig>& suts, const RunConfig& conf
     for (int rep = 0; rep < reps; ++rep) {
         RunConfig c = config;
         c.seed = config.seed + static_cast<std::uint64_t>(rep) * 7919;
+        // The timeline belongs to a single rep (overlaying reps in one
+        // trace would be meaningless); rep 0 is the designated one.
+        if (rep != 0) c.trace = nullptr;
         RunResult r = run_once(suts, c);
         if (rep == 0) {
             agg = std::move(r);
             continue;
         }
+        agg.metrics.merge(r.metrics);
         agg.generated += r.generated;
         agg.offered_mbps += r.offered_mbps;
         agg.events_executed += r.events_executed;  // total across reps

@@ -13,7 +13,12 @@
 #include <vector>
 
 #include "capbench/harness/testbed.hpp"
+#include "capbench/obs/metrics.hpp"
 #include "capbench/sim/stats.hpp"
+
+namespace capbench::obs {
+class TraceSink;
+}
 
 namespace capbench::harness {
 
@@ -38,6 +43,17 @@ struct RunConfig {
     /// this models the ssh/stop.sh delay).  Packets still queued in capture
     /// buffers when the applications stop do not count as captured.
     sim::Duration drain = sim::milliseconds(100);
+    /// Collect packet-lifecycle metrics into RunResult::metrics.  Off by
+    /// default: every hook stays disabled and results/goldens are
+    /// byte-identical to an unobserved run.
+    bool collect_metrics = false;
+    /// Timeline sink for this run (Chrome trace-event JSON); non-null
+    /// implies metrics collection.  The sink must outlive the run.
+    obs::TraceSink* trace = nullptr;
+    /// cpusage sampling interval while metrics are on.  The thesis tool
+    /// samples every 500 ms; the default here is shorter so the short
+    /// simulated windows of CI-scale runs still produce samples.
+    sim::Duration cpusage_interval = sim::milliseconds(10);
 };
 
 struct SutRunResult {
@@ -63,6 +79,10 @@ struct RunResult {
     /// events_executed, metadata only — not part of the scenario JSON.
     std::string event_queue_backend;
     std::vector<SutRunResult> suts;
+    /// Lifecycle metrics; `metrics.enabled` only when the run observed.
+    /// Across run_repeated reps these are raw sums (never averaged), so the
+    /// per-app drop identity stays exact.
+    obs::RunMetrics metrics;
 };
 
 /// One complete measurement (steps 1-5) on a freshly built testbed.

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "capbench/obs/observer.hpp"
+
 namespace capbench::harness {
 
 SutConfig standard_sut(const std::string& name) {
@@ -26,7 +28,8 @@ SutConfig standard_sut(const std::string& name) {
     return cfg;
 }
 
-Sut::Sut(sim::Simulator& sim, SutConfig config) : config_(std::move(config)) {
+Sut::Sut(sim::Simulator& sim, SutConfig config, obs::Observer* observer)
+    : config_(std::move(config)) {
     const auto& os = *config_.os;
     machine_ = std::make_unique<hostsim::Machine>(
         sim,
@@ -38,6 +41,15 @@ Sut::Sut(sim::Simulator& sim, SutConfig config) : config_(std::move(config)) {
     const std::uint64_t buffer =
         config_.buffer_bytes > 0 ? config_.buffer_bytes : os.default_buffer_bytes;
     if (config_.app_count < 1) throw std::invalid_argument("Sut: app_count must be >= 1");
+
+    obs::SutObserver* so = nullptr;
+    if (observer != nullptr) {
+        so = &observer->add_sut(config_.name,
+                                static_cast<std::size_t>(config_.app_count));
+        machine_->set_trace(observer->trace(), so->pid());
+        machine_->register_metrics(observer->registry(), config_.name);
+        nic_->set_observer(so);
+    }
 
     const bool needs_disk = config_.app_load.disk_bytes_per_packet > 0;
     if (needs_disk) disk_ = std::make_unique<load::DiskModel>(*machine_, load::disk_spec_for(config_.name));
@@ -76,6 +88,7 @@ Sut::Sut(sim::Simulator& sim, SutConfig config) : config_(std::move(config)) {
             tap = dev.get();
             endpoint = std::move(dev);
         }
+        if (so != nullptr) endpoint->set_observer(&so->app(static_cast<std::size_t>(i)));
         driver_->attach(*tap);
         sessions_.push_back(std::make_unique<pcap::Session>(
             *endpoint, config_.name + ":if0", config_.snaplen, is_mmap));

@@ -17,6 +17,10 @@
 #include "capbench/pcap/session.hpp"
 #include "capbench/profiling/cpusage.hpp"
 
+namespace capbench::obs {
+class Observer;
+}
+
 namespace capbench::harness {
 
 enum class StackKind {
@@ -54,7 +58,9 @@ class CaptureApp;
 
 class Sut {
 public:
-    Sut(sim::Simulator& sim, SutConfig config);
+    /// `observer` (may be null) registers this SUT for lifecycle tracing
+    /// and metrics; hooks stay branch-guarded when absent.
+    Sut(sim::Simulator& sim, SutConfig config, obs::Observer* observer = nullptr);
     ~Sut();
 
     Sut(const Sut&) = delete;
@@ -77,6 +83,11 @@ public:
 
     /// Packets delivered to application i so far.
     [[nodiscard]] std::uint64_t delivered(std::size_t app_index) const;
+
+    /// Kernel-side capture counters of application i's endpoint.
+    [[nodiscard]] const capture::CaptureStats& capture_stats(std::size_t app_index) const {
+        return endpoints_[app_index]->stats();
+    }
 
     [[nodiscard]] load::DiskModel* disk() { return disk_.get(); }
 

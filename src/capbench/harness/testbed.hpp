@@ -13,6 +13,10 @@
 #include "capbench/pktgen/pktgen.hpp"
 #include "capbench/sim/simulator.hpp"
 
+namespace capbench::obs {
+class Observer;
+}
+
 namespace capbench::harness {
 
 struct TestbedConfig {
@@ -28,6 +32,8 @@ struct TestbedConfig {
     /// Priority backend for the simulator's event queue.  Purely a perf
     /// choice: results are bit-identical under either.
     sim::EventQueueBackend event_queue = sim::event_queue_backend_from_env();
+    /// Lifecycle/metrics observer; null (the default) disables every hook.
+    obs::Observer* observer = nullptr;
 };
 
 class Testbed {

@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "capbench/obs/registry.hpp"
+#include "capbench/obs/trace.hpp"
+
 namespace capbench::hostsim {
 
 void Thread::exec(const Work& work, CpuState st, Continuation then) {
@@ -77,6 +80,43 @@ sim::Duration Machine::work_duration(const Work& work, int cpu_index) const {
     return sim::Duration{static_cast<std::int64_t>(ns + 0.5)};
 }
 
+// ---- observability ------------------------------------------------------------
+
+void Machine::set_trace(obs::TraceSink* trace, int pid) {
+    trace_ = trace;
+    trace_pid_ = pid;
+    if (trace_ == nullptr) return;
+    next_trace_tid_ = obs::kThreadTidBase;
+    trace_kernel_name_ = trace_->intern("kernel");
+    trace_blocked_name_ = trace_->intern("blocked");
+    cat_user_ = trace_->intern("user");
+    cat_system_ = trace_->intern("system");
+    cat_interrupt_ = trace_->intern("interrupt");
+}
+
+void Machine::register_metrics(obs::Registry& registry, const std::string& prefix) {
+    ctr_dispatches_ = &registry.counter(prefix + ".sched.dispatches");
+    ctr_yields_ = &registry.counter(prefix + ".sched.yields");
+    ctr_wakeups_ = &registry.counter(prefix + ".sched.wakeups");
+    ctr_migrations_ = &registry.counter(prefix + ".sched.migrations");
+    ctr_kernel_items_ = &registry.counter(prefix + ".sched.kernel_items");
+}
+
+const char* Machine::state_cat(CpuState st) const {
+    switch (st) {
+        case CpuState::kUser: return cat_user_;
+        case CpuState::kSystem: return cat_system_;
+        default: return cat_interrupt_;
+    }
+}
+
+void Machine::trace_chunk_slice(const Thread& thread, const RunningChunk& chunk) {
+    // The slice covers the chunk's own busy time; kernel preemption shows
+    // up as overlapping slices on the kernel lane, not as thread time.
+    trace_->complete(trace_pid_, thread.trace_tid_, thread.trace_name_,
+                     state_cat(chunk.state), chunk.end - chunk.busy, chunk.end);
+}
+
 // ---- kernel work --------------------------------------------------------------
 
 void Machine::post_kernel_work(const Work& work, CpuState kind, Continuation done) {
@@ -92,6 +132,7 @@ void Machine::post_kernel_work(const Work& work, CpuState kind, Continuation don
     // callback capture-tiny.
     kernel_done_.push_back(KernelDone{dur, kind, std::move(done)});
     sim_->schedule_at(end, [this] { kernel_work_complete(); });
+    if (ctr_kernel_items_) ctr_kernel_items_->inc();
 
     // Kernel work preempts the thread chunk in flight on CPU 0: push its
     // completion out by the stolen time.  A chunk starved for too long is
@@ -115,6 +156,12 @@ void Machine::kernel_work_complete() {
     kernel_done_.pop_front();
     cpus_[0].account(item.kind, item.dur);
     --kernel_queue_len_;
+    if (trace_ && item.dur > sim::Duration::zero()) {
+        // CPU 0 serializes kernel work, so [now-dur, now) slices tile the
+        // kernel lane without overlap.
+        trace_->complete(trace_pid_, obs::kKernelTid, trace_kernel_name_,
+                         state_cat(item.kind), sim_->now() - item.dur, sim_->now());
+    }
     if (item.done) item.done();
 }
 
@@ -130,6 +177,11 @@ void Machine::spawn(std::shared_ptr<Thread> thread) {
     thread->machine_ = this;
     Thread* raw = thread.get();
     threads_.push_back(std::move(thread));
+    if (trace_ != nullptr) {
+        raw->trace_tid_ = next_trace_tid_++;
+        raw->trace_name_ = trace_->intern(raw->name());
+        trace_->set_thread_name(trace_pid_, raw->trace_tid_, raw->name());
+    }
     raw->state_ = Thread::State::kReady;
     raw->resume_ = [raw] { raw->main(); };
     enqueue_ready(*raw, /*woken=*/false);
@@ -143,6 +195,7 @@ void Machine::wake(Thread& thread) {
         thread.wake_pending_ = false;
         if (thread.state_ != Thread::State::kBlocked) return;
         thread.state_ = Thread::State::kReady;
+        if (ctr_wakeups_) ctr_wakeups_->inc();
         enqueue_ready(thread, /*woken=*/true);
         try_dispatch();
     });
@@ -151,6 +204,7 @@ void Machine::wake(Thread& thread) {
 void Machine::wake_now(Thread& thread) {
     if (thread.state_ != Thread::State::kBlocked) return;
     thread.state_ = Thread::State::kReady;
+    if (ctr_wakeups_) ctr_wakeups_->inc();
     enqueue_ready(thread, /*woken=*/true);
     try_dispatch();
 }
@@ -171,6 +225,13 @@ void Machine::try_dispatch() {
         thread->state_ = Thread::State::kRunning;
         thread->cpu_ = cpu_index;
         cpus_[static_cast<std::size_t>(cpu_index)].current = thread;
+        if (ctr_dispatches_) ctr_dispatches_->inc();
+        if (trace_ && thread->blocked_since_ >= 0) {
+            trace_->complete(trace_pid_, thread->trace_tid_, trace_blocked_name_,
+                             trace_blocked_name_, sim::SimTime{thread->blocked_since_},
+                             sim_->now());
+        }
+        thread->blocked_since_ = -1;
         run_continuation(*thread, std::move(thread->resume_));
     }
 }
@@ -227,6 +288,7 @@ void Machine::chunk_complete(int cpu_index) {
         throw std::logic_error("Machine::chunk_complete: completion time mismatch");
     chunk.active = false;
     cpu.account(chunk.state, chunk.busy);
+    if (trace_) trace_chunk_slice(*thread, chunk);
     run_continuation(*thread, std::move(chunk.then));
 }
 
@@ -238,6 +300,7 @@ void Machine::migrate_chunk(int cpu_index) {
         throw std::logic_error("Machine::migrate_chunk: no chunk in flight");
     chunk.event.cancel();
     chunk.active = false;
+    if (ctr_migrations_) ctr_migrations_->inc();
     // Re-execute the chunk's work when re-dispatched (progress made in the
     // interrupt gaps is conservatively discarded).
     thread->resume_ = [this, thread, work = chunk.work, st = chunk.state,
@@ -256,6 +319,7 @@ void Machine::thread_block(Thread& thread, Continuation on_wake) {
         throw std::logic_error("Thread::block outside running state");
     thread.action_taken_ = true;
     thread.state_ = Thread::State::kBlocked;
+    thread.blocked_since_ = sim_->now().ns();
     thread.resume_ = std::move(on_wake);
     release_cpu(thread);
     // Give other ready threads the CPU we just freed.  Dispatch from a
@@ -269,6 +333,7 @@ void Machine::thread_yield(Thread& thread, Continuation then) {
     thread.action_taken_ = true;
     thread.state_ = Thread::State::kReady;
     thread.resume_ = std::move(then);
+    if (ctr_yields_) ctr_yields_->inc();
     release_cpu(thread);
     if (policy_.lifo_yield)
         ready_.push_front(&thread);

@@ -27,6 +27,12 @@
 #include "capbench/sim/ring_buffer.hpp"
 #include "capbench/sim/simulator.hpp"
 
+namespace capbench::obs {
+class Counter;
+class Registry;
+class TraceSink;
+}
+
 namespace capbench::hostsim {
 
 class Machine;
@@ -76,6 +82,12 @@ private:
     int cpu_ = -1;
     bool action_taken_ = false;   // set by exec/block/yield within a continuation
     bool wake_pending_ = false;   // a delayed wakeup is in flight
+    int trace_tid_ = -1;          // timeline lane; assigned at spawn when traced
+    /// Sink-interned copy of name_ for slice events: the sink outlives the
+    /// machine (the CLI serializes after the testbed is gone), so events
+    /// must never point into thread-owned strings.
+    const char* trace_name_ = nullptr;
+    std::int64_t blocked_since_ = -1;  // ns; -1 = not in a blocked span
     Continuation resume_;
 };
 
@@ -154,6 +166,16 @@ public:
     /// and HT sibling state are sampled at call time).
     [[nodiscard]] sim::Duration work_duration(const Work& work, int cpu_index) const;
 
+    // ---- observability -----------------------------------------------------
+
+    /// Emits CPU slices, thread run/block spans and kernel-work slices into
+    /// `trace` under process id `pid`.  Must be installed before threads
+    /// are spawned; null disables tracing (hooks are branch-guarded).
+    void set_trace(obs::TraceSink* trace, int pid);
+
+    /// Registers scheduler counters (`<prefix>.sched.*`) in `registry`.
+    void register_metrics(obs::Registry& registry, const std::string& prefix);
+
 private:
     friend class Thread;
 
@@ -206,6 +228,24 @@ private:
     sim::RingBuffer<KernelDone> kernel_done_;
     std::vector<std::shared_ptr<Thread>> threads_;
     std::size_t kernel_queue_len_ = 0;
+
+    // Observability (all null/zero when disabled).
+    obs::TraceSink* trace_ = nullptr;
+    int trace_pid_ = 0;
+    int next_trace_tid_ = 0;
+    const char* trace_kernel_name_ = nullptr;
+    const char* trace_blocked_name_ = nullptr;
+    const char* cat_user_ = nullptr;
+    const char* cat_system_ = nullptr;
+    const char* cat_interrupt_ = nullptr;
+    obs::Counter* ctr_dispatches_ = nullptr;
+    obs::Counter* ctr_yields_ = nullptr;
+    obs::Counter* ctr_wakeups_ = nullptr;
+    obs::Counter* ctr_migrations_ = nullptr;
+    obs::Counter* ctr_kernel_items_ = nullptr;
+
+    [[nodiscard]] const char* state_cat(CpuState st) const;
+    void trace_chunk_slice(const Thread& thread, const RunningChunk& chunk);
 };
 
 }  // namespace capbench::hostsim

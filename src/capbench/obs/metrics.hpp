@@ -1,0 +1,72 @@
+// Per-run observability results (ISSUE 5 tentpole, parts 1 + 3).
+//
+// `RunMetrics` is what a measurement run hands back when
+// `RunConfig::collect_metrics` is set: per-SUT/per-app drop attribution,
+// packet-lifecycle latency sample sets, CPU usage samples and the counter
+// registry snapshot.  The drop taxonomy is closed — every generated packet
+// lands in exactly one bucket, so for each app
+//
+//     generated == delivered + nic_ring + backlog + verdict + bpf_store + drain
+//
+// holds as an exact integer identity (`drain` is the residual still in
+// flight — NIC ring, uncommitted verdicts or capture buffers — when the
+// measurement window closes).
+#pragma once
+
+#include "capbench/profiling/cpusage.hpp"
+#include "capbench/sim/stats.hpp"
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace capbench::obs {
+
+/// One capture app (session) on one SUT.
+struct AppMetrics {
+    std::uint64_t delivered = 0;
+
+    // Drop attribution.  `nic_ring` and `backlog` happen before the
+    // per-app fan-out and are mirrored into every app of the SUT.
+    std::uint64_t drop_nic_ring = 0;
+    std::uint64_t drop_backlog = 0;
+    std::uint64_t drop_verdict = 0;    // rejected by the BPF filter
+    std::uint64_t drop_bpf_store = 0;  // capture buffer full / too small
+    std::uint64_t drop_drain = 0;      // still in flight at window close
+
+    [[nodiscard]] std::uint64_t drops_total() const {
+        return drop_nic_ring + drop_backlog + drop_verdict + drop_bpf_store +
+               drop_drain;
+    }
+
+    // Lifecycle latencies, in sim nanoseconds.
+    sim::SampleSet latency_ns;  // NIC arrival -> user delivery
+    sim::SampleSet enqueue_ns;  // kernel hand-off -> capture-stack enqueue
+    sim::SampleSet deliver_ns;  // enqueue -> user delivery
+};
+
+struct SutMetrics {
+    std::string name;
+    std::uint64_t offered = 0;  // frames seen at the NIC
+    std::uint64_t ring_drops = 0;
+    std::uint64_t backlog_drops = 0;
+    sim::SampleSet nic_to_kernel_ns;  // arrival -> IRQ/softirq hand-off
+    std::vector<AppMetrics> apps;
+    std::vector<profiling::UsageSample> cpu_samples;
+};
+
+struct RunMetrics {
+    bool enabled = false;
+    std::uint64_t generated = 0;
+    std::vector<SutMetrics> suts;
+    std::vector<std::pair<std::string, std::uint64_t>> counters;
+
+    /// Accumulates another rep of the same configuration: counts are raw
+    /// sums (never averaged, so the drop identity stays exact), sample
+    /// sets and CPU samples are concatenated, counters merged by name.
+    /// Throws std::logic_error on shape mismatch.
+    void merge(const RunMetrics& other);
+};
+
+}  // namespace capbench::obs

@@ -1,0 +1,21 @@
+#include "capbench/obs/registry.hpp"
+
+namespace capbench::obs {
+
+Counter& Registry::counter(const std::string& name) {
+    if (const auto it = index_.find(name); it != index_.end()) return *it->second;
+    counters_.emplace_back();
+    Counter* c = &counters_.back();
+    order_.emplace_back(name, c);
+    index_.emplace(name, c);
+    return *c;
+}
+
+std::vector<std::pair<std::string, std::uint64_t>> Registry::snapshot() const {
+    std::vector<std::pair<std::string, std::uint64_t>> out;
+    out.reserve(order_.size());
+    for (const auto& [name, c] : order_) out.emplace_back(name, c->value());
+    return out;
+}
+
+}  // namespace capbench::obs

@@ -1,0 +1,117 @@
+#include "capbench/obs/trace.hpp"
+
+#include <ostream>
+
+namespace capbench::obs {
+namespace {
+
+// Chrome trace timestamps are in microseconds.  Sim time is integer ns, so
+// we render `ns / 1000` with an exact 3-digit fraction when the remainder
+// is non-zero — deterministic, no floating point.
+void write_micros(std::ostream& os, std::int64_t ns) {
+    std::int64_t whole = ns / 1000;
+    std::int64_t frac = ns % 1000;
+    if (frac < 0) {  // defensive: sim timestamps are non-negative
+        frac += 1000;
+        whole -= 1;
+    }
+    os << whole;
+    if (frac != 0) {
+        os << '.' << static_cast<char>('0' + frac / 100)
+           << static_cast<char>('0' + (frac / 10) % 10)
+           << static_cast<char>('0' + frac % 10);
+    }
+}
+
+void write_escaped(std::ostream& os, std::string_view s) {
+    os << '"';
+    for (const char c : s) {
+        switch (c) {
+            case '"': os << "\\\""; break;
+            case '\\': os << "\\\\"; break;
+            case '\n': os << "\\n"; break;
+            case '\t': os << "\\t"; break;
+            default:
+                if (static_cast<unsigned char>(c) < 0x20) {
+                    static const char* hex = "0123456789abcdef";
+                    os << "\\u00" << hex[(c >> 4) & 0xf] << hex[c & 0xf];
+                } else {
+                    os << c;
+                }
+        }
+    }
+    os << '"';
+}
+
+}  // namespace
+
+TraceSink::TraceSink() = default;
+
+const char* TraceSink::intern(std::string_view s) {
+    if (const auto it = interned_.find(s); it != interned_.end()) return it->second;
+    strings_.emplace_back(s);
+    const char* p = strings_.back().c_str();
+    interned_.emplace(strings_.back(), p);
+    return p;
+}
+
+void TraceSink::set_process_name(int pid, std::string_view name) {
+    metadata_.push_back(Meta{pid, -1, "process_name", std::string(name)});
+}
+
+void TraceSink::set_thread_name(int pid, int tid, std::string_view name) {
+    metadata_.push_back(Meta{pid, tid, "thread_name", std::string(name)});
+}
+
+void TraceSink::grow() {
+    chunks_.push_back(std::make_unique<Chunk>());
+    used_ = 0;
+}
+
+void TraceSink::write_chrome_json(std::ostream& os) const {
+    os << "{\"traceEvents\":[";
+    bool first = true;
+    for (const Meta& m : metadata_) {
+        if (!first) os << ',';
+        first = false;
+        os << "\n{\"ph\":\"M\",\"pid\":" << m.pid;
+        if (m.tid >= 0) os << ",\"tid\":" << m.tid;
+        os << ",\"name\":\"" << m.what << "\",\"args\":{\"name\":";
+        write_escaped(os, m.name);
+        os << "}}";
+    }
+    for_each([&](const TraceEvent& e) {
+        if (!first) os << ',';
+        first = false;
+        os << "\n{\"ph\":\"";
+        switch (e.phase) {
+            case TraceEvent::Phase::kComplete: os << 'X'; break;
+            case TraceEvent::Phase::kInstant: os << 'i'; break;
+            case TraceEvent::Phase::kCounter: os << 'C'; break;
+        }
+        os << "\",\"pid\":" << e.pid << ",\"tid\":" << e.tid << ",\"ts\":";
+        write_micros(os, e.ts_ns);
+        os << ",\"name\":";
+        write_escaped(os, e.name);
+        if (e.cat != nullptr) {
+            os << ",\"cat\":";
+            write_escaped(os, e.cat);
+        }
+        switch (e.phase) {
+            case TraceEvent::Phase::kComplete:
+                os << ",\"dur\":";
+                write_micros(os, e.dur_ns);
+                break;
+            case TraceEvent::Phase::kInstant:
+                os << ",\"s\":\"t\"";
+                break;
+            case TraceEvent::Phase::kCounter:
+                os << ",\"args\":{\"value\":" << e.value << '}';
+                break;
+        }
+        os << '}';
+    });
+    os << "\n],\"displayTimeUnit\":\"ms\"}\n";
+}
+
+}  // namespace capbench::obs

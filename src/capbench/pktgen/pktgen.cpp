@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "capbench/net/wire.hpp"
+#include "capbench/obs/registry.hpp"
 
 namespace capbench::pktgen {
 
@@ -28,6 +29,11 @@ Generator::Generator(sim::Simulator& sim, net::Link& link, GenNicModel nic, GenC
 std::uint32_t Generator::draw_size() {
     if (config_.use_dist && config_.size_dist) return config_.size_dist->sample(rng_);
     return config_.packet_size;
+}
+
+void Generator::register_metrics(obs::Registry& registry) {
+    obs_packets_ = &registry.counter("pktgen.packets");
+    obs_bytes_ = &registry.counter("pktgen.bytes");
 }
 
 net::PacketPtr Generator::build_packet(std::uint32_t ip_size) {
@@ -101,6 +107,10 @@ void Generator::send_next() {
     // convention the Syskonnect card's 1500-byte maximum comes out at the
     // measured 938 Mbit/s.
     stats_.bytes_sent += ip_size;
+    if (obs_packets_) {
+        obs_packets_->inc();
+        obs_bytes_->inc(ip_size);
+    }
 
     // Pacing: at a target rate, the next packet starts one packet-time (at
     // the target rate) after this one started; at full speed, as soon as

@@ -22,6 +22,11 @@
 #include "capbench/sim/random.hpp"
 #include "capbench/sim/simulator.hpp"
 
+namespace capbench::obs {
+class Counter;
+class Registry;
+}
+
 namespace capbench::pktgen {
 
 /// Generating NIC model: the fixed per-packet transmit overhead that keeps
@@ -109,6 +114,10 @@ public:
     /// The size the next packet would get (exposed for tests).
     [[nodiscard]] std::uint32_t draw_size();
 
+    /// Registers `pktgen.packets` / `pktgen.bytes` counters; increments are
+    /// branch-guarded so unobserved runs pay nothing.
+    void register_metrics(obs::Registry& registry);
+
 private:
     void send_next();
     [[nodiscard]] net::PacketPtr build_packet(std::uint32_t ip_size);
@@ -120,6 +129,8 @@ private:
     GenConfig config_;
     sim::Rng rng_;
     GenStats stats_;
+    obs::Counter* obs_packets_ = nullptr;
+    obs::Counter* obs_bytes_ = nullptr;
     std::function<void()> on_done_;
     std::uint64_t next_id_ = 0;
     sim::SimTime pace_next_{};

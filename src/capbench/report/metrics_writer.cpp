@@ -1,0 +1,125 @@
+#include "capbench/report/metrics_writer.hpp"
+
+#include "capbench/core/capbench.hpp"
+#include "capbench/profiling/trimusage.hpp"
+
+namespace capbench::report {
+
+JsonValue MetricsWriter::summary(const sim::SampleSet::Summary& s) {
+    JsonValue out = JsonValue::object();
+    out.set("count", s.count);
+    out.set("min", s.min);
+    out.set("max", s.max);
+    out.set("mean", s.mean);
+    out.set("p50", s.p50);
+    out.set("p95", s.p95);
+    out.set("p99", s.p99);
+    return out;
+}
+
+JsonValue MetricsWriter::app(const obs::AppMetrics& a) {
+    JsonValue out = JsonValue::object();
+    out.set("delivered", a.delivered);
+    JsonValue drops = JsonValue::object();
+    drops.set("nic_ring", a.drop_nic_ring);
+    drops.set("backlog", a.drop_backlog);
+    drops.set("verdict", a.drop_verdict);
+    drops.set("bpf_store", a.drop_bpf_store);
+    drops.set("drain", a.drop_drain);
+    out.set("drops", std::move(drops));
+    out.set("latency_ns", summary(a.latency_ns.summary()));
+    out.set("enqueue_ns", summary(a.enqueue_ns.summary()));
+    out.set("deliver_ns", summary(a.deliver_ns.summary()));
+    return out;
+}
+
+JsonValue MetricsWriter::sut(const obs::SutMetrics& s) {
+    JsonValue out = JsonValue::object();
+    out.set("name", s.name);
+    out.set("offered", s.offered);
+    out.set("ring_drops", s.ring_drops);
+    out.set("backlog_drops", s.backlog_drops);
+    out.set("nic_to_kernel_ns", summary(s.nic_to_kernel_ns.summary()));
+
+    // cpusage + in-process trimusage (the thesis pipes cpusage output into
+    // an awk script after the run; here the samples never leave memory).
+    JsonValue cpu = JsonValue::object();
+    cpu.set("samples", static_cast<std::uint64_t>(s.cpu_samples.size()));
+    if (const auto trimmed = profiling::trim_usage(s.cpu_samples)) {
+        JsonValue t = JsonValue::object();
+        t.set("user_pct", trimmed->average.user_pct);
+        t.set("system_pct", trimmed->average.system_pct);
+        t.set("interrupt_pct", trimmed->average.interrupt_pct);
+        t.set("idle_pct", trimmed->average.idle_pct);
+        t.set("run_length", static_cast<std::uint64_t>(trimmed->run_length));
+        t.set("run_start", static_cast<std::uint64_t>(trimmed->run_start));
+        cpu.set("trimmed", std::move(t));
+    } else {
+        cpu.set("trimmed", JsonValue{});
+    }
+    out.set("cpu", std::move(cpu));
+
+    JsonValue apps = JsonValue::array();
+    for (const auto& a : s.apps) apps.push_back(app(a));
+    out.set("apps", std::move(apps));
+    return out;
+}
+
+JsonValue MetricsWriter::point(double x, const obs::RunMetrics& m) {
+    JsonValue out = JsonValue::object();
+    out.set("x", x);
+    out.set("generated", m.generated);
+    JsonValue suts = JsonValue::array();
+    for (const auto& s : m.suts) suts.push_back(sut(s));
+    out.set("suts", std::move(suts));
+    JsonValue counters = JsonValue::object();
+    for (const auto& [name, value] : m.counters) counters.set(name, value);
+    out.set("counters", std::move(counters));
+    return out;
+}
+
+JsonValue MetricsWriter::document(const scenario::ScenarioResult& r) {
+    JsonValue doc = JsonValue::object();
+    doc.set("schema", kSchema);
+    doc.set("capbench_version", kVersion);
+    doc.set("id", r.id);
+
+    JsonValue config = JsonValue::object();
+    config.set("packets", r.packets);
+    config.set("reps", r.reps);
+    config.set("base_seed", r.base_seed);
+    config.set("jobs", r.jobs);
+    doc.set("config", std::move(config));
+
+    JsonValue variants = JsonValue::array();
+    if (!r.is_custom) {
+        for (const auto& v : r.variants) {
+            JsonValue variant = JsonValue::object();
+            variant.set("name", v.name);
+            variant.set("suffix", v.suffix);
+            JsonValue points = JsonValue::array();
+            for (const auto& p : v.points) {
+                if (!p.result.metrics.enabled) continue;
+                points.push_back(point(p.x, p.result.metrics));
+            }
+            variant.set("points", std::move(points));
+            variants.push_back(std::move(variant));
+        }
+    }
+    doc.set("variants", std::move(variants));
+    return doc;
+}
+
+JsonValue MetricsWriter::suite(std::vector<JsonValue> documents) {
+    JsonValue doc = JsonValue::object();
+    doc.set("schema", kSuiteSchema);
+    doc.set("capbench_version", kVersion);
+    JsonValue results = JsonValue::array();
+    for (auto& d : documents) results.push_back(std::move(d));
+    doc.set("results", std::move(results));
+    return doc;
+}
+
+std::string MetricsWriter::serialize(const JsonValue& v) { return dump_json(v, 2) + "\n"; }
+
+}  // namespace capbench::report

@@ -114,22 +114,29 @@ ScenarioResult run_scenario(const Scenario& s, const RunOptions& opts) {
     const harness::ParallelExecutor exec{res.jobs};
     const std::string gp_x_label =
         s.axis == Axis::kRateMbps ? "Datarate [Mbit/s]" : "Buffer size [kB]";
+    bool first_variant = true;
     for (const auto& v : s.variants) {
         const auto suts = v.suts();
         harness::RunConfig cfg;
         cfg.packets = res.packets;
         cfg.seed = res.base_seed;
+        cfg.collect_metrics = opts.metrics;
         if (v.tweak) v.tweak(cfg);
+
+        // The timeline belongs to one deterministic run: the first
+        // variant's sweep designates its last point (see rate_sweep).
+        obs::TraceSink* trace = first_variant ? opts.trace : nullptr;
+        first_variant = false;
 
         std::vector<harness::SweepRow> rows;
         if (s.axis == Axis::kRateMbps) {
-            rows = harness::rate_sweep(suts, cfg, s.sweep, res.reps, &exec);
+            rows = harness::rate_sweep(suts, cfg, s.sweep, res.reps, &exec, trace);
         } else {
             std::vector<std::uint64_t> buffer_kb;
             buffer_kb.reserve(s.sweep.size());
             for (const double kb : s.sweep)
                 buffer_kb.push_back(static_cast<std::uint64_t>(kb));
-            rows = harness::buffer_sweep(suts, cfg, buffer_kb, res.reps, &exec);
+            rows = harness::buffer_sweep(suts, cfg, buffer_kb, res.reps, &exec, trace);
         }
 
         if (out != nullptr) {

@@ -10,6 +10,10 @@
 
 #include "capbench/scenario/registry.hpp"
 
+namespace capbench::obs {
+class TraceSink;
+}
+
 namespace capbench::scenario {
 
 struct RunOptions {
@@ -29,6 +33,14 @@ struct RunOptions {
     int reps = 0;
     /// Base workload seed (rep k of a point runs at seed + k*7919).
     std::uint64_t seed = 1;
+    /// Collect packet-lifecycle metrics for every sweep point (the
+    /// capbench.metrics.v1 layer of ScenarioResult).  Off by default —
+    /// disabled runs are byte-identical to pre-observability builds.
+    bool metrics = false;
+    /// Timeline sink (Chrome trace-event JSON).  The trace records one
+    /// deterministic designated run: first variant, last sweep point,
+    /// rep 0 — identical at any job count.  Must outlive the call.
+    obs::TraceSink* trace = nullptr;
 };
 
 /// Executes the scenario: runs every variant's sweep (or the custom table

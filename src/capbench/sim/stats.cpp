@@ -40,16 +40,44 @@ double SampleSet::mean() const {
            static_cast<double>(samples_.size());
 }
 
-double SampleSet::quantile(double q) const {
-    if (samples_.empty()) throw std::logic_error("SampleSet::quantile on empty set");
-    if (q < 0.0 || q > 1.0) throw std::invalid_argument("SampleSet::quantile: q outside [0,1]");
-    std::vector<double> sorted = samples_;
-    std::sort(sorted.begin(), sorted.end());
+namespace {
+
+/// Linear-interpolation quantile over an already-sorted vector.
+double sorted_quantile(const std::vector<double>& sorted, double q) {
+    if (sorted.size() == 1) return sorted.front();
+    if (q <= 0.0) return sorted.front();
+    if (q >= 1.0) return sorted.back();
     const double pos = q * static_cast<double>(sorted.size() - 1);
     const auto lo = static_cast<std::size_t>(pos);
     const auto hi = std::min(lo + 1, sorted.size() - 1);
     const double frac = pos - static_cast<double>(lo);
     return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+}  // namespace
+
+double SampleSet::quantile(double q) const {
+    if (q < 0.0 || q > 1.0) throw std::invalid_argument("SampleSet::quantile: q outside [0,1]");
+    if (samples_.empty()) return 0.0;
+    std::vector<double> sorted = samples_;
+    std::sort(sorted.begin(), sorted.end());
+    return sorted_quantile(sorted, q);
+}
+
+SampleSet::Summary SampleSet::summary() const {
+    Summary s;
+    if (samples_.empty()) return s;
+    std::vector<double> sorted = samples_;
+    std::sort(sorted.begin(), sorted.end());
+    s.count = sorted.size();
+    s.min = sorted.front();
+    s.max = sorted.back();
+    s.mean = std::accumulate(sorted.begin(), sorted.end(), 0.0) /
+             static_cast<double>(sorted.size());
+    s.p50 = sorted_quantile(sorted, 0.50);
+    s.p95 = sorted_quantile(sorted, 0.95);
+    s.p99 = sorted_quantile(sorted, 0.99);
+    return s;
 }
 
 }  // namespace capbench::sim

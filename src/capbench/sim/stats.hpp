@@ -31,19 +31,41 @@ private:
 };
 
 /// Stores samples and answers quantile queries; used for per-app capture
-/// rate spreads (worst/avg/best lines of Figures 6.7-6.9).
+/// rate spreads (worst/avg/best lines of Figures 6.7-6.9) and the
+/// observability layer's latency histograms.
 class SampleSet {
 public:
+    /// One-pass digest of a sample set.  All fields are 0 when empty.
+    struct Summary {
+        std::uint64_t count = 0;
+        double min = 0.0;
+        double max = 0.0;
+        double mean = 0.0;
+        double p50 = 0.0;
+        double p95 = 0.0;
+        double p99 = 0.0;
+    };
+
     void add(double x) { samples_.push_back(x); }
+    void reserve(std::size_t n) { samples_.reserve(n); }
 
     [[nodiscard]] std::size_t size() const { return samples_.size(); }
     [[nodiscard]] bool empty() const { return samples_.empty(); }
+    [[nodiscard]] const std::vector<double>& samples() const { return samples_; }
 
     [[nodiscard]] double min() const;
     [[nodiscard]] double max() const;
     [[nodiscard]] double mean() const;
-    /// Linear-interpolation quantile, q in [0, 1].
+    /// Linear-interpolation quantile, q in [0, 1].  A single sample is
+    /// every quantile of itself; an empty set answers 0.0 (quantile of
+    /// nothing) so summary rows stay total.  q outside [0, 1] throws.
     [[nodiscard]] double quantile(double q) const;
+    [[nodiscard]] double p50() const { return quantile(0.50); }
+    [[nodiscard]] double p95() const { return quantile(0.95); }
+    [[nodiscard]] double p99() const { return quantile(0.99); }
+
+    /// Computes count/min/max/mean/p50/p95/p99 with a single sort.
+    [[nodiscard]] Summary summary() const;
 
 private:
     std::vector<double> samples_;

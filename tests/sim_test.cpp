@@ -235,10 +235,26 @@ TEST(SampleSet, QuantilesInterpolate) {
     EXPECT_DOUBLE_EQ(s.quantile(0.25), 2.0);
 }
 
-TEST(SampleSet, EmptyThrows) {
+TEST(SampleSet, EmptyQuantileIsZeroButMinStillThrows) {
     const SampleSet s;
     EXPECT_THROW((void)s.min(), std::logic_error);
-    EXPECT_THROW((void)s.quantile(0.5), std::logic_error);
+    EXPECT_DOUBLE_EQ(s.quantile(0.5), 0.0);
+    EXPECT_DOUBLE_EQ(s.p99(), 0.0);
+    const SampleSet::Summary sum = s.summary();
+    EXPECT_EQ(sum.count, 0u);
+    EXPECT_DOUBLE_EQ(sum.min, 0.0);
+    EXPECT_DOUBLE_EQ(sum.p95, 0.0);
+}
+
+TEST(SampleSet, SingleSampleIsEveryQuantile) {
+    SampleSet s;
+    s.add(42.0);
+    EXPECT_DOUBLE_EQ(s.quantile(0.0), 42.0);
+    EXPECT_DOUBLE_EQ(s.quantile(0.5), 42.0);
+    EXPECT_DOUBLE_EQ(s.quantile(1.0), 42.0);
+    EXPECT_DOUBLE_EQ(s.p50(), 42.0);
+    EXPECT_DOUBLE_EQ(s.p95(), 42.0);
+    EXPECT_DOUBLE_EQ(s.p99(), 42.0);
 }
 
 TEST(SampleSet, QuantileRangeChecked) {
@@ -246,6 +262,24 @@ TEST(SampleSet, QuantileRangeChecked) {
     s.add(1.0);
     EXPECT_THROW((void)s.quantile(-0.1), std::invalid_argument);
     EXPECT_THROW((void)s.quantile(1.1), std::invalid_argument);
+}
+
+TEST(SampleSet, PercentileHelpersAndSummaryAgree) {
+    SampleSet s;
+    s.reserve(100);
+    for (int i = 1; i <= 100; ++i) s.add(i);
+    EXPECT_EQ(s.samples().size(), 100u);
+    EXPECT_DOUBLE_EQ(s.p50(), s.quantile(0.50));
+    EXPECT_DOUBLE_EQ(s.p95(), s.quantile(0.95));
+    EXPECT_DOUBLE_EQ(s.p99(), s.quantile(0.99));
+    const SampleSet::Summary sum = s.summary();
+    EXPECT_EQ(sum.count, 100u);
+    EXPECT_DOUBLE_EQ(sum.min, 1.0);
+    EXPECT_DOUBLE_EQ(sum.max, 100.0);
+    EXPECT_DOUBLE_EQ(sum.mean, 50.5);
+    EXPECT_DOUBLE_EQ(sum.p50, s.quantile(0.50));
+    EXPECT_DOUBLE_EQ(sum.p95, s.quantile(0.95));
+    EXPECT_DOUBLE_EQ(sum.p99, s.quantile(0.99));
 }
 
 }  // namespace
