@@ -17,9 +17,12 @@
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <set>
 #include <string>
 #include <vector>
 
+#include "capbench/bpf/filter/codegen.hpp"
+#include "capbench/bpf/verifier.hpp"
 #include "capbench/obs/trace.hpp"
 #include "capbench/report/metrics_writer.hpp"
 #include "capbench/report/writer.hpp"
@@ -33,8 +36,12 @@ constexpr const char* kUsage =
     "usage: capbench_figures [--list] [--run <id>...] [--all] [--jobs N]\n"
     "                        [--json <path>] [--gnuplot <dir>]\n"
     "                        [--metrics <path>] [--trace <path>]\n"
+    "                        [--verify-filters]\n"
     "\n"
     "  --list          print every registered scenario id and caption\n"
+    "  --verify-filters  run the BPF verifier over every filter program\n"
+    "                  reachable from the scenario registry; exit nonzero on\n"
+    "                  any error-severity finding\n"
     "  --run <id>...   run the named scenarios (ids as shown by --list)\n"
     "  --all           run every registered scenario\n"
     "  --jobs N        sweep-point worker threads (default: CAPBENCH_JOBS or 1);\n"
@@ -53,6 +60,7 @@ constexpr const char* kUsage =
 
 struct CliOptions {
     bool list = false;
+    bool verify_filters = false;
     bool all = false;
     std::vector<std::string> ids;
     int jobs = 0;  // 0 = CAPBENCH_JOBS / 1
@@ -107,6 +115,10 @@ CliOptions parse_cli(int argc, char** argv) {
             no_value("--list");
             opts.list = true;
             collecting_ids = false;
+        } else if (arg == "--verify-filters") {
+            no_value("--verify-filters");
+            opts.verify_filters = true;
+            collecting_ids = false;
         } else if (arg == "--all") {
             no_value("--all");
             opts.all = true;
@@ -141,6 +153,40 @@ CliOptions parse_cli(int argc, char** argv) {
     return opts;
 }
 
+/// The CI `bpf-verify` gate: every filter expression reachable from the
+/// scenario registry (every variant's SUT roster), compiled in both its
+/// stock and optimized form, must pass the verifier with no
+/// error-severity finding.
+int verify_registry_filters() {
+    std::set<std::string> expressions;
+    for (const auto& s : scenario::registry())
+        for (const auto& v : s.variants)
+            for (const auto& sut : v.suts())
+                if (!sut.filter_expression.empty())
+                    expressions.insert(sut.filter_expression);
+
+    int errors = 0;
+    std::size_t programs = 0;
+    for (const std::string& expr : expressions) {
+        for (const bool optimize : {false, true}) {
+            const auto prog =
+                bpf::filter::compile_filter(expr, 1515, {.optimize = optimize});
+            const auto result = bpf::verify(prog);
+            ++programs;
+            std::printf("%s (%s, %zu insns): %zu finding(s)\n", expr.c_str(),
+                        optimize ? "optimized" : "stock", prog.size(),
+                        result.findings.size());
+            for (const auto& f : result.findings)
+                std::printf("  %s\n", bpf::analysis::to_string(f).c_str());
+            if (!result.ok()) ++errors;
+        }
+    }
+    std::printf("verified %zu program(s) from %zu registry expression(s): %d with "
+                "errors\n",
+                programs, expressions.size(), errors);
+    return errors == 0 ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -155,6 +201,14 @@ int main(int argc, char** argv) {
     if (cli.list) {
         std::fputs(scenario::list_text().c_str(), stdout);
         return 0;
+    }
+    if (cli.verify_filters) {
+        try {
+            return verify_registry_filters();
+        } catch (const std::exception& e) {
+            std::fprintf(stderr, "capbench_figures: %s\n", e.what());
+            return 1;
+        }
     }
     if (!cli.all && cli.ids.empty()) {
         std::fputs(kUsage, stderr);

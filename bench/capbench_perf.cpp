@@ -21,10 +21,17 @@
 #include <string>
 #include <vector>
 
+#include "capbench/bpf/decoded.hpp"
+#include "capbench/bpf/filter/codegen.hpp"
+#include "capbench/bpf/threaded_vm.hpp"
+#include "capbench/bpf/verifier.hpp"
+#include "capbench/bpf/vm.hpp"
 #include "capbench/harness/experiment.hpp"
 #include "capbench/harness/measurement.hpp"
 #include "capbench/net/arena.hpp"
+#include "capbench/net/link.hpp"
 #include "capbench/obs/trace.hpp"
+#include "capbench/pktgen/pktgen.hpp"
 #include "capbench/report/json.hpp"
 #include "capbench/report/perf.hpp"
 #include "capbench/sim/simulator.hpp"
@@ -177,6 +184,54 @@ PerfCase micro_trace_hook(capbench::obs::TraceSink* sink, std::string name,
     return micro_case(std::move(name), iters, wall);
 }
 
+/// One full-bytes frame of the given size, synthesized by the generator
+/// (the same packets the Figure 6.6 macro run filters).
+std::vector<std::byte> synth_frame(std::uint32_t size) {
+    capbench::sim::Simulator sim;
+    capbench::net::Link link{sim};
+    capbench::pktgen::GenConfig cfg;
+    cfg.count = 1;
+    cfg.packet_size = size;
+    cfg.full_bytes = true;
+    capbench::pktgen::Generator gen{sim, link, capbench::pktgen::GenNicModel::syskonnect(),
+                                    std::move(cfg)};
+    struct Sink : capbench::net::FrameSink {
+        capbench::net::PacketPtr packet;
+        void on_frame(const capbench::net::PacketPtr& p) override { packet = p; }
+    } sink;
+    link.attach(sink);
+    gen.start(capbench::sim::SimTime{});
+    sim.run();
+    const auto bytes = sink.packet->bytes();
+    return {bytes.begin(), bytes.end()};
+}
+
+/// The Figure 6.5 filter-cost micro, one case per execution tier: the
+/// optimized 50-instruction program over a frame-size mix, interpreter
+/// (`Vm`) vs. verifier-backed token-threaded dispatch (`ThreadedVm` on the
+/// pre-decoded program).  Both tiers execute the same instruction stream,
+/// so the ratio isolates dispatch + bounds-check-elision gains.
+PerfCase micro_filter_tier(bool threaded, std::uint64_t iters) {
+    const auto prog = capbench::bpf::filter::compile_filter(
+        capbench::harness::fig_6_5_filter_expression(), 1515);
+    const auto verified = capbench::bpf::verify(prog);
+    const auto decoded = capbench::bpf::decode(prog, verified.facts);
+    std::vector<std::vector<std::byte>> frames;
+    for (const std::uint32_t size : {64u, 128u, 256u, 645u, 1024u, 1514u})
+        frames.push_back(synth_frame(size));
+    std::uint32_t sum = 0;
+    const auto t0 = Clock::now();
+    for (std::uint64_t i = 0; i < iters; ++i) {
+        const auto& frame = frames[i % frames.size()];
+        sum += threaded ? capbench::bpf::ThreadedVm::run(decoded, frame).accept_len
+                        : capbench::bpf::Vm::run(prog, frame).accept_len;
+    }
+    const double wall = seconds_since(t0);
+    opaque(sum);
+    return micro_case(threaded ? "filter_threaded_fig65" : "filter_interpreter_fig65",
+                      iters, wall);
+}
+
 PerfCase micro_arena_churn(std::uint64_t iters) {
     auto arena = capbench::net::PacketArena::create();
     // A sliding window of live packets, as the splitter and capture
@@ -289,6 +344,11 @@ int main(int argc, char** argv) {
     }
 
     report.cases.push_back(micro_arena_churn(micro_iters));
+    print_case(report.cases.back());
+
+    report.cases.push_back(micro_filter_tier(/*threaded=*/false, micro_iters));
+    print_case(report.cases.back());
+    report.cases.push_back(micro_filter_tier(/*threaded=*/true, micro_iters));
     print_case(report.cases.back());
 
     report.cases.push_back(micro_trace_hook(nullptr, "trace_hook_disabled", micro_iters));

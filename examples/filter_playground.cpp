@@ -71,17 +71,20 @@ int run_default(const bpf::Program& prog) {
 }
 
 int run_lint(const bpf::Program& prog) {
-    const auto findings = bpf::analysis::analyze(prog);
+    // Full verifier pipeline: validation, reachability/return structure,
+    // abstract-interpretation findings and the fact-table summary.  Exits
+    // nonzero on any error-severity finding so CI can gate on it.
+    const auto result = bpf::verify(prog);
     std::printf("compiled to %zu instructions (unoptimized):\n%s\n", prog.size(),
-                bpf::disassemble(prog, findings).c_str());
-    if (findings.empty()) {
+                bpf::disassemble(prog, result.findings).c_str());
+    if (result.findings.empty()) {
         std::puts("lint: clean — no findings");
         return 0;
     }
-    std::printf("lint: %zu finding(s)\n", findings.size());
-    for (const auto& f : findings)
+    std::printf("lint: %zu finding(s)\n", result.findings.size());
+    for (const auto& f : result.findings)
         std::printf("  %s\n", to_string(f).c_str());
-    return bpf::analysis::has_errors(findings) ? 1 : 0;
+    return result.ok() ? 0 : 1;
 }
 
 int run_optimize(const bpf::Program& stock) {

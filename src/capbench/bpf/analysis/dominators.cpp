@@ -1,0 +1,67 @@
+#include "capbench/bpf/analysis/dominators.hpp"
+
+namespace capbench::bpf::analysis {
+
+DomTree DomTree::build(const Cfg& cfg) {
+    DomTree tree;
+    const std::size_t n = cfg.blocks.size();
+    tree.idom.assign(n, 0);
+    if (n == 0) return tree;
+
+    // Predecessor lists from the stored successor edges.
+    std::vector<std::vector<std::uint32_t>> preds(n);
+    for (std::size_t b = 0; b < n; ++b)
+        for (const std::size_t succ : cfg.blocks[b].succs)
+            preds[succ].push_back(static_cast<std::uint32_t>(b));
+
+    // Walk both fingers up the (partially built) tree until they meet.
+    // idom[b] < b for every non-entry block, so "higher index" means
+    // "deeper"; the entry terminates every chain.
+    const auto intersect = [&](std::uint32_t u, std::uint32_t v) {
+        while (u != v) {
+            while (u > v) u = tree.idom[u];
+            while (v > u) v = tree.idom[v];
+        }
+        return u;
+    };
+
+    for (std::uint32_t b = 1; b < n; ++b) {
+        bool have = false;
+        std::uint32_t dom = 0;
+        for (const std::uint32_t p : preds[b]) {
+            // All predecessors have a smaller index (forward jumps only),
+            // so their idoms are final by the time we get here.
+            dom = have ? intersect(dom, p) : p;
+            have = true;
+        }
+        tree.idom[b] = dom;
+    }
+    return tree;
+}
+
+bool DomTree::dominates(std::size_t a, std::size_t b) const {
+    if (a >= idom.size() || b >= idom.size()) return false;
+    // Dominators of b all have index <= b; walk up until we pass a.
+    while (b > a) b = idom[b];
+    return b == a;
+}
+
+bool insn_dominates(const Cfg& cfg, const DomTree& dom, std::size_t a, std::size_t b) {
+    if (a >= cfg.block_of.size() || b >= cfg.block_of.size()) return false;
+    const std::int32_t ba = cfg.block_of[a];
+    const std::int32_t bb = cfg.block_of[b];
+    if (ba < 0 || bb < 0) return false;
+    if (ba == bb) return a <= b;
+    return dom.dominates(static_cast<std::size_t>(ba), static_cast<std::size_t>(bb)) &&
+           ba != bb;
+}
+
+std::int64_t idom_insn(const Cfg& cfg, const DomTree& dom, std::size_t pc) {
+    if (pc >= cfg.block_of.size() || cfg.block_of[pc] < 0) return -1;
+    const auto block = static_cast<std::size_t>(cfg.block_of[pc]);
+    if (pc != cfg.blocks[block].first) return static_cast<std::int64_t>(pc - 1);
+    if (block == 0) return -1;
+    return static_cast<std::int64_t>(cfg.blocks[dom.idom[block]].last);
+}
+
+}  // namespace capbench::bpf::analysis

@@ -1,0 +1,41 @@
+// Dominator tree over the BPF control-flow graph.
+//
+// Classic BPF only jumps forward, so every CFG edge goes from a
+// lower-numbered block to a higher-numbered one: block order *is* a
+// topological order.  The Cooper/Harvey/Kennedy iterative scheme therefore
+// needs exactly one forward pass — when a block is visited, the immediate
+// dominators of all its predecessors are already final.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "capbench/bpf/analysis/cfg.hpp"
+
+namespace capbench::bpf::analysis {
+
+struct DomTree {
+    /// Immediate dominator per block index.  The entry block is its own
+    /// idom (idom[0] == 0); Cfg only materializes reachable blocks, so
+    /// every entry is defined.
+    std::vector<std::uint32_t> idom;
+
+    /// Does block `a` dominate block `b`?  Reflexive: a block dominates
+    /// itself.
+    [[nodiscard]] bool dominates(std::size_t a, std::size_t b) const;
+
+    static DomTree build(const Cfg& cfg);
+};
+
+/// Instruction-level dominance: `a` dominates `b` when a's block strictly
+/// dominates b's block, or both share a block and a comes no later.
+/// Instructions outside any reachable block dominate nothing.
+bool insn_dominates(const Cfg& cfg, const DomTree& dom, std::size_t a, std::size_t b);
+
+/// Immediate dominator *instruction* of `pc`: the previous instruction of
+/// its block, or the last instruction of the block's immediate dominator
+/// for block leaders.  -1 for the entry instruction and unreachable code.
+std::int64_t idom_insn(const Cfg& cfg, const DomTree& dom, std::size_t pc);
+
+}  // namespace capbench::bpf::analysis

@@ -1,0 +1,105 @@
+#include "capbench/bpf/analysis/liveness.hpp"
+
+#include "capbench/bpf/analysis/cfg.hpp"
+
+namespace capbench::bpf::analysis {
+
+std::uint32_t insn_uses(const Insn& insn) {
+    const std::uint16_t code = insn.code;
+    switch (bpf_class(code)) {
+        case BPF_LD:
+            switch (bpf_mode(code)) {
+                case BPF_IND: return kLiveX;
+                case BPF_MEM: return insn.k < kMemWords ? live_mem_bit(insn.k) : 0;
+                default: return 0;
+            }
+        case BPF_LDX:
+            return bpf_mode(code) == BPF_MEM && insn.k < kMemWords ? live_mem_bit(insn.k)
+                                                                   : 0;
+        case BPF_ST:
+            return kLiveA;
+        case BPF_STX:
+            return kLiveX;
+        case BPF_ALU:
+            if (bpf_op(code) == BPF_NEG) return kLiveA;
+            return kLiveA | (bpf_src(code) == BPF_X ? kLiveX : 0);
+        case BPF_JMP:
+            if (bpf_op(code) == BPF_JA) return 0;
+            return kLiveA | (bpf_src(code) == BPF_X ? kLiveX : 0);
+        case BPF_RET:
+            return bpf_rval(code) == BPF_A ? kLiveA : 0;
+        case BPF_MISC:
+            return bpf_miscop(code) == BPF_TAX ? kLiveA : kLiveX;
+        default:
+            return 0;
+    }
+}
+
+std::uint32_t insn_defs(const Insn& insn) {
+    const std::uint16_t code = insn.code;
+    switch (bpf_class(code)) {
+        case BPF_LD: return kLiveA;
+        case BPF_LDX: return kLiveX;
+        case BPF_ST:
+        case BPF_STX:
+            return insn.k < kMemWords ? live_mem_bit(insn.k) : 0;
+        case BPF_ALU: return kLiveA;
+        case BPF_MISC: return bpf_miscop(code) == BPF_TAX ? kLiveX : kLiveA;
+        default: return 0;
+    }
+}
+
+namespace {
+
+/// May the instruction end the filter run on its own (reject the packet)?
+/// Such instructions are never dead stores: they gate execution even when
+/// their written value goes unread.
+bool has_side_effect(const Insn& insn) {
+    const std::uint16_t code = insn.code;
+    switch (bpf_class(code)) {
+        case BPF_LD:
+            return bpf_mode(code) == BPF_ABS || bpf_mode(code) == BPF_IND;
+        case BPF_LDX:
+            return bpf_mode(code) == BPF_MSH;
+        case BPF_ALU:
+            // Constant zero divisors are rejected by the validator, so only
+            // a division by X can trap at runtime.
+            return bpf_op(code) == BPF_DIV && bpf_src(code) == BPF_X;
+        default:
+            return false;
+    }
+}
+
+}  // namespace
+
+Liveness Liveness::build(const Program& prog) {
+    Liveness live;
+    const std::size_t n = prog.size();
+    live.live_out.assign(n, 0);
+    live.dead_store.assign(n, false);
+    if (n == 0) return live;
+
+    // live_in[pc] feeds the live_out of every predecessor; with forward
+    // jumps all successors of pc have index > pc, so one reverse sweep
+    // computes the exact solution.
+    std::vector<std::uint32_t> live_in(n, 0);
+    for (std::size_t i = n; i-- > 0;) {
+        std::uint32_t out = 0;
+        for (const std::size_t succ : insn_successors(prog, i)) out |= live_in[succ];
+        live.live_out[i] = out;
+        live_in[i] = insn_uses(prog[i]) | (out & ~insn_defs(prog[i]));
+    }
+
+    for (std::size_t i = 0; i < n; ++i) {
+        const std::uint32_t defs = insn_defs(prog[i]);
+        const std::uint16_t cls = bpf_class(prog[i].code);
+        const bool writes_only =
+            cls == BPF_LD || cls == BPF_LDX || cls == BPF_ST || cls == BPF_STX ||
+            cls == BPF_ALU || cls == BPF_MISC;
+        live.dead_store[i] = writes_only && defs != 0 && (live.live_out[i] & defs) == 0 &&
+                             !has_side_effect(prog[i]);
+    }
+    return live;
+}
+
+}  // namespace capbench::bpf::analysis

@@ -1,0 +1,42 @@
+// Backward liveness for the BPF machine state: register A, index X, the
+// 16 scratch words.
+//
+// Live-out sets are bitmasks (bit 0 = A, bit 1 = X, bit 2+i = M[i]).
+// Because every jump is forward, all successors of an instruction have
+// higher indices, and a single reverse sweep reaches the fixpoint.
+// `dead_store` flags side-effect-free instructions whose only definition
+// is never read — stores shadowed before use, loads into a register that
+// is overwritten unread.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "capbench/bpf/insn.hpp"
+
+namespace capbench::bpf::analysis {
+
+inline constexpr std::uint32_t kLiveA = 1u << 0;
+inline constexpr std::uint32_t kLiveX = 1u << 1;
+constexpr std::uint32_t live_mem_bit(std::uint32_t slot) { return 1u << (2 + slot); }
+
+struct Liveness {
+    /// Live-out mask per instruction (what a later instruction may read).
+    std::vector<std::uint32_t> live_out;
+    /// The instruction writes A, X or a scratch word, has no other effect,
+    /// and nothing it writes is live-out.  Packet loads that may reject and
+    /// divisions that may trap are never flagged — they filter packets even
+    /// when their result goes unread.
+    std::vector<bool> dead_store;
+
+    static Liveness build(const Program& prog);
+};
+
+/// Registers/slots the instruction reads (kLiveA | kLiveX | mem bits).
+std::uint32_t insn_uses(const Insn& insn);
+
+/// Registers/slots the instruction writes.
+std::uint32_t insn_defs(const Insn& insn);
+
+}  // namespace capbench::bpf::analysis

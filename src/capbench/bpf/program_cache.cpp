@@ -1,0 +1,67 @@
+#include "capbench/bpf/program_cache.hpp"
+
+#include <map>
+#include <mutex>
+#include <stdexcept>
+#include <tuple>
+
+#include "capbench/bpf/verifier.hpp"
+
+namespace capbench::bpf {
+
+namespace {
+
+struct ProgramLess {
+    bool operator()(const Program& a, const Program& b) const {
+        if (a.size() != b.size()) return a.size() < b.size();
+        for (std::size_t i = 0; i < a.size(); ++i) {
+            const auto ta = std::tuple{a[i].code, a[i].jt, a[i].jf, a[i].k};
+            const auto tb = std::tuple{b[i].code, b[i].jt, b[i].jf, b[i].k};
+            if (ta != tb) return ta < tb;
+        }
+        return false;
+    }
+};
+
+struct Cache {
+    std::mutex mu;
+    std::map<Program, std::shared_ptr<const DecodedProgram>, ProgramLess> entries;
+};
+
+Cache& cache() {
+    static Cache c;  // leaked-on-exit singleton keeps shutdown order trivial
+    return c;
+}
+
+}  // namespace
+
+std::shared_ptr<const DecodedProgram> cache_decoded(const Program& prog) {
+    Cache& c = cache();
+    {
+        const std::lock_guard<std::mutex> lock(c.mu);
+        if (const auto it = c.entries.find(prog); it != c.entries.end())
+            return it->second;
+    }
+    // Verify + decode outside the lock: attach-time work, and the verifier
+    // may throw.  A racing install of the same program decodes twice but
+    // both sides agree; first insert wins and fixes the id.
+    VerifyResult verdict = verify(prog);
+    if (const analysis::Finding* err = verdict.first_error())
+        throw std::invalid_argument("BPF verifier rejected filter: " +
+                                    analysis::to_string(*err));
+    auto decoded = std::make_shared<DecodedProgram>(decode(prog, verdict.facts));
+
+    const std::lock_guard<std::mutex> lock(c.mu);
+    if (const auto it = c.entries.find(prog); it != c.entries.end()) return it->second;
+    decoded->id = c.entries.size() + 1;
+    const auto [it, inserted] = c.entries.emplace(prog, std::move(decoded));
+    return it->second;
+}
+
+std::size_t cached_program_count() {
+    Cache& c = cache();
+    const std::lock_guard<std::mutex> lock(c.mu);
+    return c.entries.size();
+}
+
+}  // namespace capbench::bpf

@@ -1,0 +1,24 @@
+// Process-wide cache of verified + decoded BPF programs.
+//
+// Every capture stack attaches filters through FilterRunner::install; the
+// cache keys on program content, so the four endpoints of a sweep point
+// (and every sweep point of a run) installing the same filter share one
+// DecodedProgram — verified once, decoded once, tagged with a monotonic
+// program id.  Thread-safe: parallel sweep workers attach concurrently.
+#pragma once
+
+#include <memory>
+
+#include "capbench/bpf/decoded.hpp"
+#include "capbench/bpf/insn.hpp"
+
+namespace capbench::bpf {
+
+/// Verifies `prog` (throwing std::invalid_argument with the structured
+/// finding when it is rejected) and returns the shared decoded form.
+std::shared_ptr<const DecodedProgram> cache_decoded(const Program& prog);
+
+/// Number of distinct programs decoded so far (test/introspection hook).
+std::size_t cached_program_count();
+
+}  // namespace capbench::bpf

@@ -1,0 +1,226 @@
+#include "capbench/bpf/threaded_vm.hpp"
+
+#include <array>
+
+namespace capbench::bpf {
+
+namespace {
+
+std::uint32_t raw_b(const std::byte* p) { return std::to_integer<std::uint32_t>(*p); }
+std::uint32_t raw_h(const std::byte* p) { return (raw_b(p) << 8) | raw_b(p + 1); }
+std::uint32_t raw_w(const std::byte* p) {
+    return (raw_b(p) << 24) | (raw_b(p + 1) << 16) | (raw_b(p + 2) << 8) | raw_b(p + 3);
+}
+
+}  // namespace
+
+// Token-threaded dispatch is a GNU extension (&&label / goto *); other
+// compilers run the same handler bodies under a dense switch.
+#if defined(__GNUC__) || defined(__clang__)
+#define CAPBENCH_BPF_COMPUTED_GOTO 1
+#else
+#define CAPBENCH_BPF_COMPUTED_GOTO 0
+#endif
+
+bool ThreadedVm::computed_goto() { return CAPBENCH_BPF_COMPUTED_GOTO != 0; }
+
+#if CAPBENCH_BPF_COMPUTED_GOTO
+#define VM_TARGET(tok) T_##tok:
+#define VM_NEXT()                                                   \
+    insn = insns + pc;                                              \
+    ++pc;                                                           \
+    ++executed;                                                     \
+    goto* kLabels[static_cast<std::size_t>(insn->tok)]
+#else
+#define VM_TARGET(tok) case Tok::tok:
+#define VM_NEXT() break
+#endif
+
+VmResult ThreadedVm::run(const DecodedProgram& prog, std::span<const std::byte> data,
+                         std::uint32_t wire_len) {
+    VmResult result;
+    if (prog.insns.empty()) {
+        result.aborted = true;
+        return result;
+    }
+    const DecodedInsn* const insns = prog.insns.data();
+    const std::byte* const base = data.data();
+    const std::size_t size = data.size();
+    std::uint32_t a = 0;
+    std::uint32_t x = 0;
+    std::array<std::uint32_t, kMemWords> mem{};
+    std::uint32_t executed = 0;
+    std::size_t pc = 0;
+    const DecodedInsn* insn = nullptr;
+
+#if CAPBENCH_BPF_COMPUTED_GOTO
+    static const void* const kLabels[] = {
+        &&T_kLdImm, &&T_kLdLen, &&T_kLdMem,
+        &&T_kLdAbsW, &&T_kLdAbsH, &&T_kLdAbsB,
+        &&T_kLdAbsWU, &&T_kLdAbsHU, &&T_kLdAbsBU,
+        &&T_kLdIndW, &&T_kLdIndH, &&T_kLdIndB,
+        &&T_kLdIndWU, &&T_kLdIndHU, &&T_kLdIndBU,
+        &&T_kLdxImm, &&T_kLdxLen, &&T_kLdxMem, &&T_kLdxMsh, &&T_kLdxMshU,
+        &&T_kSt, &&T_kStx,
+        &&T_kAddK, &&T_kSubK, &&T_kMulK, &&T_kDivK,
+        &&T_kOrK, &&T_kAndK, &&T_kLshK, &&T_kRshK,
+        &&T_kAddX, &&T_kSubX, &&T_kMulX, &&T_kDivX,
+        &&T_kOrX, &&T_kAndX, &&T_kLshX, &&T_kRshX,
+        &&T_kNeg,
+        &&T_kJa,
+        &&T_kJeqK, &&T_kJgtK, &&T_kJgeK, &&T_kJsetK,
+        &&T_kJeqX, &&T_kJgtX, &&T_kJgeX, &&T_kJsetX,
+        &&T_kRetK, &&T_kRetA,
+        &&T_kTax, &&T_kTxa,
+    };
+    static_assert(sizeof(kLabels) / sizeof(kLabels[0]) ==
+                      static_cast<std::size_t>(Tok::kCount_),
+                  "dispatch table out of sync with Tok");
+    VM_NEXT();
+#else
+    for (;;) {
+        insn = insns + pc;
+        ++pc;
+        ++executed;
+        switch (insn->tok) {
+#endif
+
+    VM_TARGET(kLdImm) { a = insn->k; VM_NEXT(); }
+    VM_TARGET(kLdLen) { a = wire_len; VM_NEXT(); }
+    VM_TARGET(kLdMem) { a = mem[insn->k]; VM_NEXT(); }
+
+    VM_TARGET(kLdAbsW) {
+        const std::uint64_t off = insn->k;
+        if (off + 4 > size) goto abort_;
+        a = raw_w(base + off);
+        VM_NEXT();
+    }
+    VM_TARGET(kLdAbsH) {
+        const std::uint64_t off = insn->k;
+        if (off + 2 > size) goto abort_;
+        a = raw_h(base + off);
+        VM_NEXT();
+    }
+    VM_TARGET(kLdAbsB) {
+        if (insn->k >= size) goto abort_;
+        a = raw_b(base + insn->k);
+        VM_NEXT();
+    }
+    VM_TARGET(kLdAbsWU) { a = raw_w(base + insn->k); VM_NEXT(); }
+    VM_TARGET(kLdAbsHU) { a = raw_h(base + insn->k); VM_NEXT(); }
+    VM_TARGET(kLdAbsBU) { a = raw_b(base + insn->k); VM_NEXT(); }
+
+    VM_TARGET(kLdIndW) {
+        const std::uint64_t off = static_cast<std::uint64_t>(x) + insn->k;
+        if (off + 4 > size) goto abort_;
+        a = raw_w(base + off);
+        VM_NEXT();
+    }
+    VM_TARGET(kLdIndH) {
+        const std::uint64_t off = static_cast<std::uint64_t>(x) + insn->k;
+        if (off + 2 > size) goto abort_;
+        a = raw_h(base + off);
+        VM_NEXT();
+    }
+    VM_TARGET(kLdIndB) {
+        const std::uint64_t off = static_cast<std::uint64_t>(x) + insn->k;
+        if (off >= size) goto abort_;
+        a = raw_b(base + off);
+        VM_NEXT();
+    }
+    VM_TARGET(kLdIndWU) {
+        a = raw_w(base + static_cast<std::size_t>(x) + insn->k);
+        VM_NEXT();
+    }
+    VM_TARGET(kLdIndHU) {
+        a = raw_h(base + static_cast<std::size_t>(x) + insn->k);
+        VM_NEXT();
+    }
+    VM_TARGET(kLdIndBU) {
+        a = raw_b(base + static_cast<std::size_t>(x) + insn->k);
+        VM_NEXT();
+    }
+
+    VM_TARGET(kLdxImm) { x = insn->k; VM_NEXT(); }
+    VM_TARGET(kLdxLen) { x = wire_len; VM_NEXT(); }
+    VM_TARGET(kLdxMem) { x = mem[insn->k]; VM_NEXT(); }
+    VM_TARGET(kLdxMsh) {
+        if (insn->k >= size) goto abort_;
+        x = 4u * (raw_b(base + insn->k) & 0x0Fu);
+        VM_NEXT();
+    }
+    VM_TARGET(kLdxMshU) {
+        x = 4u * (raw_b(base + insn->k) & 0x0Fu);
+        VM_NEXT();
+    }
+
+    VM_TARGET(kSt) { mem[insn->k] = a; VM_NEXT(); }
+    VM_TARGET(kStx) { mem[insn->k] = x; VM_NEXT(); }
+
+    VM_TARGET(kAddK) { a += insn->k; VM_NEXT(); }
+    VM_TARGET(kSubK) { a -= insn->k; VM_NEXT(); }
+    VM_TARGET(kMulK) { a *= insn->k; VM_NEXT(); }
+    VM_TARGET(kDivK) { a /= insn->k; VM_NEXT(); }  // k != 0: verifier-checked
+    VM_TARGET(kOrK) { a |= insn->k; VM_NEXT(); }
+    VM_TARGET(kAndK) { a &= insn->k; VM_NEXT(); }
+    VM_TARGET(kLshK) { a <<= insn->k; VM_NEXT(); }  // k < 32: decode folds the rest
+    VM_TARGET(kRshK) { a >>= insn->k; VM_NEXT(); }
+
+    VM_TARGET(kAddX) { a += x; VM_NEXT(); }
+    VM_TARGET(kSubX) { a -= x; VM_NEXT(); }
+    VM_TARGET(kMulX) { a *= x; VM_NEXT(); }
+    VM_TARGET(kDivX) {
+        if (x == 0) goto abort_;
+        a /= x;
+        VM_NEXT();
+    }
+    VM_TARGET(kOrX) { a |= x; VM_NEXT(); }
+    VM_TARGET(kAndX) { a &= x; VM_NEXT(); }
+    VM_TARGET(kLshX) { a = x < 32 ? a << x : 0; VM_NEXT(); }
+    VM_TARGET(kRshX) { a = x < 32 ? a >> x : 0; VM_NEXT(); }
+    VM_TARGET(kNeg) {
+        a = static_cast<std::uint32_t>(-static_cast<std::int32_t>(a));
+        VM_NEXT();
+    }
+
+    VM_TARGET(kJa) { pc = insn->jt; VM_NEXT(); }
+    VM_TARGET(kJeqK) { pc = a == insn->k ? insn->jt : insn->jf; VM_NEXT(); }
+    VM_TARGET(kJgtK) { pc = a > insn->k ? insn->jt : insn->jf; VM_NEXT(); }
+    VM_TARGET(kJgeK) { pc = a >= insn->k ? insn->jt : insn->jf; VM_NEXT(); }
+    VM_TARGET(kJsetK) { pc = (a & insn->k) != 0 ? insn->jt : insn->jf; VM_NEXT(); }
+    VM_TARGET(kJeqX) { pc = a == x ? insn->jt : insn->jf; VM_NEXT(); }
+    VM_TARGET(kJgtX) { pc = a > x ? insn->jt : insn->jf; VM_NEXT(); }
+    VM_TARGET(kJgeX) { pc = a >= x ? insn->jt : insn->jf; VM_NEXT(); }
+    VM_TARGET(kJsetX) { pc = (a & x) != 0 ? insn->jt : insn->jf; VM_NEXT(); }
+
+    VM_TARGET(kRetK) {
+        result.accept_len = insn->k;
+        result.insns_executed = executed;
+        return result;
+    }
+    VM_TARGET(kRetA) {
+        result.accept_len = a;
+        result.insns_executed = executed;
+        return result;
+    }
+
+    VM_TARGET(kTax) { x = a; VM_NEXT(); }
+    VM_TARGET(kTxa) { a = x; VM_NEXT(); }
+
+#if !CAPBENCH_BPF_COMPUTED_GOTO
+        case Tok::kCount_:
+            goto abort_;
+        }
+    }
+#endif
+
+abort_:
+    result.insns_executed = executed;
+    result.aborted = true;
+    return result;
+}
+
+#undef VM_TARGET
+#undef VM_NEXT
+
+}  // namespace capbench::bpf

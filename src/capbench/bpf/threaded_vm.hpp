@@ -1,0 +1,34 @@
+// Tier-1 BPF execution: a token-threaded dispatcher over DecodedProgram.
+//
+// On GCC/Clang each handler ends in a computed goto through a per-token
+// label table (one indirect branch per instruction, predicted per site);
+// other compilers fall back to a dense switch over the same handler
+// bodies.  Both produce results bit-identical to Vm::run on the source
+// program: same accept_len, same insns_executed, same abort behavior —
+// the decoder only removes work the verifier proved redundant.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+#include "capbench/bpf/decoded.hpp"
+#include "capbench/bpf/vm.hpp"
+
+namespace capbench::bpf {
+
+class ThreadedVm {
+public:
+    static VmResult run(const DecodedProgram& prog, std::span<const std::byte> data,
+                        std::uint32_t wire_len);
+
+    static VmResult run(const DecodedProgram& prog, std::span<const std::byte> data) {
+        return run(prog, data, static_cast<std::uint32_t>(data.size()));
+    }
+
+    /// True when this build dispatches via computed goto rather than the
+    /// switch fallback.
+    static bool computed_goto();
+};
+
+}  // namespace capbench::bpf

@@ -36,6 +36,14 @@ VmResult Vm::run(const Program& prog, std::span<const std::byte> data, std::uint
     std::uint32_t x = 0;
     std::array<std::uint32_t, kMemWords> mem{};
 
+    // Faults (out-of-bounds loads, division by zero, malformed opcodes,
+    // falling off the end) reject the packet like the kernels do, but are
+    // flagged so callers can tell an abort from a filter verdict.
+    const auto abort_run = [&result]() -> VmResult& {
+        result.aborted = true;
+        return result;
+    };
+
     std::size_t pc = 0;
     while (pc < prog.size()) {
         const Insn& insn = prog[pc];
@@ -58,12 +66,12 @@ VmResult Vm::run(const Program& prog, std::span<const std::byte> data, std::uint
                     case BPF_IND | BPF_B: ok = load_b(data, ind, value); break;
                     case BPF_LEN | BPF_W: value = wire_len; break;
                     case BPF_MEM | BPF_W:
-                        if (insn.k >= kMemWords) return result;
+                        if (insn.k >= kMemWords) return abort_run();
                         value = mem[insn.k];
                         break;
-                    default: return result;  // malformed: reject
+                    default: return abort_run();  // malformed: reject
                 }
-                if (!ok) return result;  // out-of-bounds load rejects
+                if (!ok) return abort_run();  // out-of-bounds load rejects
                 a = value;
                 break;
             }
@@ -72,26 +80,26 @@ VmResult Vm::run(const Program& prog, std::span<const std::byte> data, std::uint
                     case BPF_IMM | BPF_W: x = insn.k; break;
                     case BPF_LEN | BPF_W: x = wire_len; break;
                     case BPF_MEM | BPF_W:
-                        if (insn.k >= kMemWords) return result;
+                        if (insn.k >= kMemWords) return abort_run();
                         x = mem[insn.k];
                         break;
                     case BPF_MSH | BPF_B: {
                         // x = 4 * (pkt[k] & 0x0f): the IP header length idiom.
                         std::uint32_t byte = 0;
-                        if (!load_b(data, insn.k, byte)) return result;
+                        if (!load_b(data, insn.k, byte)) return abort_run();
                         x = 4 * (byte & 0x0F);
                         break;
                     }
-                    default: return result;
+                    default: return abort_run();
                 }
                 break;
             }
             case BPF_ST:
-                if (insn.k >= kMemWords) return result;
+                if (insn.k >= kMemWords) return abort_run();
                 mem[insn.k] = a;
                 break;
             case BPF_STX:
-                if (insn.k >= kMemWords) return result;
+                if (insn.k >= kMemWords) return abort_run();
                 mem[insn.k] = x;
                 break;
             case BPF_ALU: {
@@ -101,7 +109,7 @@ VmResult Vm::run(const Program& prog, std::span<const std::byte> data, std::uint
                     case BPF_SUB: a -= operand; break;
                     case BPF_MUL: a *= operand; break;
                     case BPF_DIV:
-                        if (operand == 0) return result;  // div by zero rejects
+                        if (operand == 0) return abort_run();  // div by zero rejects
                         a /= operand;
                         break;
                     case BPF_OR: a |= operand; break;
@@ -109,7 +117,7 @@ VmResult Vm::run(const Program& prog, std::span<const std::byte> data, std::uint
                     case BPF_LSH: a = operand < 32 ? a << operand : 0; break;
                     case BPF_RSH: a = operand < 32 ? a >> operand : 0; break;
                     case BPF_NEG: a = static_cast<std::uint32_t>(-static_cast<std::int32_t>(a)); break;
-                    default: return result;
+                    default: return abort_run();
                 }
                 break;
             }
@@ -125,7 +133,7 @@ VmResult Vm::run(const Program& prog, std::span<const std::byte> data, std::uint
                     case BPF_JGT: taken = a > operand; break;
                     case BPF_JGE: taken = a >= operand; break;
                     case BPF_JSET: taken = (a & operand) != 0; break;
-                    default: return result;
+                    default: return abort_run();
                 }
                 pc += taken ? insn.jt : insn.jf;
                 break;
@@ -139,14 +147,14 @@ VmResult Vm::run(const Program& prog, std::span<const std::byte> data, std::uint
                 else if (bpf_miscop(code) == BPF_TXA)
                     a = x;
                 else
-                    return result;
+                    return abort_run();
                 break;
             default:
-                return result;
+                return abort_run();
         }
     }
     // Fell off the end without RET: reject (validator forbids this).
-    return result;
+    return abort_run();
 }
 
 }  // namespace capbench::bpf

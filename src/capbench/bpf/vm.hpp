@@ -21,6 +21,11 @@ struct VmResult {
     std::uint32_t accept_len = 0;
     /// Instructions executed for this packet (filter cost).
     std::uint32_t insns_executed = 0;
+    /// The run ended in a fault rather than a RET: out-of-bounds packet
+    /// load, division by zero, malformed opcode or falling off the end.
+    /// accept_len is 0 — the packet is rejected, like the kernels do — but
+    /// the distinction feeds the capture stacks' abort counters.
+    bool aborted = false;
 };
 
 class Vm {

@@ -35,6 +35,10 @@ void LinuxPacketSocket::commit(const net::PacketPtr& packet) {
     const auto verdict = pending_.pop();
     if (!verdict.accept) {
         ++stats_.dropped_filter;
+        if (verdict.aborted) {
+            ++stats_.filter_aborts;
+            if (obs::AppObserver* o = app_obs()) o->filter_aborted();
+        }
         return;
     }
     ++stats_.accepted;

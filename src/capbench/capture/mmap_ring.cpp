@@ -32,6 +32,10 @@ void MmapRing::commit(const net::PacketPtr& packet) {
     const auto verdict = pending_.pop();
     if (!verdict.accept) {
         ++stats_.dropped_filter;
+        if (verdict.aborted) {
+            ++stats_.filter_aborts;
+            if (obs::AppObserver* o = app_obs()) o->filter_aborted();
+        }
         return;
     }
     ++stats_.accepted;

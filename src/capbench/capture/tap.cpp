@@ -1,11 +1,26 @@
 #include "capbench/capture/tap.hpp"
 
+#include <utility>
 #include <vector>
 
+#include "capbench/bpf/program_cache.hpp"
+#include "capbench/bpf/verifier.hpp"
 #include "capbench/net/headers.hpp"
 #include "capbench/net/wire.hpp"
 
 namespace capbench::capture {
+
+void FilterRunner::install(bpf::Program program) {
+    decoded_.reset();
+    if (!program.empty()) {
+        if (bpf::exec_tier() == bpf::ExecTier::kThreaded) {
+            decoded_ = bpf::cache_decoded(program);  // verifies, throws on rejection
+        } else {
+            bpf::verify_or_throw(program);
+        }
+    }
+    program_ = std::move(program);
+}
 
 std::span<const std::byte> FilterRunner::synthetic_template() {
     // Matches pktgen::GenConfig's defaults: UDP 192.168.10.100 ->

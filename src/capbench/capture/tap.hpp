@@ -4,11 +4,14 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <stdexcept>
 #include <vector>
 
+#include "capbench/bpf/decoded.hpp"
 #include "capbench/bpf/insn.hpp"
+#include "capbench/bpf/threaded_vm.hpp"
 #include "capbench/bpf/vm.hpp"
 #include "capbench/hostsim/arch.hpp"
 #include "capbench/hostsim/machine.hpp"
@@ -24,10 +27,14 @@ namespace capbench::capture {
 struct CaptureStats {
     std::uint64_t kernel_seen = 0;     // packets offered to this tap
     std::uint64_t accepted = 0;        // passed the filter
-    std::uint64_t dropped_filter = 0;  // rejected by the filter
+    std::uint64_t dropped_filter = 0;  // rejected by the filter (aborts included)
     std::uint64_t dropped_buffer = 0;  // accepted but no buffer space (ps_drop)
     std::uint64_t delivered = 0;       // handed to the application (ps_recv)
     std::uint64_t delivered_bytes = 0;
+    /// Filter runs that ended in a VM fault (out-of-bounds load, division
+    /// by zero) rather than a verdict.  A subset of dropped_filter — the
+    /// drop identity delivered + Σdrops == generated is unaffected.
+    std::uint64_t filter_aborts = 0;
 };
 
 /// Kernel-side interface: the driver asks each tap to plan (cost) and then,
@@ -104,12 +111,22 @@ class FilterRunner {
 public:
     struct Verdict {
         bool accept = true;
+        bool aborted = false;  // the VM faulted instead of returning a verdict
         std::uint32_t caplen = 0;
         std::uint32_t insns = 0;
     };
 
-    void install(bpf::Program program) { program_ = std::move(program); }
+    /// The attach-time gate shared by all three capture stacks: runs the
+    /// verifier (throwing std::invalid_argument with the structured
+    /// finding on error-severity results) and caches the decoded tier-1
+    /// form per program id.  An empty program clears the filter.
+    void install(bpf::Program program);
+
     [[nodiscard]] bool has_filter() const { return !program_.empty(); }
+
+    /// The decoded program executed by the threaded tier; null when no
+    /// filter is installed or CAPBENCH_BPF_TIER=interpreter.
+    [[nodiscard]] const bpf::DecodedProgram* decoded() const { return decoded_.get(); }
 
     [[nodiscard]] Verdict run(const net::Packet& packet, std::uint32_t snaplen) const {
         Verdict v;
@@ -123,8 +140,11 @@ public:
                 ? packet.bytes()
                 : synthetic_template().subspan(
                       0, std::min<std::size_t>(whole, synthetic_template().size()));
-        const auto r = bpf::Vm::run(program_, data, whole);
+        const bpf::VmResult r = decoded_ != nullptr
+                                    ? bpf::ThreadedVm::run(*decoded_, data, whole)
+                                    : bpf::Vm::run(program_, data, whole);
         v.accept = r.accept_len > 0;
+        v.aborted = r.aborted;
         v.caplen = std::min({snaplen, whole, v.accept ? r.accept_len : 0u});
         v.insns = r.insns_executed;
         return v;
@@ -135,6 +155,7 @@ private:
     static std::span<const std::byte> synthetic_template();
 
     bpf::Program program_;
+    std::shared_ptr<const bpf::DecodedProgram> decoded_;
 };
 
 /// FIFO verdict handoff between plan() and commit().  The driver calls the

@@ -9,8 +9,15 @@
 
 #include "capbench/bpf/analysis/analyze.hpp"
 #include "capbench/bpf/analysis/cfg.hpp"
+#include "capbench/bpf/analysis/dominators.hpp"
+#include "capbench/bpf/analysis/fact_table.hpp"
+#include "capbench/bpf/analysis/liveness.hpp"
 #include "capbench/bpf/analysis/optimize.hpp"
 #include "capbench/bpf/asm_text.hpp"
+#include "capbench/bpf/decoded.hpp"
+#include "capbench/bpf/program_cache.hpp"
+#include "capbench/bpf/threaded_vm.hpp"
+#include "capbench/bpf/verifier.hpp"
 #include "capbench/bpf/filter/codegen.hpp"
 #include "capbench/bpf/filter/lexer.hpp"
 #include "capbench/bpf/filter/parser.hpp"

@@ -8,8 +8,11 @@ namespace capbench::obs {
 SutObserver::SutObserver(Observer& owner, std::string name, int pid,
                          std::size_t app_count)
     : owner_(&owner), name_(std::move(name)), pid_(pid) {
-    for (std::size_t i = 0; i < app_count; ++i)
+    for (std::size_t i = 0; i < app_count; ++i) {
         apps_.emplace_back(*this, static_cast<int>(i));
+        apps_.back().aborted_ = &owner.registry_.counter(
+            "capture." + name_ + ".app" + std::to_string(i) + ".filter_aborts");
+    }
     if (TraceSink* tr = owner_->trace_) {
         irq_name_ = tr->intern("irq");
         ring_name_ = tr->intern("nic_ring");

@@ -48,12 +48,19 @@ public:
     /// A fetch() drained `n` packets; `occupancy` is the post-drain fill.
     void fetched(std::size_t n, std::int64_t occupancy, sim::SimTime t);
 
+    /// The filter VM aborted on a packet (out-of-bounds load, division by
+    /// zero) instead of returning a verdict.
+    void filter_aborted() {
+        if (aborted_ != nullptr) aborted_->inc();
+    }
+
 private:
     friend class Observer;
     friend class SutObserver;
 
     SutObserver* sut_;
     int index_;
+    Counter* aborted_ = nullptr;  // registry-owned; set by SutObserver
     const char* occupancy_name_ = nullptr;  // interned; null when untraced
     std::vector<std::int64_t> enqueue_at_;
     sim::SampleSet latency_ns_;  // NIC arrival -> delivery

@@ -280,6 +280,11 @@ std::vector<Scenario> build_registry() {
             }
             return suts;
         })));
+    all.push_back(custom_scenario(
+        "ext_filter_tiers",
+        "BPF execution tiers: interpreter vs. token-threaded dispatch, fig-6.5-style "
+        "filter cost sweep (host time)",
+        detail::ext_filter_tiers_table));
     {
         // Receive livelock is a single-processor phenomenon: the interrupts
         // and the starved application compete for the same CPU (Section 2.2.1).

@@ -24,6 +24,7 @@ CustomResult fig_4_1_table();
 CustomResult fig_4_2_table();
 CustomResult fig_4_4_table();
 CustomResult fig_6_13_table();
+CustomResult ext_filter_tiers_table();
 void fig_6_6_preamble(std::ostream& out);
 }  // namespace detail
 
