@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "capbench/bpf/decoded.hpp"
+#include "capbench/capture/rss.hpp"
 #include "capbench/bpf/filter/codegen.hpp"
 #include "capbench/bpf/threaded_vm.hpp"
 #include "capbench/bpf/verifier.hpp"
@@ -232,6 +233,23 @@ PerfCase micro_filter_tier(bool threaded, std::uint64_t iters) {
                       iters, wall);
 }
 
+/// The per-packet RSS cost a multi-queue NIC pays: one Toeplitz 4-tuple
+/// hash (96 input bits, bit-serial) per iteration over varying tuples.
+PerfCase micro_rss_hash(std::uint64_t iters) {
+    const auto& key = capbench::capture::rss::microsoft_key();
+    std::uint32_t sum = 0;
+    const auto t0 = Clock::now();
+    for (std::uint64_t i = 0; i < iters; ++i) {
+        const auto mix = static_cast<std::uint32_t>(i * 0x9E3779B1u);
+        sum += capbench::capture::rss::hash_ipv4_ports(
+            key, 0xc0a80000u | (mix & 0xffffu), 0x0a000000u | (mix >> 16),
+            static_cast<std::uint16_t>(1024 + (i % 977)), 80);
+    }
+    const double wall = seconds_since(t0);
+    opaque(sum);
+    return micro_case("rss_toeplitz_hash", iters, wall);
+}
+
 PerfCase micro_arena_churn(std::uint64_t iters) {
     auto arena = capbench::net::PacketArena::create();
     // A sliding window of live packets, as the splitter and capture
@@ -335,6 +353,20 @@ int main(int argc, char** argv) {
             report.cases.push_back(run_macro("fig_6_8_multiapp4" + suffix, suts, cfg));
             print_case(report.cases.back());
         }
+        {
+            // Multi-queue receive: one swan, four RSS queues on four cores,
+            // 4096 flows through the indirection table (per-queue rings,
+            // IRQ spreading and per-CPU kernel lanes all in play).
+            std::vector<SutConfig> suts{capbench::harness::standard_sut("swan")};
+            capbench::harness::apply_increased_buffers(suts);
+            suts[0].cores = 4;
+            suts[0].nic.queues = 4;
+            RunConfig cfg = base;
+            cfg.flow_count = 4096;
+            cfg.event_queue = backend;
+            report.cases.push_back(run_macro("multiqueue_dispatch" + suffix, suts, cfg));
+            print_case(report.cases.back());
+        }
         report.cases.push_back(micro_event_loop(backend, micro_iters));
         print_case(report.cases.back());
         report.cases.push_back(micro_cancel_churn(backend, micro_iters));
@@ -344,6 +376,9 @@ int main(int argc, char** argv) {
     }
 
     report.cases.push_back(micro_arena_churn(micro_iters));
+    print_case(report.cases.back());
+
+    report.cases.push_back(micro_rss_hash(micro_iters));
     print_case(report.cases.back());
 
     report.cases.push_back(micro_filter_tier(/*threaded=*/false, micro_iters));

@@ -1,0 +1,7 @@
+// Thin shim kept for existing targets/workflows: the ext_multiqueue
+// experiment is data in the scenario registry
+// (src/capbench/scenario/registry.cpp).  Prefer `capbench_figures --run
+// ext_multiqueue` for job control and JSON output.
+#include "capbench/scenario/runner.hpp"
+
+int main() { return capbench::scenario::run_shim("ext_multiqueue"); }

@@ -10,8 +10,10 @@
 // (Figures 6.3(a)/6.4(a)).
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <memory>
+#include <vector>
 
 #include "capbench/capture/os.hpp"
 #include "capbench/capture/tap.hpp"
@@ -26,8 +28,9 @@ public:
               std::uint32_t snaplen);
 
     // -- PacketTap --
-    hostsim::Work plan(const net::PacketPtr& packet) override;
-    void commit(const net::PacketPtr& packet) override;
+    hostsim::Work plan(const net::PacketPtr& packet, int queue) override;
+    void commit(const net::PacketPtr& packet, int queue) override;
+    void fanout_skip(int queue) override;
 
     // -- StackEndpoint --
     std::optional<Batch> fetch(std::size_t max_packets) override;
@@ -46,10 +49,27 @@ private:
         std::vector<net::PacketPtr> packets;
         std::uint64_t stored_bytes = 0;  // captured bytes incl. bpf headers
         std::uint64_t caplen_bytes = 0;  // captured bytes excl. headers
+        /// Per-RSS-queue packet counts / caplen bytes of the buffered
+        /// packets (index = queue); rotates with the buffer and is folded
+        /// into the per-queue delivery stats when HOLD is read out.
+        std::vector<std::uint32_t> queue_counts;
+        std::vector<std::uint64_t> queue_bytes;
+        void add(int queue, std::uint32_t caplen) {
+            const auto index = static_cast<std::size_t>(queue);
+            if (index >= queue_counts.size()) {
+                queue_counts.resize(index + 1, 0);
+                queue_bytes.resize(index + 1, 0);
+            }
+            ++queue_counts[index];
+            queue_bytes[index] += caplen;
+        }
         void clear() {
             packets.clear();
             stored_bytes = 0;
             caplen_bytes = 0;
+            // Keep capacity: steady-state rotation reallocates nothing.
+            std::fill(queue_counts.begin(), queue_counts.end(), 0u);
+            std::fill(queue_bytes.begin(), queue_bytes.end(), std::uint64_t{0});
         }
         [[nodiscard]] bool empty() const { return packets.empty(); }
     };

@@ -1,20 +1,35 @@
 #include "capbench/capture/driver.hpp"
 
+#include "capbench/capture/rss.hpp"
+
 namespace capbench::capture {
 
-void Driver::process(const net::PacketPtr& packet) {
+void Driver::process(const net::PacketPtr& packet, int queue, int cpu) {
     ++packets_processed_;
     hostsim::Work work = os_->driver_per_packet;
     work += os_->softirq_per_packet;
     work = work.scaled(os_->kernel_cost_multiplier);
-    for (auto* tap : taps_) work += tap->plan(packet);
+    // Only cluster fanout consults the flow hash; mirror/queue modes skip
+    // the hash unit entirely (and so does every single-tap configuration).
+    const std::uint32_t hash =
+        fanout_.mode() == FanoutMode::kCluster ? rss::flow_hash(*packet) : 0;
+    const std::size_t tap_count = taps_.size();
+    for (std::size_t i = 0; i < tap_count; ++i) {
+        if (fanout_.targets(i, tap_count, queue, hash)) {
+            work += taps_[i]->plan(packet, queue);
+        } else {
+            taps_[i]->fanout_skip(queue);
+        }
+    }
 
     // FreeBSD taps packets inside the interrupt handler; Linux does the
     // demux + clone work in the NET_RX softirq (accounted as system time).
     const auto state = os_->family == OsFamily::kFreeBsd ? hostsim::CpuState::kInterrupt
                                                          : hostsim::CpuState::kSystem;
-    machine_->post_kernel_work(work, state, [this, packet] {
-        for (auto* tap : taps_) tap->commit(packet);
+    machine_->post_kernel_work_on(cpu, work, state, [this, queue, hash, packet] {
+        const std::size_t tap_count = taps_.size();
+        for (std::size_t i = 0; i < tap_count; ++i)
+            if (fanout_.targets(i, tap_count, queue, hash)) taps_[i]->commit(packet, queue);
     });
 }
 

@@ -1,5 +1,6 @@
 // Kernel driver + protocol demux: turns received frames into per-packet
-// kernel work and delivers them to every attached capture tap.
+// kernel work and delivers them to the attached capture taps selected by
+// the fanout group (mirror = everyone, the classic model).
 #pragma once
 
 #include <vector>
@@ -12,22 +13,29 @@ namespace capbench::capture {
 
 class Driver {
 public:
-    Driver(hostsim::Machine& machine, const OsSpec& os) : machine_(&machine), os_(&os) {}
+    Driver(hostsim::Machine& machine, const OsSpec& os, FanoutGroup fanout = {})
+        : machine_(&machine), os_(&os), fanout_(fanout) {}
 
     /// Registers a capture consumer.  FreeBSD: one BPF per application;
     /// Linux: one PF_PACKET socket per application.
     void attach(PacketTap& tap) { taps_.push_back(&tap); }
 
     /// Posts the kernel work for one received packet (driver + softirq +
-    /// every tap's filter/copy/clone) and commits delivery when it
+    /// the targeted taps' filter/copy/clone) and commits delivery when it
     /// completes.  Runs in interrupt context on CPU 0.
-    void process(const net::PacketPtr& packet);
+    void process(const net::PacketPtr& packet) { process(packet, 0, 0); }
+
+    /// Multi-queue entry point: the packet arrived on RSS queue `queue`,
+    /// whose IRQ line targets `cpu` — the kernel work runs there.
+    void process(const net::PacketPtr& packet, int queue, int cpu);
 
     [[nodiscard]] std::uint64_t packets_processed() const { return packets_processed_; }
+    [[nodiscard]] const FanoutGroup& fanout() const { return fanout_; }
 
 private:
     hostsim::Machine* machine_;
     const OsSpec* os_;
+    FanoutGroup fanout_;
     std::vector<PacketTap*> taps_;
     std::uint64_t packets_processed_ = 0;
 };

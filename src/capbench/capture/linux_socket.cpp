@@ -22,8 +22,9 @@ std::uint64_t LinuxPacketSocket::truesize(std::uint32_t frame_len) const {
     return data + os_->skb_overhead;
 }
 
-hostsim::Work LinuxPacketSocket::plan(const net::PacketPtr& packet) {
+hostsim::Work LinuxPacketSocket::plan(const net::PacketPtr& packet, int queue) {
     ++stats_.kernel_seen;
+    ++qstats(queue).kernel_seen;
     auto verdict = filter_.run(*packet, snaplen_);
     hostsim::Work work = os_->tap_per_packet;  // skb_clone + queue insert
     work.cycles += verdict.insns * os_->filter_cycles_per_insn;
@@ -31,25 +32,35 @@ hostsim::Work LinuxPacketSocket::plan(const net::PacketPtr& packet) {
     return work.scaled(os_->kernel_cost_multiplier);
 }
 
-void LinuxPacketSocket::commit(const net::PacketPtr& packet) {
+void LinuxPacketSocket::fanout_skip(int queue) {
+    ++stats_.fanout_skipped;
+    ++qstats(queue).fanout_skipped;
+}
+
+void LinuxPacketSocket::commit(const net::PacketPtr& packet, int queue) {
     const auto verdict = pending_.pop();
+    CaptureStats& qs = qstats(queue);
     if (!verdict.accept) {
         ++stats_.dropped_filter;
+        ++qs.dropped_filter;
         if (verdict.aborted) {
             ++stats_.filter_aborts;
+            ++qs.filter_aborts;
             if (obs::AppObserver* o = app_obs()) o->filter_aborted();
         }
         return;
     }
     ++stats_.accepted;
+    ++qs.accepted;
     const std::uint64_t ts = truesize(packet->frame_len());
     if (queued_truesize_ + ts > rmem_bytes_ ||
         (pool_ != nullptr && pool_->used + ts > pool_->limit)) {
         // sk_rmem (or the shared skb pool) exhausted: drop for this socket.
         ++stats_.dropped_buffer;
+        ++qs.dropped_buffer;
         return;
     }
-    queue_.push_back(Queued{packet, verdict.caplen, ts});
+    queue_.push_back(Queued{packet, verdict.caplen, ts, queue});
     queued_truesize_ += ts;
     if (pool_ != nullptr) pool_->used += ts;
     if (obs::AppObserver* o = app_obs())
@@ -70,6 +81,9 @@ std::optional<StackEndpoint::Batch> LinuxPacketSocket::fetch(std::size_t max_pac
         batch.bytes += q.caplen;
         queued_truesize_ -= q.truesize;
         if (pool_ != nullptr) pool_->used -= q.truesize;
+        CaptureStats& qs = qstats(q.queue);
+        ++qs.delivered;
+        qs.delivered_bytes += q.caplen;
         // Every packet costs one recvfrom(): syscall + copy_to_user.
         batch.fetch_work += os_->syscall_overhead;
         batch.fetch_work += os_->deliver_per_packet;

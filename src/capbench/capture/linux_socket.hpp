@@ -36,8 +36,9 @@ public:
                       std::uint32_t snaplen, SkbPool* pool = nullptr);
 
     // -- PacketTap --
-    hostsim::Work plan(const net::PacketPtr& packet) override;
-    void commit(const net::PacketPtr& packet) override;
+    hostsim::Work plan(const net::PacketPtr& packet, int queue) override;
+    void commit(const net::PacketPtr& packet, int queue) override;
+    void fanout_skip(int queue) override;
 
     // -- StackEndpoint --
     std::optional<Batch> fetch(std::size_t max_packets) override;
@@ -53,6 +54,7 @@ private:
         net::PacketPtr packet;
         std::uint32_t caplen = 0;
         std::uint64_t truesize = 0;
+        int queue = 0;  // RSS queue of arrival, for per-queue delivery stats
     };
 
     [[nodiscard]] std::uint64_t truesize(std::uint32_t frame_len) const;

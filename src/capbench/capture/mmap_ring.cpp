@@ -15,8 +15,9 @@ MmapRing::MmapRing(hostsim::Machine& machine, const OsSpec& os, std::uint64_t ri
 
 void MmapRing::install_filter(bpf::Program program) { filter_.install(std::move(program)); }
 
-hostsim::Work MmapRing::plan(const net::PacketPtr& packet) {
+hostsim::Work MmapRing::plan(const net::PacketPtr& packet, int queue) {
     ++stats_.kernel_seen;
+    ++qstats(queue).kernel_seen;
     auto verdict = filter_.run(*packet, snaplen_);
     hostsim::Work work = os_->tap_per_packet;
     work.cycles += verdict.insns * os_->filter_cycles_per_insn;
@@ -28,22 +29,32 @@ hostsim::Work MmapRing::plan(const net::PacketPtr& packet) {
     return work.scaled(os_->kernel_cost_multiplier);
 }
 
-void MmapRing::commit(const net::PacketPtr& packet) {
+void MmapRing::fanout_skip(int queue) {
+    ++stats_.fanout_skipped;
+    ++qstats(queue).fanout_skipped;
+}
+
+void MmapRing::commit(const net::PacketPtr& packet, int queue) {
     const auto verdict = pending_.pop();
+    CaptureStats& qs = qstats(queue);
     if (!verdict.accept) {
         ++stats_.dropped_filter;
+        ++qs.dropped_filter;
         if (verdict.aborted) {
             ++stats_.filter_aborts;
+            ++qs.filter_aborts;
             if (obs::AppObserver* o = app_obs()) o->filter_aborted();
         }
         return;
     }
     ++stats_.accepted;
+    ++qs.accepted;
     if (ring_.size() >= slots_) {
         ++stats_.dropped_buffer;
+        ++qs.dropped_buffer;
         return;
     }
-    ring_.push_back(Queued{packet, verdict.caplen});
+    ring_.push_back(Queued{packet, verdict.caplen, queue});
     if (obs::AppObserver* o = app_obs())
         o->enqueued(packet->id(), machine_->sim().now(),
                     static_cast<std::int64_t>(ring_.size()));
@@ -60,6 +71,9 @@ std::optional<StackEndpoint::Batch> MmapRing::fetch(std::size_t max_packets) {
         Queued& q = ring_.front();
         batch.packets.push_back(std::move(q.packet));
         batch.bytes += q.caplen;
+        CaptureStats& qs = qstats(q.queue);
+        ++qs.delivered;
+        qs.delivered_bytes += q.caplen;
         ring_.pop_front();
     }
     // No syscall, no copy: the application reads mapped frames directly.

@@ -24,8 +24,9 @@ public:
              std::uint32_t snaplen, std::uint32_t frame_bytes = 2048);
 
     // -- PacketTap --
-    hostsim::Work plan(const net::PacketPtr& packet) override;
-    void commit(const net::PacketPtr& packet) override;
+    hostsim::Work plan(const net::PacketPtr& packet, int queue) override;
+    void commit(const net::PacketPtr& packet, int queue) override;
+    void fanout_skip(int queue) override;
 
     // -- StackEndpoint --
     std::optional<Batch> fetch(std::size_t max_packets) override;
@@ -39,6 +40,7 @@ private:
     struct Queued {
         net::PacketPtr packet;
         std::uint32_t caplen = 0;
+        int queue = 0;  // RSS queue of arrival, for per-queue delivery stats
     };
 
     hostsim::Machine* machine_;

@@ -1,64 +1,120 @@
 #include "capbench/capture/nic.hpp"
 
+#include <stdexcept>
+
 #include "capbench/obs/observer.hpp"
+#include "capbench/obs/registry.hpp"
 
 namespace capbench::capture {
 
 Nic::Nic(hostsim::Machine& machine, const OsSpec& os, NicModel model, Driver& driver)
-    : machine_(&machine), os_(&os), model_(std::move(model)), driver_(&driver) {}
+    : machine_(&machine), os_(&os), model_(std::move(model)), driver_(&driver) {
+    if (model_.queues < 1) throw std::invalid_argument("Nic: queues must be >= 1");
+    if (model_.indirection) {
+        if (model_.indirection->max_queue() >= model_.queues)
+            throw std::invalid_argument("Nic: indirection table names a queue >= queues");
+        table_ = *model_.indirection;
+    } else if (model_.indirection_skew > 0.0) {
+        table_ = rss::IndirectionTable::skewed(model_.queues, 0, model_.indirection_skew);
+    } else {
+        table_ = rss::IndirectionTable::uniform(model_.queues);
+    }
+    queues_.resize(static_cast<std::size_t>(model_.queues));
+    for (std::size_t i = 0; i < queues_.size(); ++i) {
+        Queue& q = queues_[i];
+        if (!model_.irq_affinity.empty()) {
+            q.cpu = model_.irq_affinity[i % model_.irq_affinity.size()];
+        } else {
+            q.cpu = static_cast<int>(i) % machine_->logical_cpus();
+        }
+        if (q.cpu < 0 || q.cpu >= machine_->logical_cpus())
+            throw std::invalid_argument("Nic: irq_affinity names a CPU outside the machine");
+    }
+}
+
+void Nic::register_metrics(obs::Registry& registry, const std::string& prefix) {
+    for (std::size_t i = 0; i < queues_.size(); ++i) {
+        const std::string base = prefix + ".q" + std::to_string(i);
+        queues_[i].ctr_frames = &registry.counter(base + ".frames");
+        queues_[i].ctr_ring_drops = &registry.counter(base + ".ring_drops");
+        queues_[i].ctr_backlog_drops = &registry.counter(base + ".backlog_drops");
+    }
+}
+
+int Nic::select_queue(const net::Packet& packet) const {
+    // Single-queue NICs never touch the hash unit — keeps the classic
+    // path's work (and schedule) bit-identical to the pre-RSS model.
+    if (queues_.size() == 1) return 0;
+    return table_.queue_for(rss::flow_hash(packet));
+}
 
 void Nic::on_frame(const net::PacketPtr& packet) {
     ++frames_seen_;
+    const int qi = select_queue(*packet);
+    Queue& q = queues_[static_cast<std::size_t>(qi)];
+    ++q.frames;
+    if (q.ctr_frames) q.ctr_frames->inc();
     if (obs_) obs_->nic_arrival(packet->id(), machine_->sim().now());
-    if (ring_.size() >= model_.ring_slots) {
+    if (q.ring.size() >= model_.ring_slots) {
         ++ring_drops_;
+        ++q.ring_drops;
+        if (q.ctr_ring_drops) q.ctr_ring_drops->inc();
         return;
     }
-    ring_.push_back(packet);
-    if (!service_active_) {
-        service_active_ = true;
-        // First frame of a burst: pay the interrupt overhead, then serve.
+    q.ring.push_back(packet);
+    if (!q.service_active) {
+        q.service_active = true;
+        // First frame of a burst: pay the interrupt overhead on the
+        // queue's CPU, then serve.
         if (obs_) obs_->irq_raised(machine_->sim().now());
-        machine_->post_kernel_work(os_->irq_overhead.scaled(os_->kernel_cost_multiplier),
-                                   hostsim::CpuState::kInterrupt, [this] { serve(); });
+        machine_->post_kernel_work_on(q.cpu,
+                                      os_->irq_overhead.scaled(os_->kernel_cost_multiplier),
+                                      hostsim::CpuState::kInterrupt, [this, qi] { serve(qi); });
     }
 }
 
-void Nic::serve() {
-    if (obs_) obs_->ring_occupancy(machine_->sim().now(), ring_.size());
+void Nic::serve(int qi) {
+    Queue& q = queues_[static_cast<std::size_t>(qi)];
+    if (obs_) obs_->ring_occupancy(machine_->sim().now(), q.ring.size());
     const std::size_t batch = model_.interrupt_moderation ? model_.poll_batch : 1;
     std::size_t n = 0;
-    while (!ring_.empty() && n < batch) {
-        if (machine_->kernel_queue_len() >= os_->pipeline_limit) {
-            // netdev backlog / ifqueue full: drop before protocol work.
-            ring_.pop_front();
+    while (!q.ring.empty() && n < batch) {
+        if (machine_->kernel_queue_len(q.cpu) >= os_->pipeline_limit) {
+            // netdev backlog / ifqueue full on this CPU: drop before
+            // protocol work.
+            q.ring.pop_front();
             ++backlog_drops_;
+            ++q.backlog_drops;
+            if (q.ctr_backlog_drops) q.ctr_backlog_drops->inc();
             continue;
         }
-        if (obs_) obs_->kernel_handoff(ring_.front()->id(), machine_->sim().now());
-        driver_->process(ring_.front());
-        ring_.pop_front();
+        if (obs_) obs_->kernel_handoff(q.ring.front()->id(), machine_->sim().now());
+        driver_->process(q.ring.front(), qi, q.cpu);
+        q.ring.pop_front();
         ++n;
     }
-    // Zero-length marker work: runs after the batch completes (FIFO), then
-    // either keeps polling or re-arms the interrupt.
-    machine_->post_kernel_work(hostsim::Work{.cycles = 400},
-                               hostsim::CpuState::kInterrupt, [this] { after_batch(); });
+    // Zero-length marker work: runs after the batch completes (FIFO per
+    // CPU), then either keeps polling or re-arms the interrupt.
+    machine_->post_kernel_work_on(q.cpu, hostsim::Work{.cycles = 400},
+                                  hostsim::CpuState::kInterrupt,
+                                  [this, qi] { after_batch(qi); });
 }
 
-void Nic::after_batch() {
-    if (ring_.empty()) {
+void Nic::after_batch(int qi) {
+    Queue& q = queues_[static_cast<std::size_t>(qi)];
+    if (q.ring.empty()) {
         if (obs_) obs_->ring_occupancy(machine_->sim().now(), 0);
-        service_active_ = false;
+        q.service_active = false;
         return;
     }
     if (model_.interrupt_moderation) {
-        serve();  // NAPI-style: stay in polling mode while frames pend
+        serve(qi);  // NAPI-style: stay in polling mode while frames pend
     } else {
         // One interrupt per packet: pay the overhead again (livelock mode).
         if (obs_) obs_->irq_raised(machine_->sim().now());
-        machine_->post_kernel_work(os_->irq_overhead.scaled(os_->kernel_cost_multiplier),
-                                   hostsim::CpuState::kInterrupt, [this] { serve(); });
+        machine_->post_kernel_work_on(q.cpu,
+                                      os_->irq_overhead.scaled(os_->kernel_cost_multiplier),
+                                      hostsim::CpuState::kInterrupt, [this, qi] { serve(qi); });
     }
 }
 

@@ -1,24 +1,38 @@
-// Sniffer-side NIC model (Intel 82544EI class) with receive ring, interrupt
-// moderation / NAPI-style batched service and backlog admission.
+// Sniffer-side NIC model (Intel 82544EI class) with receive ring(s),
+// interrupt moderation / NAPI-style batched service and backlog admission.
 //
-// Frames arriving from the fiber are placed into the descriptor ring; a
-// full ring overflows (FIFO drops).  The first frame raises an interrupt;
-// the service loop then drains the ring in batches, posting per-packet
+// Frames arriving from the fiber are steered to one of `queues` receive
+// queues — a Toeplitz RSS hash over the packet's flow tuple indexes a
+// 128-entry indirection table, exactly the hardware mechanism of RSS-class
+// NICs — and placed into that queue's descriptor ring; a full ring
+// overflows (FIFO drops).  Each queue owns an IRQ line directed at one CPU
+// (irq_affinity), so per-queue interrupt and protocol work spreads across
+// processors.  The first frame of a burst raises the queue's interrupt;
+// the service loop then drains that ring in batches, posting per-packet
 // kernel work to the driver, and keeps polling as long as frames are
 // pending — one interrupt per burst rather than per packet, which is the
-// receive-livelock avoidance of Section 2.2.1.  When the kernel work queue
-// (netdev backlog / ifqueue) is at its limit, drained frames are dropped
-// before any protocol processing.
+// receive-livelock avoidance of Section 2.2.1.  When the target CPU's
+// kernel work queue (netdev backlog / ifqueue) is at its limit, drained
+// frames are dropped before any protocol processing.
+//
+// With queues == 1 (the default) the hash is never computed and every
+// code path reduces to the historical single-ring model byte for byte.
 #pragma once
 
 #include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
 
 #include "capbench/capture/driver.hpp"
 #include "capbench/capture/os.hpp"
+#include "capbench/capture/rss.hpp"
 #include "capbench/net/packet.hpp"
 #include "capbench/sim/ring_buffer.hpp"
 
 namespace capbench::obs {
+class Counter;
+class Registry;
 class SutObserver;
 }
 
@@ -33,6 +47,20 @@ struct NicModel {
     /// Section 2.2.1).  Without it every packet pays the full interrupt
     /// overhead -- the receive-livelock ablation.
     bool interrupt_moderation = true;
+    /// Receive queues, each an independent `ring_slots`-deep descriptor
+    /// ring with its own IRQ line.  1 = the classic single-ring NIC.
+    int queues = 1;
+    /// CPU each queue's IRQ line is pinned to: queue i interrupts CPU
+    /// irq_affinity[i % size].  Empty = queue i -> CPU i % logical_cpus
+    /// (the irqbalance default).
+    std::vector<int> irq_affinity;
+    /// Explicit RSS indirection table; overrides `indirection_skew`.  Its
+    /// max_queue() must be < queues.
+    std::optional<rss::IndirectionTable> indirection;
+    /// Convenience knob when no explicit table is given: fraction of
+    /// indirection entries aimed at queue 0 (0 = uniform spread).  Lets a
+    /// scenario variant declare "skewed" while the sweep varies `queues`.
+    double indirection_skew = 0.0;
 };
 
 class Nic final : public net::FrameSink {
@@ -45,21 +73,53 @@ public:
     /// branch-guarded so an untraced run pays one predictable branch).
     void set_observer(obs::SutObserver* obs) { obs_ = obs; }
 
+    /// Registers per-queue counters `<prefix>.q<j>.{frames,ring_drops,
+    /// backlog_drops}` in `registry`.
+    void register_metrics(obs::Registry& registry, const std::string& prefix);
+
     [[nodiscard]] std::uint64_t frames_seen() const { return frames_seen_; }
     [[nodiscard]] std::uint64_t ring_drops() const { return ring_drops_; }
     [[nodiscard]] std::uint64_t backlog_drops() const { return backlog_drops_; }
 
+    [[nodiscard]] int queue_count() const { return static_cast<int>(queues_.size()); }
+    [[nodiscard]] std::uint64_t queue_frames(int q) const {
+        return queues_[static_cast<std::size_t>(q)].frames;
+    }
+    [[nodiscard]] std::uint64_t queue_ring_drops(int q) const {
+        return queues_[static_cast<std::size_t>(q)].ring_drops;
+    }
+    [[nodiscard]] std::uint64_t queue_backlog_drops(int q) const {
+        return queues_[static_cast<std::size_t>(q)].backlog_drops;
+    }
+    /// The CPU queue `q`'s IRQ line is pinned to.
+    [[nodiscard]] int queue_cpu(int q) const { return queues_[static_cast<std::size_t>(q)].cpu; }
+
 private:
-    void serve();
-    void after_batch();
+    /// One receive queue: descriptor ring, IRQ target, service state and
+    /// drop accounting.
+    struct Queue {
+        sim::RingBuffer<net::PacketPtr> ring;
+        bool service_active = false;
+        int cpu = 0;
+        std::uint64_t frames = 0;
+        std::uint64_t ring_drops = 0;
+        std::uint64_t backlog_drops = 0;
+        obs::Counter* ctr_frames = nullptr;
+        obs::Counter* ctr_ring_drops = nullptr;
+        obs::Counter* ctr_backlog_drops = nullptr;
+    };
+
+    [[nodiscard]] int select_queue(const net::Packet& packet) const;
+    void serve(int qi);
+    void after_batch(int qi);
 
     hostsim::Machine* machine_;
     const OsSpec* os_;
     NicModel model_;
     Driver* driver_;
     obs::SutObserver* obs_ = nullptr;
-    sim::RingBuffer<net::PacketPtr> ring_;
-    bool service_active_ = false;
+    std::vector<Queue> queues_;
+    rss::IndirectionTable table_;
     std::uint64_t frames_seen_ = 0;
     std::uint64_t ring_drops_ = 0;
     std::uint64_t backlog_drops_ = 0;

@@ -1,0 +1,99 @@
+#include "capbench/capture/rss.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace capbench::capture::rss {
+
+const Key& microsoft_key() {
+    static const Key key = {0x6d, 0x5a, 0x56, 0xda, 0x25, 0x5b, 0x0e, 0xc2, 0x41, 0x67,
+                            0x25, 0x3d, 0x43, 0xa3, 0x8f, 0xb0, 0xd0, 0xca, 0x2b, 0xcb,
+                            0xae, 0x7b, 0x30, 0xb4, 0x77, 0xcb, 0x2d, 0xa3, 0x80, 0x30,
+                            0xf2, 0x0c, 0x6a, 0x42, 0xb7, 0x3b, 0xbe, 0xac, 0x01, 0xfa};
+    return key;
+}
+
+std::uint32_t toeplitz(const Key& key, const std::uint8_t* data, std::size_t len) {
+    // 64-bit sliding window over the key: the top 32 bits are the hash
+    // contribution for the current input bit; shifting left one bit per
+    // input bit advances the window, and each consumed input byte vacates
+    // the low 8 bits for the next key byte.
+    std::uint64_t window = 0;
+    for (std::size_t i = 0; i < 8; ++i) window = (window << 8) | key[i];
+    std::size_t next_key_byte = 8;
+    std::uint32_t result = 0;
+    for (std::size_t i = 0; i < len; ++i) {
+        const std::uint8_t byte = data[i];
+        for (int bit = 7; bit >= 0; --bit) {
+            if ((byte >> bit) & 1u) result ^= static_cast<std::uint32_t>(window >> 32);
+            window <<= 1;
+        }
+        if (next_key_byte < key.size()) window |= key[next_key_byte++];
+    }
+    return result;
+}
+
+namespace {
+
+void put_be32(std::uint8_t* out, std::uint32_t v) {
+    out[0] = static_cast<std::uint8_t>(v >> 24);
+    out[1] = static_cast<std::uint8_t>(v >> 16);
+    out[2] = static_cast<std::uint8_t>(v >> 8);
+    out[3] = static_cast<std::uint8_t>(v);
+}
+
+void put_be16(std::uint8_t* out, std::uint16_t v) {
+    out[0] = static_cast<std::uint8_t>(v >> 8);
+    out[1] = static_cast<std::uint8_t>(v);
+}
+
+}  // namespace
+
+std::uint32_t hash_ipv4(const Key& key, std::uint32_t src_ip, std::uint32_t dst_ip) {
+    std::uint8_t input[8];
+    put_be32(input, src_ip);
+    put_be32(input + 4, dst_ip);
+    return toeplitz(key, input, sizeof(input));
+}
+
+std::uint32_t hash_ipv4_ports(const Key& key, std::uint32_t src_ip, std::uint32_t dst_ip,
+                              std::uint16_t src_port, std::uint16_t dst_port) {
+    std::uint8_t input[12];
+    put_be32(input, src_ip);
+    put_be32(input + 4, dst_ip);
+    put_be16(input + 8, src_port);
+    put_be16(input + 10, dst_port);
+    return toeplitz(key, input, sizeof(input));
+}
+
+std::uint32_t flow_hash(const net::Packet& packet) {
+    const net::FlowTuple& f = packet.flow();
+    return hash_ipv4_ports(microsoft_key(), f.src_ip, f.dst_ip, f.src_port, f.dst_port);
+}
+
+IndirectionTable IndirectionTable::uniform(int queues) {
+    if (queues < 1 || queues > static_cast<int>(kEntries))
+        throw std::invalid_argument("IndirectionTable: queues must be in [1, 128]");
+    IndirectionTable t;
+    for (std::size_t i = 0; i < kEntries; ++i)
+        t.map_[i] = static_cast<std::uint8_t>(i % static_cast<std::size_t>(queues));
+    return t;
+}
+
+IndirectionTable IndirectionTable::skewed(int queues, int hot_queue, double hot_fraction) {
+    if (hot_queue < 0 || hot_queue >= queues)
+        throw std::invalid_argument("IndirectionTable: hot_queue out of range");
+    if (hot_fraction < 0.0 || hot_fraction > 1.0)
+        throw std::invalid_argument("IndirectionTable: hot_fraction must be in [0, 1]");
+    IndirectionTable t = uniform(queues);
+    const auto hot = static_cast<std::size_t>(hot_fraction * kEntries + 0.5);
+    for (std::size_t i = 0; i < std::min(hot, kEntries); ++i)
+        t.map_[i] = static_cast<std::uint8_t>(hot_queue);
+    return t;
+}
+
+int IndirectionTable::max_queue() const {
+    return *std::max_element(map_.begin(), map_.end());
+}
+
+}  // namespace capbench::capture::rss

@@ -10,6 +10,23 @@
 
 namespace capbench::capture {
 
+FanoutGroup::FanoutGroup(FanoutMode mode, int queues) : mode_(mode), queues_(queues) {
+    if (queues < 1) throw std::invalid_argument("FanoutGroup: queues must be >= 1");
+}
+
+bool FanoutGroup::targets(std::size_t index, std::size_t tap_count, int queue,
+                          std::uint32_t hash) const {
+    switch (mode_) {
+        case FanoutMode::kMirror:
+            return true;
+        case FanoutMode::kQueue:
+            return pinned_queue(index) == queue;
+        case FanoutMode::kCluster:
+            return index == hash % tap_count;
+    }
+    return true;  // unreachable; keeps -Wreturn-type quiet
+}
+
 void FilterRunner::install(bpf::Program program) {
     decoded_.reset();
     if (!program.empty()) {

@@ -35,23 +35,65 @@ struct CaptureStats {
     /// by zero) rather than a verdict.  A subset of dropped_filter — the
     /// drop identity delivered + Σdrops == generated is unaffected.
     std::uint64_t filter_aborts = 0;
+    /// Packets the fanout group routed to a different tap (queue- or
+    /// cluster-mode delivery).  Zero kernel work — that is the point of
+    /// fanout — but counted so the per-app drop identity stays closed.
+    std::uint64_t fanout_skipped = 0;
 };
 
 /// Kernel-side interface: the driver asks each tap to plan (cost) and then,
 /// when the kernel work for the packet completes, to commit (buffer state
 /// mutation + reader wakeup).  plan/commit are called strictly in FIFO
-/// pairs per tap.
+/// pairs per tap; `queue` is the RSS receive queue the packet arrived on
+/// (0 on single-queue NICs) and feeds the per-queue stats slices.
 class PacketTap {
 public:
     virtual ~PacketTap() = default;
 
     /// Runs the filter and returns the kernel work this tap adds for the
     /// packet (filter interpretation, clone/enqueue, buffer copy).
-    virtual hostsim::Work plan(const net::PacketPtr& packet) = 0;
+    virtual hostsim::Work plan(const net::PacketPtr& packet, int queue) = 0;
 
     /// Applies the planned action: enqueue/copy into the consumer's buffer
     /// or count a drop; wakes the reader when data becomes available.
-    virtual void commit(const net::PacketPtr& packet) = 0;
+    virtual void commit(const net::PacketPtr& packet, int queue) = 0;
+
+    /// The fanout group delivered this packet to another tap: account it
+    /// (CaptureStats::fanout_skipped) without planning any kernel work.
+    virtual void fanout_skip(int queue) = 0;
+};
+
+/// Delivery policy of a fanout group (the taps attached to one driver).
+enum class FanoutMode {
+    kMirror,   // every tap sees every packet (the classic behaviour)
+    kQueue,    // tap i is pinned to RSS queue i % queues
+    kCluster,  // PF_RING-style: flow hash % tap count picks ONE tap
+};
+
+/// Decides which taps of a driver receive a packet, given its RSS queue
+/// and flow hash.  Mirror mode (the default) reproduces the historical
+/// every-tap-sees-everything delivery byte for byte.
+class FanoutGroup {
+public:
+    FanoutGroup() = default;
+    FanoutGroup(FanoutMode mode, int queues);
+
+    [[nodiscard]] FanoutMode mode() const { return mode_; }
+    [[nodiscard]] int queues() const { return queues_; }
+
+    /// The RSS queue tap `index` is pinned to in kQueue mode.
+    [[nodiscard]] int pinned_queue(std::size_t index) const {
+        return static_cast<int>(index % static_cast<std::size_t>(queues_));
+    }
+
+    /// True when tap `index` (of `tap_count` attached taps) receives a
+    /// packet that arrived on `queue` with flow hash `hash`.
+    [[nodiscard]] bool targets(std::size_t index, std::size_t tap_count, int queue,
+                               std::uint32_t hash) const;
+
+private:
+    FanoutMode mode_ = FanoutMode::kMirror;
+    int queues_ = 1;
 };
 
 /// Reader-side interface used by capture application threads.
@@ -77,6 +119,12 @@ public:
 
     [[nodiscard]] virtual const CaptureStats& stats() const = 0;
 
+    /// Per-RSS-queue slices of stats(): entry j accounts packets that
+    /// arrived on receive queue j.  Componentwise, the sum over queues
+    /// equals stats() (delivered is folded in at fetch time).  Sized
+    /// lazily — single-queue runs hold exactly one entry.
+    [[nodiscard]] const std::vector<CaptureStats>& queue_stats() const { return queue_stats_; }
+
     /// Hands a consumed batch's packet vector back for reuse: the next
     /// fetch() builds its batch in it, capacity intact, so steady-state
     /// fetch loops allocate nothing.
@@ -92,12 +140,20 @@ public:
 protected:
     [[nodiscard]] obs::AppObserver* app_obs() const { return app_obs_; }
 
+    /// The mutable per-queue stats slice, grown on first touch.
+    [[nodiscard]] CaptureStats& qstats(int queue) {
+        const auto index = static_cast<std::size_t>(queue);
+        if (index >= queue_stats_.size()) queue_stats_.resize(index + 1);
+        return queue_stats_[index];
+    }
+
     /// The pooled vector from the last recycle() (empty, capacity kept);
     /// an empty fresh vector if none was returned yet.
     [[nodiscard]] std::vector<net::PacketPtr> take_spare() { return std::move(spare_packets_); }
 
 private:
     std::vector<net::PacketPtr> spare_packets_;
+    std::vector<CaptureStats> queue_stats_;
     obs::AppObserver* app_obs_ = nullptr;
 };
 

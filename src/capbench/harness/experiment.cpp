@@ -39,6 +39,26 @@ std::uint64_t env_knob(const char* name, std::uint64_t fallback, std::uint64_t m
     return parse_positive_env(name, value, max_value);
 }
 
+/// Strict non-negative parsing for list items like CAPBENCH_AFFINITY's CPU
+/// indices, where 0 is a perfectly good value (CPU 0) but everything
+/// parse_positive_env rejects stays rejected.
+std::uint64_t parse_nonnegative_env(const char* name, const std::string& text,
+                                    std::uint64_t max_value) {
+    const auto reject = [&](const char* why) {
+        throw std::runtime_error(std::string(name) + "='" + text + "': " + why +
+                                 " (expected a non-negative integer)");
+    };
+    if (text.empty()) reject("empty value");
+    if (text[0] == '-') reject("negative value");
+    if (text[0] != '+' && (text[0] < '0' || text[0] > '9')) reject("not a number");
+    errno = 0;
+    char* end = nullptr;
+    const unsigned long long parsed = std::strtoull(text.c_str(), &end, 10);
+    if (end == text.c_str() || *end != '\0') reject("not a number");
+    if (errno == ERANGE || parsed > max_value) reject("value out of range");
+    return parsed;
+}
+
 }  // namespace
 
 std::vector<double> default_rate_grid() {
@@ -54,6 +74,28 @@ std::uint64_t packets_per_run() {
 int default_reps() { return static_cast<int>(env_knob("CAPBENCH_REPS", 1, 1'000)); }
 
 int default_jobs() { return static_cast<int>(env_knob("CAPBENCH_JOBS", 1, 512)); }
+
+int default_queues() { return static_cast<int>(env_knob("CAPBENCH_QUEUES", 1, 16)); }
+
+std::vector<int> affinity_from_env() {
+    const char* value = std::getenv("CAPBENCH_AFFINITY");
+    if (value == nullptr) return {};
+    const std::string text = value;
+    if (text.empty())
+        throw std::runtime_error(
+            "CAPBENCH_AFFINITY='': empty value (expected a comma-separated CPU list)");
+    std::vector<int> cpus;
+    std::size_t start = 0;
+    while (true) {
+        const std::size_t comma = text.find(',', start);
+        const std::string item = text.substr(
+            start, comma == std::string::npos ? std::string::npos : comma - start);
+        cpus.push_back(static_cast<int>(parse_nonnegative_env("CAPBENCH_AFFINITY", item, 255)));
+        if (comma == std::string::npos) break;
+        start = comma + 1;
+    }
+    return cpus;
+}
 
 std::vector<SutConfig> standard_suts() {
     return {standard_sut("swan"), standard_sut("snipe"), standard_sut("moorhen"),
@@ -122,6 +164,32 @@ std::vector<SweepRow> buffer_sweep(std::vector<SutConfig> suts, const RunConfig&
         cfg.rate_mbps = 0.0;  // highest possible rate, no inter-packet gap
         cfg.trace = (trace != nullptr && i == rows.size() - 1) ? trace : nullptr;
         rows[i] = SweepRow{static_cast<double>(kb), run_repeated(sized, cfg, reps)};
+    };
+    if (exec != nullptr) {
+        exec->parallel_for(rows.size(), run_point);
+    } else {
+        for (std::size_t i = 0; i < rows.size(); ++i) run_point(i);
+    }
+    return rows;
+}
+
+std::vector<SweepRow> queue_sweep(std::vector<SutConfig> suts, const RunConfig& base,
+                                  const std::vector<int>& counts, int reps,
+                                  const ParallelExecutor* exec, obs::TraceSink* trace) {
+    std::vector<SweepRow> rows(counts.size());
+    const auto run_point = [&](std::size_t i) {
+        const int count = counts[i];
+        std::vector<SutConfig> scaled = suts;
+        for (auto& sut : scaled) {
+            // Cores and queues move together: queue j's IRQ line lands on
+            // CPU j (the default affinity), so each point is a balanced
+            // N-queue/N-core configuration.
+            sut.cores = count;
+            sut.nic.queues = count;
+        }
+        RunConfig cfg = base;
+        cfg.trace = (trace != nullptr && i == rows.size() - 1) ? trace : nullptr;
+        rows[i] = SweepRow{static_cast<double>(count), run_repeated(scaled, cfg, reps)};
     };
     if (exec != nullptr) {
         exec->parallel_for(rows.size(), run_point);

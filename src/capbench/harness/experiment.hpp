@@ -29,6 +29,19 @@ int default_reps();
 /// values throw std::runtime_error; values above 512 are rejected too.
 int default_jobs();
 
+/// NIC receive queues for the standard sniffers.  Defaults to 1 (the
+/// classic single-ring NIC, byte-identical to the pre-RSS figures);
+/// override with CAPBENCH_QUEUES.  Garbage/zero/negative values throw
+/// std::runtime_error; values above 16 are rejected too.
+int default_queues();
+
+/// Per-queue IRQ affinity for the standard sniffers, from CAPBENCH_AFFINITY
+/// as a comma-separated list of CPU indices (queue i -> entry i % size;
+/// e.g. "0,1,1").  Unset = empty vector (queue i -> CPU i % logical_cpus).
+/// Empty items, garbage, negative values and indices above 255 throw
+/// std::runtime_error.
+std::vector<int> affinity_from_env();
+
 /// The four sniffers of Figure 2.4 in plot order.
 std::vector<SutConfig> standard_suts();
 
@@ -70,5 +83,15 @@ std::vector<SweepRow> buffer_sweep(std::vector<SutConfig> suts, const RunConfig&
                                    const std::vector<std::uint64_t>& buffer_kb, int reps,
                                    const ParallelExecutor* exec = nullptr,
                                    obs::TraceSink* trace = nullptr);
+
+/// Runs a sweep over queue/core counts: point i gives every SUT
+/// `counts[i]` cores AND `counts[i]` NIC receive queues (default IRQ
+/// affinity spreads queue j to CPU j), measuring how capture rate scales
+/// with parallelism at a fixed offered load.  `trace` designates the last
+/// point, as in rate_sweep.  SweepRow::rate_mbps holds the count.
+std::vector<SweepRow> queue_sweep(std::vector<SutConfig> suts, const RunConfig& base,
+                                  const std::vector<int>& counts, int reps,
+                                  const ParallelExecutor* exec = nullptr,
+                                  obs::TraceSink* trace = nullptr);
 
 }  // namespace capbench::harness

@@ -25,6 +25,7 @@ RunResult run_once(const std::vector<SutConfig>& suts, const RunConfig& config) 
     tb.gen.rate_mbps = config.rate_mbps;
     tb.gen.seed = config.seed;
     tb.gen.full_bytes = config.full_bytes;
+    tb.gen.flow_count = config.flow_count;
     if (config.use_mwn_dist) {
         tb.gen.size_dist.emplace(dist::mwn_trace_histogram());
         tb.gen.use_dist = true;

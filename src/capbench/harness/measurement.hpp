@@ -31,6 +31,10 @@ struct RunConfig {
     std::uint32_t fixed_size = 1500;
     /// Link speed in Gbit/s (10 for the Section 7.2 10-GbE extension).
     double link_gbps = 1.0;
+    /// Distinct UDP flows the generator cycles through (GenConfig::
+    /// flow_count).  1 = the classic single-flow traffic; multi-queue RSS
+    /// scenarios need many flows to spread across receive queues.
+    std::uint32_t flow_count = 1;
     /// Round-robin load distribution instead of the passive splitter
     /// (Section 7.2's distributed-analysis extension).
     bool distribute_round_robin = false;

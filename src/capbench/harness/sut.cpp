@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "capbench/harness/experiment.hpp"
 #include "capbench/obs/observer.hpp"
 
 namespace capbench::harness {
@@ -10,6 +11,11 @@ namespace capbench::harness {
 SutConfig standard_sut(const std::string& name) {
     SutConfig cfg;
     cfg.name = name;
+    // Env-configurable multi-queue receive: with CAPBENCH_QUEUES /
+    // CAPBENCH_AFFINITY unset these are 1 and empty — the classic
+    // single-ring NIC, byte-identical to the committed figure goldens.
+    cfg.nic.queues = default_queues();
+    cfg.nic.irq_affinity = affinity_from_env();
     if (name == "swan") {
         cfg.arch = &hostsim::ArchSpec::amd_opteron();
         cfg.os = &capture::OsSpec::linux_2_6_11();
@@ -35,7 +41,9 @@ Sut::Sut(sim::Simulator& sim, SutConfig config, obs::Observer* observer)
         sim,
         hostsim::MachineSpec{*config_.arch, config_.cores, config_.hyperthreading},
         os.sched);
-    driver_ = std::make_unique<capture::Driver>(*machine_, os);
+    driver_ = std::make_unique<capture::Driver>(
+        *machine_, os,
+        capture::FanoutGroup{config_.fanout, std::max(1, config_.nic.queues)});
     nic_ = std::make_unique<capture::Nic>(*machine_, os, config_.nic, *driver_);
 
     const std::uint64_t buffer =
@@ -49,6 +57,7 @@ Sut::Sut(sim::Simulator& sim, SutConfig config, obs::Observer* observer)
         machine_->set_trace(observer->trace(), so->pid());
         machine_->register_metrics(observer->registry(), config_.name);
         nic_->set_observer(so);
+        nic_->register_metrics(observer->registry(), "capture." + config_.name);
     }
 
     const bool needs_disk = config_.app_load.disk_bytes_per_packet > 0;

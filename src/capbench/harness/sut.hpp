@@ -44,8 +44,13 @@ struct SutConfig {
     int app_count = 1;
     std::string filter_expression;  // empty = no filter
     /// Receive NIC behaviour; NicModel::interrupt_moderation=false gives
-    /// one interrupt per packet (the receive-livelock ablation).
+    /// one interrupt per packet (the receive-livelock ablation).  Multi-
+    /// queue RSS is configured here too (NicModel::queues et al.).
     capture::NicModel nic;
+    /// How the driver spreads packets over the app taps: kMirror (every
+    /// app sees everything, the classic model), kQueue (app i pinned to
+    /// RSS queue i % queues) or kCluster (PF_RING-style flow fanout).
+    capture::FanoutMode fanout = capture::FanoutMode::kMirror;
     load::AppLoad app_load;
     std::uint32_t snaplen = 1515;  // the thesis captures whole packets
 };
@@ -87,6 +92,12 @@ public:
     /// Kernel-side capture counters of application i's endpoint.
     [[nodiscard]] const capture::CaptureStats& capture_stats(std::size_t app_index) const {
         return endpoints_[app_index]->stats();
+    }
+
+    /// Per-RSS-queue slices of application i's capture counters.
+    [[nodiscard]] const std::vector<capture::CaptureStats>& queue_capture_stats(
+        std::size_t app_index) const {
+        return endpoints_[app_index]->queue_stats();
     }
 
     [[nodiscard]] load::DiskModel* disk() { return disk_.get(); }

@@ -28,6 +28,8 @@ Machine::Machine(sim::Simulator& sim, MachineSpec spec, SchedPolicy policy)
     const int logical = spec_.hyperthreading ? spec_.cores * 2 : spec_.cores;
     cpus_.resize(static_cast<std::size_t>(logical));
     chunks_.resize(static_cast<std::size_t>(logical));
+    kernel_done_.resize(static_cast<std::size_t>(logical));
+    kernel_queue_len_cpu_.resize(static_cast<std::size_t>(logical), 0);
 }
 
 // ---- CPU state inspection ----------------------------------------------------
@@ -53,13 +55,14 @@ bool Machine::sibling_busy(int i) const {
 int Machine::pick_idle_cpu() const {
     int best = -1;
     int best_score = 1 << 30;
-    // Under heavy interrupt load CPU 0 makes no thread progress; a real
-    // scheduler migrates tasks away from a saturated CPU, so skip it while
-    // the kernel queue runs deep (unless it is the only CPU).
-    const bool cpu0_saturated =
-        logical_cpus() > 1 && kernel_backlog() > sim::microseconds(30);
+    // Under heavy interrupt load a CPU servicing an IRQ line makes no
+    // thread progress; a real scheduler migrates tasks away from a
+    // saturated CPU, so skip any CPU whose kernel queue runs deep (unless
+    // it is the only CPU).  With a single-queue NIC only CPU 0 can ever be
+    // saturated, which reduces this to the classic "avoid CPU 0" rule.
+    const bool skip_saturated = logical_cpus() > 1;
     for (int c = 0; c < logical_cpus(); ++c) {
-        if (c == 0 && cpu0_saturated) continue;
+        if (skip_saturated && kernel_backlog(c) > sim::microseconds(30)) continue;
         if (cpus_[static_cast<std::size_t>(c)].current != nullptr) continue;
         // Prefer CPUs away from the interrupt CPU and with an idle sibling.
         int score = 0;
@@ -87,6 +90,7 @@ void Machine::set_trace(obs::TraceSink* trace, int pid) {
     trace_pid_ = pid;
     if (trace_ == nullptr) return;
     next_trace_tid_ = obs::kThreadTidBase;
+    kernel_lane_named_.assign(cpus_.size(), false);
     trace_kernel_name_ = trace_->intern("kernel");
     trace_blocked_name_ = trace_->intern("blocked");
     cat_user_ = trace_->intern("user");
@@ -119,54 +123,76 @@ void Machine::trace_chunk_slice(const Thread& thread, const RunningChunk& chunk)
 
 // ---- kernel work --------------------------------------------------------------
 
-void Machine::post_kernel_work(const Work& work, CpuState kind, Continuation done) {
-    auto& cpu0 = cpus_[0];
-    const sim::Duration dur = work_duration(work, 0);
-    const sim::SimTime start = std::max(sim_->now(), cpu0.kernel_busy_until);
+void Machine::post_kernel_work_on(int cpu_index, const Work& work, CpuState kind,
+                                  Continuation done) {
+    if (cpu_index < 0 || cpu_index >= logical_cpus())
+        throw std::invalid_argument("Machine::post_kernel_work_on: cpu out of range");
+    if (cpu_index != 0) kernel_spread_ = true;
+    auto& cpu = cpus_[static_cast<std::size_t>(cpu_index)];
+    const sim::Duration dur = work_duration(work, cpu_index);
+    const sim::SimTime start = std::max(sim_->now(), cpu.kernel_busy_until);
     const sim::SimTime end = start + dur;
-    cpu0.kernel_busy_until = end;
+    cpu.kernel_busy_until = end;
     ++kernel_queue_len_;
-    // CPU 0 serializes kernel work, so completion times are non-decreasing
-    // and events at equal times run in push order: completions are strictly
-    // FIFO.  Parking (dur, kind, done) in the ring keeps the scheduled
-    // callback capture-tiny.
-    kernel_done_.push_back(KernelDone{dur, kind, std::move(done)});
-    sim_->schedule_at(end, [this] { kernel_work_complete(); });
+    ++kernel_queue_len_cpu_[static_cast<std::size_t>(cpu_index)];
+    // Each CPU serializes its kernel work, so completion times are
+    // non-decreasing per CPU and events at equal times run in push order:
+    // completions are strictly FIFO per CPU.  Parking (dur, kind, done) in
+    // the ring keeps the scheduled callback capture-tiny.
+    kernel_done_[static_cast<std::size_t>(cpu_index)].push_back(
+        KernelDone{dur, kind, std::move(done)});
+    sim_->schedule_at(end, [this, cpu_index] { kernel_work_complete(cpu_index); });
     if (ctr_kernel_items_) ctr_kernel_items_->inc();
 
-    // Kernel work preempts the thread chunk in flight on CPU 0: push its
-    // completion out by the stolen time.  A chunk starved for too long is
-    // migrated to the ready queue instead (the load balancer pulling a
+    // Kernel work preempts the thread chunk in flight on this CPU: push
+    // its completion out by the stolen time.  A chunk starved for too long
+    // is migrated to the ready queue instead (the load balancer pulling a
     // task off a saturated CPU).
-    auto& chunk = chunks_[0];
+    auto& chunk = chunks_[static_cast<std::size_t>(cpu_index)];
     if (chunk.active) {
         chunk.stolen += dur;
         if (logical_cpus() > 1 && chunk.stolen > sim::milliseconds(2)) {
-            migrate_chunk(0);
+            migrate_chunk(cpu_index);
         } else {
             chunk.event.cancel();
             chunk.end = chunk.end + dur;
-            chunk.event = sim_->schedule_at(chunk.end, [this] { chunk_complete(0); });
+            chunk.event =
+                sim_->schedule_at(chunk.end, [this, cpu_index] { chunk_complete(cpu_index); });
         }
     }
 }
 
-void Machine::kernel_work_complete() {
-    KernelDone item = std::move(kernel_done_.front());
-    kernel_done_.pop_front();
-    cpus_[0].account(item.kind, item.dur);
+void Machine::kernel_work_complete(int cpu_index) {
+    auto& fifo = kernel_done_[static_cast<std::size_t>(cpu_index)];
+    KernelDone item = std::move(fifo.front());
+    fifo.pop_front();
+    cpus_[static_cast<std::size_t>(cpu_index)].account(item.kind, item.dur);
     --kernel_queue_len_;
+    --kernel_queue_len_cpu_[static_cast<std::size_t>(cpu_index)];
     if (trace_ && item.dur > sim::Duration::zero()) {
-        // CPU 0 serializes kernel work, so [now-dur, now) slices tile the
-        // kernel lane without overlap.
-        trace_->complete(trace_pid_, obs::kKernelTid, trace_kernel_name_,
-                         state_cat(item.kind), sim_->now() - item.dur, sim_->now());
+        // Each CPU serializes its kernel work, so [now-dur, now) slices
+        // tile that CPU's kernel lane without overlap.
+        const int tid = obs::kKernelTid + cpu_index;
+        if (cpu_index != 0 && !kernel_lane_named_[static_cast<std::size_t>(cpu_index)]) {
+            kernel_lane_named_[static_cast<std::size_t>(cpu_index)] = true;
+            trace_->set_thread_name(trace_pid_, tid,
+                                    "kernel/cpu" + std::to_string(cpu_index));
+        }
+        trace_->complete(trace_pid_, tid, trace_kernel_name_, state_cat(item.kind),
+                         sim_->now() - item.dur, sim_->now());
     }
     if (item.done) item.done();
+    // IRQ affinity can saturate several CPUs at once; a thread parked
+    // ready while every CPU ran deep kernel queues has no other wake
+    // signal than a queue draining, so retry dispatch here.  Guarded by
+    // kernel_spread_: with every IRQ on CPU 0 this retry can never
+    // succeed where the existing dispatch points would not, and skipping
+    // it keeps the single-queue schedule untouched.
+    if (kernel_spread_ && !ready_.empty()) try_dispatch();
 }
 
-sim::Duration Machine::kernel_backlog() const {
-    const auto until = cpus_[0].kernel_busy_until;
+sim::Duration Machine::kernel_backlog(int cpu_index) const {
+    const auto until = cpus_[static_cast<std::size_t>(cpu_index)].kernel_busy_until;
     return until > sim_->now() ? until - sim_->now() : sim::Duration::zero();
 }
 

@@ -2,12 +2,15 @@
 // scheduler for capture-application threads.
 //
 // Execution model (Section 2.2.1 "receive interrupt load"):
-//  * Kernel work (interrupt handlers, softirq processing) is serialized on
-//    CPU 0 — as on the 2005 systems, where the NIC's interrupt line was
-//    serviced by one processor — and has absolute priority: while kernel
-//    work is pending, the thread running on CPU 0 makes no progress.  This
-//    is what produces receive livelock on single-processor configurations
-//    and the large benefit of the second processor.
+//  * Kernel work (interrupt handlers, softirq processing) is serialized
+//    per CPU and has absolute priority: while kernel work is pending on a
+//    CPU, the thread running there makes no progress.  Single-queue NICs
+//    direct every interrupt at CPU 0 — as on the 2005 systems, where the
+//    NIC's interrupt line was serviced by one processor — which is what
+//    produces receive livelock on single-processor configurations and the
+//    large benefit of the second processor.  Multi-queue NICs spread their
+//    per-queue IRQ lines across CPUs (post_kernel_work_on), turning the
+//    same model into the RSS scaling story.
 //  * Threads are cooperative units that issue work chunks (exec) and block
 //    on kernel objects (buffers, queues, pipes, disks); the scheduler
 //    dispatches ready threads onto idle CPUs.  Wakeup order is a policy
@@ -126,14 +129,30 @@ public:
     /// Queues `work` on CPU 0 with absolute priority; `done` runs at its
     /// completion time (delivery semantics: a packet reaches the capture
     /// stack only once its processing is paid for).
-    void post_kernel_work(const Work& work, CpuState kind, Continuation done);
+    void post_kernel_work(const Work& work, CpuState kind, Continuation done) {
+        post_kernel_work_on(0, work, kind, std::move(done));
+    }
 
-    /// Number of kernel work items queued but not yet completed (the netdev
-    /// backlog / ifqueue occupancy).
+    /// Queues `work` on a specific CPU — the IRQ-affinity path of
+    /// multi-queue NICs (queue i interrupts CPU affinity[i]).  Kernel work
+    /// is serialized and has absolute priority per CPU.
+    void post_kernel_work_on(int cpu, const Work& work, CpuState kind, Continuation done);
+
+    /// Number of kernel work items queued but not yet completed across all
+    /// CPUs.
     [[nodiscard]] std::size_t kernel_queue_len() const { return kernel_queue_len_; }
 
+    /// Kernel work items queued but not yet completed on one CPU (the
+    /// per-CPU netdev backlog / ifqueue occupancy).
+    [[nodiscard]] std::size_t kernel_queue_len(int cpu) const {
+        return kernel_queue_len_cpu_[static_cast<std::size_t>(cpu)];
+    }
+
     /// How far CPU 0's kernel queue tail is ahead of now.
-    [[nodiscard]] sim::Duration kernel_backlog() const;
+    [[nodiscard]] sim::Duration kernel_backlog() const { return kernel_backlog(0); }
+
+    /// How far `cpu`'s kernel queue tail is ahead of now.
+    [[nodiscard]] sim::Duration kernel_backlog(int cpu) const;
 
     // ---- threads -----------------------------------------------------------
 
@@ -189,7 +208,7 @@ private:
     void run_continuation(Thread& thread, Continuation body);
     void release_cpu(Thread& thread);
     void chunk_complete(int cpu_index);
-    void kernel_work_complete();
+    void kernel_work_complete(int cpu_index);
 
     void thread_exec(Thread& thread, const Work& work, CpuState st, Continuation then);
     void thread_block(Thread& thread, Continuation on_wake);
@@ -206,9 +225,9 @@ private:
         sim::EventHandle event;
     };
 
-    /// Pending kernel-work completion (CPU 0 serializes kernel work, so
-    /// completions run strictly FIFO; the ring replaces a per-item
-    /// heap-allocated closure in the event queue).
+    /// Pending kernel-work completion (each CPU serializes its kernel
+    /// work, so completions run strictly FIFO per CPU; the ring replaces a
+    /// per-item heap-allocated closure in the event queue).
     struct KernelDone {
         sim::Duration dur{};
         CpuState kind = CpuState::kInterrupt;
@@ -225,14 +244,23 @@ private:
     std::vector<Cpu> cpus_;
     std::vector<RunningChunk> chunks_;  // one per cpu
     sim::RingBuffer<Thread*> ready_;
-    sim::RingBuffer<KernelDone> kernel_done_;
+    std::vector<sim::RingBuffer<KernelDone>> kernel_done_;  // one FIFO per cpu
     std::vector<std::shared_ptr<Thread>> threads_;
     std::size_t kernel_queue_len_ = 0;
+    std::vector<std::size_t> kernel_queue_len_cpu_;
+    /// True once kernel work has been posted to a CPU other than 0.  Only
+    /// then does kernel_work_complete() retry thread dispatch — with every
+    /// IRQ on CPU 0 (the single-queue world) the retry can never be needed
+    /// and skipping it keeps that path's schedule byte-identical.
+    bool kernel_spread_ = false;
 
     // Observability (all null/zero when disabled).
     obs::TraceSink* trace_ = nullptr;
     int trace_pid_ = 0;
     int next_trace_tid_ = 0;
+    /// Kernel lanes above CPU 0 are named lazily, on the first slice they
+    /// carry, so single-queue traces emit no extra metadata records.
+    std::vector<bool> kernel_lane_named_;
     const char* trace_kernel_name_ = nullptr;
     const char* trace_blocked_name_ = nullptr;
     const char* cat_user_ = nullptr;

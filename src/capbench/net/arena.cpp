@@ -14,8 +14,8 @@ PacketArena::~PacketArena() {
     for (std::byte* p : free_payloads_) ::operator delete(static_cast<void*>(p));
 }
 
-PacketPtr PacketArena::make_synthetic(std::uint64_t id, std::uint32_t frame_len,
-                                      sim::SimTime sent_at) {
+std::shared_ptr<Packet> PacketArena::make_synthetic(std::uint64_t id, std::uint32_t frame_len,
+                                                    sim::SimTime sent_at) {
     return std::allocate_shared<Packet>(ArenaNodeAlloc<Packet>(shared_from_this()), id,
                                         frame_len, sent_at);
 }

@@ -57,8 +57,11 @@ public:
     ~PacketArena();
 
     /// Synthetic packet (sizes only): one recycled node, no payload.
-    [[nodiscard]] PacketPtr make_synthetic(std::uint64_t id, std::uint32_t frame_len,
-                                           sim::SimTime sent_at);
+    /// Returned mutable so the caller can stamp the flow identity; publish
+    /// it as PacketPtr once configured.
+    [[nodiscard]] std::shared_ptr<Packet> make_synthetic(std::uint64_t id,
+                                                         std::uint32_t frame_len,
+                                                         sim::SimTime sent_at);
 
     /// Full packet with `frame_len` writable, uninitialized payload bytes.
     /// Returned as a mutable pointer so the caller can encode the frame;

@@ -29,6 +29,18 @@ namespace capbench::net {
 
 class PacketArena;
 
+/// Synthetic flow identity (a UDP/TCP 4-tuple) stamped on every generated
+/// packet.  Both packet modes carry it: full-mode packets also encode it in
+/// their headers, while synthetic packets have no bytes at all — the tuple
+/// is what lets a multi-queue NIC compute an RSS hash without parsing.
+/// Addresses and ports are in host byte order.
+struct FlowTuple {
+    std::uint32_t src_ip = 0;
+    std::uint32_t dst_ip = 0;
+    std::uint16_t src_port = 0;
+    std::uint16_t dst_port = 0;
+};
+
 class Packet {
 public:
     /// Creates a synthetic packet: sizes only, no payload bytes.
@@ -78,10 +90,17 @@ public:
         return {data_, data_ != nullptr ? frame_len_ : 0};
     }
 
+    [[nodiscard]] const FlowTuple& flow() const { return flow_; }
+
+    /// Stamps the flow identity; called by the generator before the packet
+    /// is published as an immutable PacketPtr.
+    void set_flow(const FlowTuple& flow) { flow_ = flow; }
+
 private:
     std::uint64_t id_ = 0;
     std::uint32_t frame_len_ = 0;
     sim::SimTime sent_at_{};
+    FlowTuple flow_{};
     std::vector<std::byte> owned_;       // self-owned full mode only
     std::byte* data_ = nullptr;          // payload (self- or arena-owned)
     PacketArena* arena_ = nullptr;       // non-null when payload is arena-owned

@@ -33,11 +33,12 @@ struct AppMetrics {
     std::uint64_t drop_backlog = 0;
     std::uint64_t drop_verdict = 0;    // rejected by the BPF filter
     std::uint64_t drop_bpf_store = 0;  // capture buffer full / too small
+    std::uint64_t drop_fanout = 0;     // routed to another app by the fanout group
     std::uint64_t drop_drain = 0;      // still in flight at window close
 
     [[nodiscard]] std::uint64_t drops_total() const {
         return drop_nic_ring + drop_backlog + drop_verdict + drop_bpf_store +
-               drop_drain;
+               drop_fanout + drop_drain;
     }
 
     // Lifecycle latencies, in sim nanoseconds.

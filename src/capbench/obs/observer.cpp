@@ -76,6 +76,7 @@ RunMetrics Observer::finalize(const std::vector<SutSnapshot>& snapshots,
             am.drop_backlog = snap.backlog_drops;
             am.drop_verdict = st.dropped_filter;
             am.drop_bpf_store = st.dropped_buffer;
+            am.drop_fanout = st.fanout_skipped;
             // Everything the generator emitted that neither reached the
             // app nor hit a terminal drop bucket is still in flight (NIC
             // ring, uncommitted verdict, capture buffer) — the "drain"
@@ -87,7 +88,8 @@ RunMetrics Observer::finalize(const std::vector<SutSnapshot>& snapshots,
                 static_cast<std::int64_t>(generated) -
                 static_cast<std::int64_t>(st.delivered + snap.ring_drops +
                                           snap.backlog_drops +
-                                          st.dropped_filter + st.dropped_buffer);
+                                          st.dropped_filter + st.dropped_buffer +
+                                          st.fanout_skipped);
             if (drain < 0)
                 throw std::logic_error(
                     "Observer::finalize: drop buckets exceed generated count");

@@ -36,6 +36,21 @@ void Generator::register_metrics(obs::Registry& registry) {
     obs_bytes_ = &registry.counter("pktgen.bytes");
 }
 
+net::FlowTuple Generator::flow_for(std::uint64_t id) const {
+    net::FlowTuple t{config_.src_ip.value(), config_.dst_ip.value(), config_.udp_src_port,
+                     config_.udp_dst_port};
+    if (config_.flow_count <= 1) return t;
+    const auto flow = static_cast<std::uint32_t>(id % config_.flow_count);
+    // Deterministic spread: the source address walks a host range while a
+    // golden-ratio mix decorrelates the source port, so consecutive flow
+    // ids land on well-spread RSS hash values.  The destination (the
+    // capture target) stays fixed.
+    const std::uint32_t mix = flow * 0x9E3779B1u;
+    t.src_ip += flow % 251;
+    t.src_port = static_cast<std::uint16_t>(1024 + (mix >> 17));
+    return t;
+}
+
 net::PacketPtr Generator::build_packet(std::uint32_t ip_size) {
     // The distribution counts IP packet sizes (Section 4.2.1); frames add
     // the Ethernet header and minimum-size padding.
@@ -44,12 +59,16 @@ net::PacketPtr Generator::build_packet(std::uint32_t ip_size) {
     const std::uint32_t frame_len =
         std::max<std::uint32_t>(ip_size + net::kEthernetHeaderLen, net::kMinFrameBytes);
     const std::uint64_t id = next_id_++;
+    const net::FlowTuple flow = flow_for(id);
 
     if (!config_.full_bytes) {
-        return arena_->make_synthetic(id, frame_len, sim_->now());
+        std::shared_ptr<net::Packet> packet = arena_->make_synthetic(id, frame_len, sim_->now());
+        packet->set_flow(flow);
+        return packet;
     }
 
     std::shared_ptr<net::Packet> packet = arena_->make_full(id, frame_len, sim_->now());
+    packet->set_flow(flow);
     const std::span<std::byte> frame = packet->mutable_bytes();
     net::EthernetHeader eth;
     eth.dst = config_.dst_mac;
@@ -63,13 +82,13 @@ net::PacketPtr Generator::build_packet(std::uint32_t ip_size) {
     ip.total_length = static_cast<std::uint16_t>(ip_size);
     ip.identification = static_cast<std::uint16_t>(id & 0xFFFF);
     ip.protocol = net::kIpProtoUdp;
-    ip.src = config_.src_ip;
-    ip.dst = config_.dst_ip;
+    ip.src = net::Ipv4Addr{flow.src_ip};
+    ip.dst = net::Ipv4Addr{flow.dst_ip};
     ip.encode(frame.subspan(net::kEthernetHeaderLen));
 
     net::UdpHeader udp;
-    udp.src_port = config_.udp_src_port;
-    udp.dst_port = config_.udp_dst_port;
+    udp.src_port = flow.src_port;
+    udp.dst_port = flow.dst_port;
     udp.length = static_cast<std::uint16_t>(ip_size - net::kIpv4MinHeaderLen);
     udp.encode(frame.subspan(net::kEthernetHeaderLen + net::kIpv4MinHeaderLen));
 

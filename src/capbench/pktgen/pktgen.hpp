@@ -60,6 +60,14 @@ struct GenConfig {
     bool full_bytes = false;
     std::uint64_t seed = 1;
 
+    /// Per-packet flow identity: packets cycle deterministically through
+    /// this many distinct UDP 4-tuples (flow id = packet id % flow_count),
+    /// each derived from the base addressing below.  1 = the classic
+    /// single-flow traffic (the tuple is exactly the base addressing).
+    /// Every packet is stamped with its tuple — full-bytes mode also
+    /// encodes it in the headers — which is what RSS steering hashes.
+    std::uint32_t flow_count = 1;
+
     // Addressing (defaults from the Figure 6.5 measurement description).
     net::MacAddr src_mac = net::MacAddr::parse("00:00:00:00:00:00");
     /// Cycle the source MAC through this many consecutive addresses
@@ -113,6 +121,9 @@ public:
 
     /// The size the next packet would get (exposed for tests).
     [[nodiscard]] std::uint32_t draw_size();
+
+    /// The flow tuple packet `id` is stamped with (exposed for tests).
+    [[nodiscard]] net::FlowTuple flow_for(std::uint64_t id) const;
 
     /// Registers `pktgen.packets` / `pktgen.bytes` counters; increments are
     /// branch-guarded so unobserved runs pay nothing.

@@ -25,6 +25,7 @@ JsonValue MetricsWriter::app(const obs::AppMetrics& a) {
     drops.set("backlog", a.drop_backlog);
     drops.set("verdict", a.drop_verdict);
     drops.set("bpf_store", a.drop_bpf_store);
+    drops.set("fanout", a.drop_fanout);
     drops.set("drain", a.drop_drain);
     out.set("drops", std::move(drops));
     out.set("latency_ns", summary(a.latency_ns.summary()));

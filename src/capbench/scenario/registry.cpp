@@ -280,6 +280,71 @@ std::vector<Scenario> build_registry() {
             }
             return suts;
         })));
+    {
+        // Multi-queue RSS receive (the modern answer to Section 7.2's "one
+        // machine cannot keep up"): sweep queue/core count at a fixed
+        // overload and watch the capture rate scale — or not, when the
+        // indirection table is skewed or the apps share a fanout cluster.
+        Scenario s;
+        s.id = "ext_multiqueue";
+        s.caption = "multi-queue RSS receive: capture rate vs. queue/core count at overload "
+                    "(future work, Section 7.2)";
+        s.axis = Axis::kQueues;
+        s.sweep = {1, 2, 4, 8};
+        s.multi_app = true;
+        const SutBuilder mq_suts = [] {
+            std::vector<SutConfig> suts{harness::standard_sut("swan"),
+                                        harness::standard_sut("moorhen")};
+            harness::apply_increased_buffers(suts);
+            return suts;
+        };
+        const auto mq_tweak = [](double gbps, double rate) {
+            return [gbps, rate](RunConfig& cfg) {
+                cfg.link_gbps = gbps;
+                cfg.rate_mbps = rate;
+                cfg.flow_count = 4096;  // spread flows across the RSS table
+            };
+        };
+        s.variants = {
+            Variant{"balanced RSS, 10 Gbit/s offered", "-10g", mq_suts, mq_tweak(10.0, 9500)},
+            Variant{"balanced RSS, 40 Gbit/s offered", "-40g", mq_suts, mq_tweak(40.0, 38000)},
+            Variant{"skewed indirection (3/4 of entries on queue 0), 10 Gbit/s", "-skew",
+                    [mq_suts] {
+                        auto suts = mq_suts();
+                        for (auto& sut : suts) sut.nic.indirection_skew = 0.75;
+                        return suts;
+                    },
+                    mq_tweak(10.0, 9500)},
+            Variant{"queue fanout: 4 apps, each pinned to one queue, 10 Gbit/s", "-qfan",
+                    [mq_suts] {
+                        auto suts = mq_suts();
+                        for (auto& sut : suts) {
+                            sut.app_count = 4;
+                            sut.fanout = capture::FanoutMode::kQueue;
+                        }
+                        return suts;
+                    },
+                    mq_tweak(10.0, 9500)},
+            Variant{"cluster fanout: 4 apps, flow-hash spread, 10 Gbit/s", "-cfan",
+                    [mq_suts] {
+                        auto suts = mq_suts();
+                        for (auto& sut : suts) {
+                            sut.app_count = 4;
+                            sut.fanout = capture::FanoutMode::kCluster;
+                        }
+                        return suts;
+                    },
+                    mq_tweak(10.0, 9500)},
+        };
+        s.postscript =
+            "Each point gives every sniffer N cores and N receive queues (queue i's IRQ on\n"
+            "CPU i).  Balanced RSS scales the capture rate with the queue count until\n"
+            "another bottleneck binds; the skewed indirection table funnels 3/4 of the\n"
+            "flows through queue 0 and gives most of the parallelism back.  Queue/cluster\n"
+            "fanout splits the stream across 4 applications, so per-app capture is\n"
+            "relative to the full stream (the fleet aggregate is the per-app sum).";
+        all.push_back(std::move(s));
+    }
     all.push_back(custom_scenario(
         "ext_filter_tiers",
         "BPF execution tiers: interpreter vs. token-threaded dispatch, fig-6.5-style "

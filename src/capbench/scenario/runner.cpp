@@ -112,8 +112,10 @@ ScenarioResult run_scenario(const Scenario& s, const RunOptions& opts) {
     if (out != nullptr && s.preamble) s.preamble(*out);
 
     const harness::ParallelExecutor exec{res.jobs};
-    const std::string gp_x_label =
-        s.axis == Axis::kRateMbps ? "Datarate [Mbit/s]" : "Buffer size [kB]";
+    const std::string gp_x_label = s.axis == Axis::kRateMbps ? "Datarate [Mbit/s]"
+                                   : s.axis == Axis::kBufferKb
+                                       ? "Buffer size [kB]"
+                                       : "Receive queues / cores";
     bool first_variant = true;
     for (const auto& v : s.variants) {
         const auto suts = v.suts();
@@ -131,6 +133,11 @@ ScenarioResult run_scenario(const Scenario& s, const RunOptions& opts) {
         std::vector<harness::SweepRow> rows;
         if (s.axis == Axis::kRateMbps) {
             rows = harness::rate_sweep(suts, cfg, s.sweep, res.reps, &exec, trace);
+        } else if (s.axis == Axis::kQueues) {
+            std::vector<int> counts;
+            counts.reserve(s.sweep.size());
+            for (const double c : s.sweep) counts.push_back(static_cast<int>(c));
+            rows = harness::queue_sweep(suts, cfg, counts, res.reps, &exec, trace);
         } else {
             std::vector<std::uint64_t> buffer_kb;
             buffer_kb.reserve(s.sweep.size());

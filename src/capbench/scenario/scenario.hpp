@@ -24,6 +24,7 @@ namespace capbench::scenario {
 enum class Axis {
     kRateMbps,   // generator data rate [Mbit/s]
     kBufferKb,   // capture buffer size [kB] at maximum data rate
+    kQueues,     // NIC receive queues == cores at a fixed offered load
 };
 
 /// One experiment line of a sweep scenario: a SUT roster plus RunConfig
@@ -65,6 +66,7 @@ struct Scenario {
 
     [[nodiscard]] bool is_custom() const { return static_cast<bool>(custom); }
     [[nodiscard]] const char* x_label() const {
+        if (axis == Axis::kQueues) return "queues";
         return axis == Axis::kRateMbps ? "Mbit/s" : "buffer kB";
     }
 };

@@ -104,6 +104,89 @@ TEST(EnvKnobs, LeadingPlusAndWhitespaceFormsAreStrict) {
     EXPECT_THROW((void)packets_per_run(), std::runtime_error);
 }
 
+TEST(EnvKnobs, QueuesDefaultsToSingleRing) {
+    const ScopedEnv env{"CAPBENCH_QUEUES", nullptr};
+    EXPECT_EQ(default_queues(), 1);
+}
+
+TEST(EnvKnobs, QueuesParsesAndCapsAt16) {
+    {
+        const ScopedEnv env{"CAPBENCH_QUEUES", "8"};
+        EXPECT_EQ(default_queues(), 8);
+    }
+    {
+        const ScopedEnv env{"CAPBENCH_QUEUES", "17"};
+        EXPECT_THROW((void)default_queues(), std::runtime_error);
+    }
+}
+
+TEST(EnvKnobs, QueuesRejectsGarbageZeroNegativeEmpty) {
+    {
+        const ScopedEnv env{"CAPBENCH_QUEUES", "many"};
+        EXPECT_THROW((void)default_queues(), std::runtime_error);
+    }
+    {
+        const ScopedEnv env{"CAPBENCH_QUEUES", "0"};
+        EXPECT_THROW((void)default_queues(), std::runtime_error);
+    }
+    {
+        const ScopedEnv env{"CAPBENCH_QUEUES", "-2"};
+        EXPECT_THROW((void)default_queues(), std::runtime_error);
+    }
+    {
+        const ScopedEnv env{"CAPBENCH_QUEUES", ""};
+        EXPECT_THROW((void)default_queues(), std::runtime_error);
+    }
+}
+
+TEST(EnvKnobs, AffinityDefaultsToEmpty) {
+    const ScopedEnv env{"CAPBENCH_AFFINITY", nullptr};
+    EXPECT_TRUE(affinity_from_env().empty());
+}
+
+TEST(EnvKnobs, AffinityParsesCommaSeparatedCpusIncludingZero) {
+    const ScopedEnv env{"CAPBENCH_AFFINITY", "0,1,1,3"};
+    EXPECT_EQ(affinity_from_env(), (std::vector<int>{0, 1, 1, 3}));
+}
+
+TEST(EnvKnobs, AffinitySingleEntryParses) {
+    const ScopedEnv env{"CAPBENCH_AFFINITY", "0"};
+    EXPECT_EQ(affinity_from_env(), (std::vector<int>{0}));
+}
+
+TEST(EnvKnobs, AffinityRejectsBadInputWithTheKnobName) {
+    const ScopedEnv env{"CAPBENCH_AFFINITY", "0,x"};
+    try {
+        (void)affinity_from_env();
+        FAIL() << "expected std::runtime_error";
+    } catch (const std::runtime_error& e) {
+        EXPECT_NE(std::string(e.what()).find("CAPBENCH_AFFINITY"), std::string::npos);
+    }
+}
+
+TEST(EnvKnobs, AffinityRejectsEmptyItemsNegativesAndRange) {
+    {
+        const ScopedEnv env{"CAPBENCH_AFFINITY", ""};
+        EXPECT_THROW((void)affinity_from_env(), std::runtime_error);
+    }
+    {
+        const ScopedEnv env{"CAPBENCH_AFFINITY", "0,,1"};
+        EXPECT_THROW((void)affinity_from_env(), std::runtime_error);
+    }
+    {
+        const ScopedEnv env{"CAPBENCH_AFFINITY", "1,"};  // trailing comma = empty item
+        EXPECT_THROW((void)affinity_from_env(), std::runtime_error);
+    }
+    {
+        const ScopedEnv env{"CAPBENCH_AFFINITY", "-1"};
+        EXPECT_THROW((void)affinity_from_env(), std::runtime_error);
+    }
+    {
+        const ScopedEnv env{"CAPBENCH_AFFINITY", "256"};
+        EXPECT_THROW((void)affinity_from_env(), std::runtime_error);
+    }
+}
+
 TEST(EnvKnobs, EventQueueBackendDefaultsToHeap) {
     const ScopedEnv env{"CAPBENCH_EVENT_QUEUE", nullptr};
     EXPECT_EQ(sim::event_queue_backend_from_env(), sim::EventQueueBackend::kHeap);

@@ -38,8 +38,8 @@ TEST(Session, InstallsCompiledFilter) {
     tcp_frame[14] = std::byte{0x45};
     tcp_frame[23] = std::byte{6};  // TCP
     auto pkt = std::make_shared<net::Packet>(1, std::move(tcp_frame), sim::SimTime{});
-    f.sock.plan(pkt);
-    f.sock.commit(pkt);
+    f.sock.plan(pkt, 0);
+    f.sock.commit(pkt, 0);
     EXPECT_EQ(session.stats().ps_recv, 0u);
     EXPECT_EQ(f.sock.stats().dropped_filter, 1u);
 }
@@ -64,8 +64,8 @@ TEST(Session, StatsMapToPcapSemantics) {
     Fixture f;
     Session session{f.sock, "swan:if0", 1515, false};
     auto pkt = std::make_shared<net::Packet>(1, 500, sim::SimTime{});
-    f.sock.plan(pkt);
-    f.sock.commit(pkt);
+    f.sock.plan(pkt, 0);
+    f.sock.commit(pkt, 0);
     f.sock.fetch(99);
     EXPECT_EQ(session.stats().ps_recv, 1u);
     EXPECT_EQ(session.stats().ps_drop, 0u);

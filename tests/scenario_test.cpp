@@ -53,6 +53,9 @@ const std::vector<std::pair<std::string, std::string>> kGoldenList = {
      "aggregate capture on a 10-Gigabit link: one sniffer vs. four behind a round-robin "
      "distributor (future work, Section 7.2)"},
     {"ext_zerocopy_bpf", "zero-copy (mmap) BPF vs. stock double buffer, FreeBSD"},
+    {"ext_multiqueue",
+     "multi-queue RSS receive: capture rate vs. queue/core count at overload (future "
+     "work, Section 7.2)"},
     {"ext_filter_tiers",
      "BPF execution tiers: interpreter vs. token-threaded dispatch, fig-6.5-style filter "
      "cost sweep (host time)"},
