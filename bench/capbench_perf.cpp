@@ -24,6 +24,7 @@
 #include "capbench/bpf/decoded.hpp"
 #include "capbench/capture/rss.hpp"
 #include "capbench/bpf/filter/codegen.hpp"
+#include "capbench/bpf/jit/jit_program.hpp"
 #include "capbench/bpf/threaded_vm.hpp"
 #include "capbench/bpf/verifier.hpp"
 #include "capbench/bpf/vm.hpp"
@@ -208,15 +209,21 @@ std::vector<std::byte> synth_frame(std::uint32_t size) {
 }
 
 /// The Figure 6.5 filter-cost micro, one case per execution tier: the
-/// optimized 50-instruction program over a frame-size mix, interpreter
-/// (`Vm`) vs. verifier-backed token-threaded dispatch (`ThreadedVm` on the
-/// pre-decoded program).  Both tiers execute the same instruction stream,
-/// so the ratio isolates dispatch + bounds-check-elision gains.
-PerfCase micro_filter_tier(bool threaded, std::uint64_t iters) {
+/// optimized 50-instruction program over a frame-size mix — interpreter
+/// (`Vm`), verifier-backed token-threaded dispatch (`ThreadedVm` on the
+/// pre-decoded program), and the native x86-64 tier (`JitProgram`).  All
+/// tiers execute the same instruction stream, so the ratios isolate
+/// dispatch + bounds-check-elision + codegen gains.
+enum class FilterTier { kInterpreter, kThreaded, kJit };
+
+PerfCase micro_filter_tier(FilterTier tier, std::uint64_t iters) {
     const auto prog = capbench::bpf::filter::compile_filter(
         capbench::harness::fig_6_5_filter_expression(), 1515);
     const auto verified = capbench::bpf::verify(prog);
     const auto decoded = capbench::bpf::decode(prog, verified.facts);
+    const auto jitted = tier == FilterTier::kJit
+                            ? capbench::bpf::JitProgram::compile(decoded)
+                            : std::shared_ptr<const capbench::bpf::JitProgram>{};
     std::vector<std::vector<std::byte>> frames;
     for (const std::uint32_t size : {64u, 128u, 256u, 645u, 1024u, 1514u})
         frames.push_back(synth_frame(size));
@@ -224,13 +231,26 @@ PerfCase micro_filter_tier(bool threaded, std::uint64_t iters) {
     const auto t0 = Clock::now();
     for (std::uint64_t i = 0; i < iters; ++i) {
         const auto& frame = frames[i % frames.size()];
-        sum += threaded ? capbench::bpf::ThreadedVm::run(decoded, frame).accept_len
-                        : capbench::bpf::Vm::run(prog, frame).accept_len;
+        switch (tier) {
+            case FilterTier::kInterpreter:
+                sum += capbench::bpf::Vm::run(prog, frame).accept_len;
+                break;
+            case FilterTier::kThreaded:
+                sum += capbench::bpf::ThreadedVm::run(decoded, frame).accept_len;
+                break;
+            case FilterTier::kJit:
+                sum += jitted
+                           ->run(frame, static_cast<std::uint32_t>(frame.size()))
+                           .accept_len;
+                break;
+        }
     }
     const double wall = seconds_since(t0);
     opaque(sum);
-    return micro_case(threaded ? "filter_threaded_fig65" : "filter_interpreter_fig65",
-                      iters, wall);
+    const char* name = tier == FilterTier::kInterpreter ? "filter_interpreter_fig65"
+                       : tier == FilterTier::kThreaded  ? "filter_threaded_fig65"
+                                                        : "filter_jit_fig65";
+    return micro_case(name, iters, wall);
 }
 
 /// The per-packet RSS cost a multi-queue NIC pays: one Toeplitz 4-tuple
@@ -381,10 +401,14 @@ int main(int argc, char** argv) {
     report.cases.push_back(micro_rss_hash(micro_iters));
     print_case(report.cases.back());
 
-    report.cases.push_back(micro_filter_tier(/*threaded=*/false, micro_iters));
+    report.cases.push_back(micro_filter_tier(FilterTier::kInterpreter, micro_iters));
     print_case(report.cases.back());
-    report.cases.push_back(micro_filter_tier(/*threaded=*/true, micro_iters));
+    report.cases.push_back(micro_filter_tier(FilterTier::kThreaded, micro_iters));
     print_case(report.cases.back());
+    if (capbench::bpf::JitProgram::supported()) {
+        report.cases.push_back(micro_filter_tier(FilterTier::kJit, micro_iters));
+        print_case(report.cases.back());
+    }
 
     report.cases.push_back(micro_trace_hook(nullptr, "trace_hook_disabled", micro_iters));
     print_case(report.cases.back());

@@ -4,111 +4,26 @@
 #include <vector>
 
 #include "capbench/bpf/analysis/interp.hpp"
+#include "capbench/bpf/analysis/liveness.hpp"
 #include "capbench/bpf/validator.hpp"
 
 namespace capbench::bpf::analysis {
 
 namespace {
 
-// ---------------------------------------------------------------------------
-// Liveness: which registers an instruction's result can still reach.
-// bit 0 = A, bit 1 = X, bit (2 + k) = scratch word M[k].
+// Liveness (live-out masks, static dead-store flags, insn_uses/insn_defs)
+// comes from the shared analysis module — the same computation the fact
+// table feeds to the decode/jit tiers.  Only live-in is derived here,
+// because edge retargeting is the one consumer that needs it:
+// in[i] = uses(i) | (out[i] & ~defs(i)).
 
 using LiveSet = std::uint32_t;
-constexpr LiveSet kLiveA = 1u;
-constexpr LiveSet kLiveX = 2u;
 
-constexpr LiveSet mem_bit(std::uint32_t k) { return 4u << k; }
-
-void uses_defs(const Insn& insn, LiveSet& uses, LiveSet& defs) {
-    uses = 0;
-    defs = 0;
-    const std::uint16_t code = insn.code;
-    switch (bpf_class(code)) {
-        case BPF_LD:
-            defs = kLiveA;
-            if (bpf_mode(code) == BPF_IND) uses = kLiveX;
-            if (bpf_mode(code) == BPF_MEM && insn.k < kMemWords) uses = mem_bit(insn.k);
-            break;
-        case BPF_LDX:
-            defs = kLiveX;
-            if (bpf_mode(code) == BPF_MEM && insn.k < kMemWords) uses = mem_bit(insn.k);
-            break;
-        case BPF_ST:
-            uses = kLiveA;
-            if (insn.k < kMemWords) defs = mem_bit(insn.k);
-            break;
-        case BPF_STX:
-            uses = kLiveX;
-            if (insn.k < kMemWords) defs = mem_bit(insn.k);
-            break;
-        case BPF_ALU:
-            uses = kLiveA;
-            defs = kLiveA;
-            if (bpf_src(code) == BPF_X && bpf_op(code) != BPF_NEG) uses |= kLiveX;
-            break;
-        case BPF_JMP:
-            if (bpf_op(code) != BPF_JA) {
-                uses = kLiveA;
-                if (bpf_src(code) == BPF_X) uses |= kLiveX;
-            }
-            break;
-        case BPF_RET:
-            if (bpf_rval(code) == BPF_A) uses = kLiveA;
-            break;
-        case BPF_MISC:
-            if (bpf_miscop(code) == BPF_TAX) {
-                uses = kLiveA;
-                defs = kLiveX;
-            } else {
-                uses = kLiveX;
-                defs = kLiveA;
-            }
-            break;
-        default:
-            break;
-    }
-}
-
-struct Liveness {
-    std::vector<LiveSet> in;
-    std::vector<LiveSet> out;
-};
-
-/// Jumps are forward-only, so one backward sweep is the fixpoint.
-Liveness compute_liveness(const Program& prog) {
-    const std::size_t n = prog.size();
-    Liveness lv;
-    lv.in.assign(n, 0);
-    lv.out.assign(n, 0);
-    for (std::size_t i = n; i-- > 0;) {
-        const Insn& insn = prog[i];
-        LiveSet out = 0;
-        switch (bpf_class(insn.code)) {
-            case BPF_RET:
-                break;
-            case BPF_JMP:
-                if (bpf_op(insn.code) == BPF_JA) {
-                    const std::size_t t = i + 1 + insn.k;
-                    if (t < n) out = lv.in[t];
-                } else {
-                    const std::size_t tt = i + 1 + insn.jt;
-                    const std::size_t tf = i + 1 + insn.jf;
-                    if (tt < n) out |= lv.in[tt];
-                    if (tf < n) out |= lv.in[tf];
-                }
-                break;
-            default:
-                if (i + 1 < n) out = lv.in[i + 1];
-                break;
-        }
-        LiveSet uses = 0;
-        LiveSet defs = 0;
-        uses_defs(insn, uses, defs);
-        lv.out[i] = out;
-        lv.in[i] = uses | (out & ~defs);
-    }
-    return lv;
+std::vector<LiveSet> live_in_of(const Program& prog, const Liveness& lv) {
+    std::vector<LiveSet> in(prog.size());
+    for (std::size_t i = 0; i < prog.size(); ++i)
+        in[i] = insn_uses(prog[i]) | (lv.live_out[i] & ~insn_defs(prog[i]));
+    return in;
 }
 
 // ---------------------------------------------------------------------------
@@ -384,12 +299,16 @@ bool removal(Program& prog, const InterpResult& ir, const Liveness& lv,
         } else if (kind == RemovalKind::kRedundant) {
             if (redundant_load(insn, *ir.in[pc])) keep[pc] = false;
         } else {
-            LiveSet uses = 0;
-            LiveSet defs = 0;
-            uses_defs(insn, uses, defs);
+            // Two dead-def justifications, OR'd: the shared static flag
+            // (never-rejecting by instruction shape alone), and the
+            // state-based one, which additionally proves packet loads and
+            // divisions safe from the abstract in-state.
+            const LiveSet defs = insn_defs(insn);
             const bool is_def = bpf_class(insn.code) != BPF_JMP &&
                                 bpf_class(insn.code) != BPF_RET && defs != 0;
-            if (is_def && (defs & lv.out[pc]) == 0 && never_rejects(insn, *ir.in[pc]))
+            if (lv.dead_store[pc] ||
+                (is_def && (defs & lv.live_out[pc]) == 0 &&
+                 never_rejects(insn, *ir.in[pc])))
                 keep[pc] = false;  // dead store/def
         }
         changed = changed || !keep[pc];
@@ -452,8 +371,8 @@ Program optimize(const Program& prog, OptimizeStats* stats) {
             ++rounds;
             continue;
         }
-        const Liveness lv = compute_liveness(work);
-        if (edge_skip(work, ir, lv.in)) {
+        const Liveness lv = Liveness::build(work);
+        if (edge_skip(work, ir, live_in_of(work, lv))) {
             ++rounds;
             continue;
         }

@@ -129,10 +129,12 @@ DecodedProgram decode(const Program& prog, const analysis::FactTable& facts) {
                 }
                 break;
             case BPF_ST:
-                d.tok = Tok::kSt;
-                break;
             case BPF_STX:
-                d.tok = Tok::kStx;
+                d.tok = bpf_class(code) == BPF_ST ? Tok::kSt : Tok::kStx;
+                if (f.dead_store) {
+                    d.flags |= kDecodedDeadStore;
+                    ++out.stats.dead_stores;
+                }
                 break;
             case BPF_ALU:
                 // A constant over-shift always yields 0; decode it as the
@@ -169,8 +171,10 @@ DecodedProgram decode(const Program& prog, const analysis::FactTable& facts) {
 ExecTier parse_exec_tier(const std::string& value) {
     if (value == "threaded") return ExecTier::kThreaded;
     if (value == "interpreter") return ExecTier::kInterpreter;
-    throw std::runtime_error("CAPBENCH_BPF_TIER: expected 'threaded' or 'interpreter', got '" +
-                             value + "'");
+    if (value == "jit") return ExecTier::kJit;
+    throw std::runtime_error(
+        "CAPBENCH_BPF_TIER: expected 'threaded', 'interpreter' or 'jit', got '" +
+        value + "'");
 }
 
 ExecTier exec_tier() {

@@ -7,7 +7,7 @@
 // dominating load already proves the bytes present, immediate loads where
 // the value is a proven constant, exact shifts where the count is known.
 // The token stream is what the threaded dispatcher (threaded_vm.hpp)
-// executes and what a future native JIT tier would consume.
+// executes and what the tier-2 native code generator (jit/) consumes.
 #pragma once
 
 #include <cstdint>
@@ -46,8 +46,15 @@ enum class Tok : std::uint8_t {
     kCount_,  // sentinel, keeps the dispatch table in sync
 };
 
+/// DecodedInsn::flags bit: the liveness pass proved this scratch store is
+/// never read.  The threaded tier still executes it (one store is cheaper
+/// than a branch there); the JIT emits no body but still counts it so
+/// insns_executed stays byte-identical across tiers.
+inline constexpr std::uint8_t kDecodedDeadStore = 1u << 0;
+
 struct DecodedInsn {
     Tok tok = Tok::kRetK;
+    std::uint8_t flags = 0;
     std::uint32_t k = 0;   // operand / immediate
     std::uint32_t jt = 0;  // absolute taken target (and the kJa target)
     std::uint32_t jf = 0;  // absolute fallthrough target
@@ -57,6 +64,7 @@ struct DecodeStats {
     std::uint32_t packet_loads = 0;     // ABS/IND/MSH sites in the source
     std::uint32_t unchecked_loads = 0;  // sites decoded without a bounds check
     std::uint32_t folded_loads = 0;     // loads decoded as immediates
+    std::uint32_t dead_stores = 0;      // stores flagged kDecodedDeadStore
 };
 
 struct DecodedProgram {
@@ -72,11 +80,19 @@ struct DecodedProgram {
 DecodedProgram decode(const Program& prog, const analysis::FactTable& facts);
 
 /// Which tier FilterRunner executes.  Read once per process from
-/// CAPBENCH_BPF_TIER ("threaded", the default, or "interpreter"); both
-/// tiers produce bit-identical verdicts, so figures are unaffected.
-enum class ExecTier { kThreaded, kInterpreter };
+/// CAPBENCH_BPF_TIER ("threaded", the default, "interpreter", or "jit");
+/// all tiers produce bit-identical verdicts, so figures are unaffected.
+enum class ExecTier { kThreaded, kInterpreter, kJit };
 ExecTier exec_tier();
 /// Strict parse; throws std::runtime_error on anything else.
 ExecTier parse_exec_tier(const std::string& value);
+
+/// Portable fallback policy: a jit request downgrades to the threaded tier
+/// on builds that cannot emit native code (JitProgram::supported() false).
+/// Pure so the non-x86-64 path is unit-testable everywhere.
+constexpr ExecTier effective_tier(ExecTier requested, bool jit_supported) {
+    return requested == ExecTier::kJit && !jit_supported ? ExecTier::kThreaded
+                                                         : requested;
+}
 
 }  // namespace capbench::bpf

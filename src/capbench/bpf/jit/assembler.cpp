@@ -1,0 +1,338 @@
+#include "capbench/bpf/jit/assembler.hpp"
+
+#include <stdexcept>
+
+namespace capbench::bpf::jit {
+
+namespace {
+
+constexpr std::uint8_t lo3(Reg r) { return static_cast<std::uint8_t>(r) & 7u; }
+constexpr bool ext(Reg r) { return static_cast<std::uint8_t>(r) >= 8; }
+constexpr bool fits_i8(std::int64_t v) { return v >= -128 && v <= 127; }
+
+}  // namespace
+
+void Assembler::u32(std::uint32_t v) {
+    u8(static_cast<std::uint8_t>(v));
+    u8(static_cast<std::uint8_t>(v >> 8));
+    u8(static_cast<std::uint8_t>(v >> 16));
+    u8(static_cast<std::uint8_t>(v >> 24));
+}
+
+void Assembler::u64(std::uint64_t v) {
+    u32(static_cast<std::uint32_t>(v));
+    u32(static_cast<std::uint32_t>(v >> 32));
+}
+
+void Assembler::rex(bool w, Reg reg, Reg index, Reg base) {
+    std::uint8_t b = 0x40;
+    if (w) b |= 0x08;
+    if (ext(reg)) b |= 0x04;
+    if (ext(index)) b |= 0x02;
+    if (ext(base)) b |= 0x01;
+    if (b != 0x40) u8(b);
+}
+
+void Assembler::modrm(std::uint8_t mod, std::uint8_t reg, std::uint8_t rm) {
+    u8(static_cast<std::uint8_t>((mod << 6) | (reg << 3) | rm));
+}
+
+// [base + disp]; base rsp/r12 takes the SIB escape, base rbp/r13 cannot use
+// the disp-less form.
+void Assembler::mem(std::uint8_t reg_field, Reg base, std::int32_t disp) {
+    const std::uint8_t b = lo3(base);
+    const bool need_sib = b == 4;  // rsp/r12
+    const bool no_disp = disp == 0 && b != 5;  // rbp/r13 force a disp byte
+    const std::uint8_t rm = need_sib ? 4 : b;
+    if (no_disp) {
+        modrm(0, reg_field, rm);
+        if (need_sib) u8(static_cast<std::uint8_t>((4u << 3) | b));
+    } else if (fits_i8(disp)) {
+        modrm(1, reg_field, rm);
+        if (need_sib) u8(static_cast<std::uint8_t>((4u << 3) | b));
+        u8(static_cast<std::uint8_t>(disp));
+    } else {
+        modrm(2, reg_field, rm);
+        if (need_sib) u8(static_cast<std::uint8_t>((4u << 3) | b));
+        u32(static_cast<std::uint32_t>(disp));
+    }
+}
+
+// [base + index*1 + disp]; index must not be rsp (hardware restriction).
+void Assembler::mem_bi(std::uint8_t reg_field, Reg base, Reg index,
+                       std::int32_t disp) {
+    if (lo3(index) == 4 && !ext(index))
+        throw std::logic_error("Assembler: rsp cannot be an index register");
+    const std::uint8_t sib =
+        static_cast<std::uint8_t>((lo3(index) << 3) | lo3(base));
+    if (disp == 0 && lo3(base) != 5) {
+        modrm(0, reg_field, 4);
+        u8(sib);
+    } else if (fits_i8(disp)) {
+        modrm(1, reg_field, 4);
+        u8(sib);
+        u8(static_cast<std::uint8_t>(disp));
+    } else {
+        modrm(2, reg_field, 4);
+        u8(sib);
+        u32(static_cast<std::uint32_t>(disp));
+    }
+}
+
+Assembler::Label Assembler::make_label() {
+    labels_.emplace_back();
+    return Label{static_cast<std::uint32_t>(labels_.size() - 1)};
+}
+
+void Assembler::bind(Label label) {
+    LabelState& st = labels_.at(label.index);
+    if (st.pos >= 0) throw std::logic_error("Assembler: label bound twice");
+    st.pos = static_cast<std::int64_t>(code_.size());
+}
+
+void Assembler::rel32(Label target) {
+    labels_.at(target.index).fixups.push_back(code_.size());
+    u32(0);
+}
+
+void Assembler::mov_ri32(Reg dst, std::uint32_t imm) {
+    rex(false, Reg::rax, Reg::rax, dst);
+    u8(static_cast<std::uint8_t>(0xB8 + lo3(dst)));
+    u32(imm);
+}
+
+void Assembler::mov_ri64(Reg dst, std::uint64_t imm) {
+    rex(true, Reg::rax, Reg::rax, dst);
+    u8(static_cast<std::uint8_t>(0xB8 + lo3(dst)));
+    u64(imm);
+}
+
+void Assembler::mov_rr32(Reg dst, Reg src) {
+    rex(false, dst, Reg::rax, src);
+    u8(0x8B);
+    modrm(3, lo3(dst), lo3(src));
+}
+
+void Assembler::load32(Reg dst, Reg base, std::int32_t disp) {
+    rex(false, dst, Reg::rax, base);
+    u8(0x8B);
+    mem(lo3(dst), base, disp);
+}
+
+void Assembler::load32_bi(Reg dst, Reg base, Reg index, std::int32_t disp) {
+    rex(false, dst, index, base);
+    u8(0x8B);
+    mem_bi(lo3(dst), base, index, disp);
+}
+
+void Assembler::movzx8(Reg dst, Reg base, std::int32_t disp) {
+    rex(false, dst, Reg::rax, base);
+    u8(0x0F);
+    u8(0xB6);
+    mem(lo3(dst), base, disp);
+}
+
+void Assembler::movzx8_bi(Reg dst, Reg base, Reg index, std::int32_t disp) {
+    rex(false, dst, index, base);
+    u8(0x0F);
+    u8(0xB6);
+    mem_bi(lo3(dst), base, index, disp);
+}
+
+void Assembler::movzx16(Reg dst, Reg base, std::int32_t disp) {
+    rex(false, dst, Reg::rax, base);
+    u8(0x0F);
+    u8(0xB7);
+    mem(lo3(dst), base, disp);
+}
+
+void Assembler::movzx16_bi(Reg dst, Reg base, Reg index, std::int32_t disp) {
+    rex(false, dst, index, base);
+    u8(0x0F);
+    u8(0xB7);
+    mem_bi(lo3(dst), base, index, disp);
+}
+
+void Assembler::store32(Reg base, std::int32_t disp, Reg src) {
+    rex(false, src, Reg::rax, base);
+    u8(0x89);
+    mem(lo3(src), base, disp);
+}
+
+void Assembler::store64_imm32(Reg base, std::int32_t disp, std::int32_t imm) {
+    rex(true, Reg::rax, Reg::rax, base);
+    u8(0xC7);
+    mem(0, base, disp);
+    u32(static_cast<std::uint32_t>(imm));
+}
+
+void Assembler::cmov32(Cond cond, Reg dst, Reg src) {
+    rex(false, dst, Reg::rax, src);
+    u8(0x0F);
+    u8(static_cast<std::uint8_t>(0x40 + static_cast<std::uint8_t>(cond)));
+    modrm(3, lo3(dst), lo3(src));
+}
+
+void Assembler::alu32_ri(AluOp op, Reg dst, std::uint32_t imm) {
+    rex(false, Reg::rax, Reg::rax, dst);
+    if (fits_i8(static_cast<std::int32_t>(imm))) {
+        u8(0x83);
+        modrm(3, static_cast<std::uint8_t>(op), lo3(dst));
+        u8(static_cast<std::uint8_t>(imm));
+    } else {
+        u8(0x81);
+        modrm(3, static_cast<std::uint8_t>(op), lo3(dst));
+        u32(imm);
+    }
+}
+
+void Assembler::alu32_rr(AluOp op, Reg dst, Reg src) {
+    rex(false, src, Reg::rax, dst);
+    u8(static_cast<std::uint8_t>(static_cast<std::uint8_t>(op) * 8 + 1));
+    modrm(3, lo3(src), lo3(dst));
+}
+
+void Assembler::alu64_ri(AluOp op, Reg dst, std::int32_t imm) {
+    rex(true, Reg::rax, Reg::rax, dst);
+    if (fits_i8(imm)) {
+        u8(0x83);
+        modrm(3, static_cast<std::uint8_t>(op), lo3(dst));
+        u8(static_cast<std::uint8_t>(imm));
+    } else {
+        u8(0x81);
+        modrm(3, static_cast<std::uint8_t>(op), lo3(dst));
+        u32(static_cast<std::uint32_t>(imm));
+    }
+}
+
+void Assembler::alu64_rr(AluOp op, Reg dst, Reg src) {
+    rex(true, src, Reg::rax, dst);
+    u8(static_cast<std::uint8_t>(static_cast<std::uint8_t>(op) * 8 + 1));
+    modrm(3, lo3(src), lo3(dst));
+}
+
+void Assembler::imul32_rr(Reg dst, Reg src) {
+    rex(false, dst, Reg::rax, src);
+    u8(0x0F);
+    u8(0xAF);
+    modrm(3, lo3(dst), lo3(src));
+}
+
+void Assembler::imul32_rri(Reg dst, Reg src, std::uint32_t imm) {
+    rex(false, dst, Reg::rax, src);
+    u8(0x69);
+    modrm(3, lo3(dst), lo3(src));
+    u32(imm);
+}
+
+void Assembler::div32(Reg divisor) {
+    rex(false, Reg::rax, Reg::rax, divisor);
+    u8(0xF7);
+    modrm(3, 6, lo3(divisor));
+}
+
+void Assembler::neg32(Reg reg) {
+    rex(false, Reg::rax, Reg::rax, reg);
+    u8(0xF7);
+    modrm(3, 3, lo3(reg));
+}
+
+void Assembler::test32_rr(Reg a, Reg b) {
+    rex(false, b, Reg::rax, a);
+    u8(0x85);
+    modrm(3, lo3(b), lo3(a));
+}
+
+void Assembler::test32_ri(Reg reg, std::uint32_t imm) {
+    rex(false, Reg::rax, Reg::rax, reg);
+    u8(0xF7);
+    modrm(3, 0, lo3(reg));
+    u32(imm);
+}
+
+void Assembler::shl32_ri(Reg reg, std::uint8_t imm) {
+    rex(false, Reg::rax, Reg::rax, reg);
+    u8(0xC1);
+    modrm(3, 4, lo3(reg));
+    u8(imm);
+}
+
+void Assembler::shr32_ri(Reg reg, std::uint8_t imm) {
+    rex(false, Reg::rax, Reg::rax, reg);
+    u8(0xC1);
+    modrm(3, 5, lo3(reg));
+    u8(imm);
+}
+
+void Assembler::shl32_cl(Reg reg) {
+    rex(false, Reg::rax, Reg::rax, reg);
+    u8(0xD3);
+    modrm(3, 4, lo3(reg));
+}
+
+void Assembler::shr32_cl(Reg reg) {
+    rex(false, Reg::rax, Reg::rax, reg);
+    u8(0xD3);
+    modrm(3, 5, lo3(reg));
+}
+
+void Assembler::shl64_ri(Reg reg, std::uint8_t imm) {
+    rex(true, Reg::rax, Reg::rax, reg);
+    u8(0xC1);
+    modrm(3, 4, lo3(reg));
+    u8(imm);
+}
+
+void Assembler::bswap32(Reg reg) {
+    rex(false, Reg::rax, Reg::rax, reg);
+    u8(0x0F);
+    u8(static_cast<std::uint8_t>(0xC8 + lo3(reg)));
+}
+
+void Assembler::lea64(Reg dst, Reg base, std::int32_t disp) {
+    rex(true, dst, Reg::rax, base);
+    u8(0x8D);
+    mem(lo3(dst), base, disp);
+}
+
+void Assembler::jmp(Label target) {
+    u8(0xE9);
+    rel32(target);
+}
+
+void Assembler::jcc(Cond cond, Label target) {
+    u8(0x0F);
+    u8(static_cast<std::uint8_t>(0x80 + static_cast<std::uint8_t>(cond)));
+    rel32(target);
+}
+
+void Assembler::push64(Reg reg) {
+    rex(false, Reg::rax, Reg::rax, reg);
+    u8(static_cast<std::uint8_t>(0x50 + lo3(reg)));
+}
+
+void Assembler::pop64(Reg reg) {
+    rex(false, Reg::rax, Reg::rax, reg);
+    u8(static_cast<std::uint8_t>(0x58 + lo3(reg)));
+}
+
+void Assembler::ret() { u8(0xC3); }
+
+std::vector<std::uint8_t> Assembler::finish() {
+    for (const LabelState& st : labels_) {
+        if (st.pos < 0 && !st.fixups.empty())
+            throw std::logic_error("Assembler: jump to an unbound label");
+        for (const std::size_t at : st.fixups) {
+            const std::int64_t rel =
+                st.pos - static_cast<std::int64_t>(at) - 4;
+            const auto v = static_cast<std::uint32_t>(rel);
+            code_[at] = static_cast<std::uint8_t>(v);
+            code_[at + 1] = static_cast<std::uint8_t>(v >> 8);
+            code_[at + 2] = static_cast<std::uint8_t>(v >> 16);
+            code_[at + 3] = static_cast<std::uint8_t>(v >> 24);
+        }
+    }
+    return std::move(code_);
+}
+
+}  // namespace capbench::bpf::jit

@@ -1,0 +1,82 @@
+// Tier-2 BPF execution: DecodedProgram tokens lowered to native x86-64.
+//
+// The generated function is the BESS `bpf_filter_func_t` shape — one call
+// per packet, no interpreter loop — with the whole VmResult packed into
+// the return register:
+//
+//   bits  0..31  accept_len
+//   bits 32..47  insns_executed (forward-only jumps bound it by kMaxInsns)
+//   bit  48      aborted
+//
+// Abort semantics (div-by-zero, out-of-bounds checked load, falling off
+// the end) and the executed-instruction count are byte-identical to the
+// interpreter and threaded tiers: the count register is flushed to the
+// exact value before every faultable check, counting the faulting
+// instruction itself, just as the other tiers count an instruction before
+// executing it.  The verifier facts drive the same elisions decode()
+// already picked — unchecked loads (`safe_load`), folded constants — plus
+// one the threaded tier declines: scratch stores flagged liveness-dead
+// emit no code at all (still counted as executed).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "capbench/bpf/decoded.hpp"
+#include "capbench/bpf/jit/exec_memory.hpp"
+#include "capbench/bpf/vm.hpp"
+
+namespace capbench::bpf {
+
+/// Native entry point (SysV x86-64).
+using JitFn = std::uint64_t (*)(const std::byte* data, std::uint32_t data_len,
+                                std::uint32_t wire_len);
+
+namespace jit {
+/// Lowers the token stream to machine code.  Pure byte generation — runs
+/// (and is unit-tested) on every host; only executing needs x86-64.
+std::vector<std::uint8_t> compile_to_bytes(const DecodedProgram& prog);
+}  // namespace jit
+
+class JitProgram {
+public:
+    /// True when this build can emit and execute native code.
+    static bool supported() { return jit::ExecMemory::supported(); }
+
+    /// Compiles to an RX mapping.  Throws std::runtime_error when
+    /// !supported() or the mapping fails.  `prog` must come from decode()
+    /// of a verified program (same precondition as ThreadedVm::run).
+    static std::shared_ptr<const JitProgram> compile(const DecodedProgram& prog);
+
+    [[nodiscard]] VmResult run(std::span<const std::byte> data,
+                               std::uint32_t wire_len) const {
+        const std::uint64_t packed =
+            fn_(data.data(), static_cast<std::uint32_t>(data.size()), wire_len);
+        VmResult r;
+        r.accept_len = static_cast<std::uint32_t>(packed);
+        r.insns_executed = static_cast<std::uint32_t>((packed >> 32) & 0xFFFFu);
+        r.aborted = (packed >> 48) != 0;
+        return r;
+    }
+
+    [[nodiscard]] VmResult run(std::span<const std::byte> data) const {
+        return run(data, static_cast<std::uint32_t>(data.size()));
+    }
+
+    [[nodiscard]] std::size_t code_size() const { return mem_.code_size(); }
+    [[nodiscard]] std::size_t mapped_size() const { return mem_.mapped_size(); }
+    [[nodiscard]] JitFn entry() const { return fn_; }
+
+private:
+    explicit JitProgram(jit::ExecMemory mem)
+        : mem_(std::move(mem)),
+          fn_(reinterpret_cast<JitFn>(const_cast<void*>(mem_.entry()))) {}
+
+    jit::ExecMemory mem_;
+    JitFn fn_;
+};
+
+}  // namespace capbench::bpf

@@ -4,6 +4,7 @@
 #include <mutex>
 #include <stdexcept>
 #include <tuple>
+#include <utility>
 
 #include "capbench/bpf/verifier.hpp"
 
@@ -25,7 +26,8 @@ struct ProgramLess {
 
 struct Cache {
     std::mutex mu;
-    std::map<Program, std::shared_ptr<const DecodedProgram>, ProgramLess> entries;
+    std::map<Program, CachedFilter, ProgramLess> entries;
+    CacheStats stats;
 };
 
 Cache& cache() {
@@ -35,33 +37,69 @@ Cache& cache() {
 
 }  // namespace
 
-std::shared_ptr<const DecodedProgram> cache_decoded(const Program& prog) {
+CachedFilter cache_filter(const Program& prog, bool want_jit) {
     Cache& c = cache();
+    bool have_decoded = false;
+    std::shared_ptr<const DecodedProgram> decoded;
     {
         const std::lock_guard<std::mutex> lock(c.mu);
-        if (const auto it = c.entries.find(prog); it != c.entries.end())
-            return it->second;
+        ++c.stats.lookups;
+        if (const auto it = c.entries.find(prog); it != c.entries.end()) {
+            if (!want_jit || it->second.jit != nullptr) {
+                ++c.stats.hits;
+                return it->second;
+            }
+            // Entry exists but the native code does not yet: compile below.
+            have_decoded = true;
+            decoded = it->second.decoded;
+        }
     }
-    // Verify + decode outside the lock: attach-time work, and the verifier
-    // may throw.  A racing install of the same program decodes twice but
-    // both sides agree; first insert wins and fixes the id.
-    VerifyResult verdict = verify(prog);
-    if (const analysis::Finding* err = verdict.first_error())
-        throw std::invalid_argument("BPF verifier rejected filter: " +
-                                    analysis::to_string(*err));
-    auto decoded = std::make_shared<DecodedProgram>(decode(prog, verdict.facts));
+    // Verify + decode + compile outside the lock: attach-time work, and the
+    // verifier may throw.  A racing install of the same program does the
+    // work twice but both sides agree; the first insert wins and fixes the
+    // id (and counts the miss/compile — losers count hits).
+    if (!have_decoded) {
+        VerifyResult verdict = verify(prog);
+        if (const analysis::Finding* err = verdict.first_error())
+            throw std::invalid_argument("BPF verifier rejected filter: " +
+                                        analysis::to_string(*err));
+        decoded = std::make_shared<DecodedProgram>(decode(prog, verdict.facts));
+    }
+    std::shared_ptr<const JitProgram> jitted;
+    if (want_jit) jitted = JitProgram::compile(*decoded);
 
     const std::lock_guard<std::mutex> lock(c.mu);
-    if (const auto it = c.entries.find(prog); it != c.entries.end()) return it->second;
-    decoded->id = c.entries.size() + 1;
-    const auto [it, inserted] = c.entries.emplace(prog, std::move(decoded));
+    const auto it = c.entries.find(prog);
+    if (it == c.entries.end()) {
+        auto owned = std::const_pointer_cast<DecodedProgram>(decoded);
+        owned->id = c.entries.size() + 1;
+        ++c.stats.misses;
+        if (jitted != nullptr) ++c.stats.jit_compiles;
+        return c.entries.emplace(prog, CachedFilter{std::move(decoded), std::move(jitted)})
+            .first->second;
+    }
+    ++c.stats.hits;
+    if (jitted != nullptr && it->second.jit == nullptr) {
+        it->second.jit = std::move(jitted);
+        ++c.stats.jit_compiles;
+    }
     return it->second;
+}
+
+std::shared_ptr<const DecodedProgram> cache_decoded(const Program& prog) {
+    return cache_filter(prog, false).decoded;
 }
 
 std::size_t cached_program_count() {
     Cache& c = cache();
     const std::lock_guard<std::mutex> lock(c.mu);
     return c.entries.size();
+}
+
+CacheStats cache_stats() {
+    Cache& c = cache();
+    const std::lock_guard<std::mutex> lock(c.mu);
+    return c.stats;
 }
 
 }  // namespace capbench::bpf

@@ -11,7 +11,11 @@ BsdBpfDev::BsdBpfDev(hostsim::Machine& machine, const OsSpec& os, std::uint64_t 
                      std::uint32_t snaplen)
     : machine_(&machine), os_(&os), buffer_bytes_(buffer_bytes), snaplen_(snaplen) {}
 
-void BsdBpfDev::install_filter(bpf::Program program) { filter_.install(std::move(program)); }
+void BsdBpfDev::install_filter(bpf::Program program) {
+    filter_.install(std::move(program));
+    if (app_obs() != nullptr)
+        app_obs()->filter_installed(filter_.decoded(), filter_.jit() != nullptr);
+}
 
 std::uint64_t BsdBpfDev::slot_bytes(std::uint32_t caplen) const {
     // Each packet occupies its capture length plus the bpf header, padded

@@ -13,7 +13,11 @@ MmapRing::MmapRing(hostsim::Machine& machine, const OsSpec& os, std::uint64_t ri
       slots_(std::max<std::size_t>(16, ring_bytes / std::max(frame_bytes, 256u))),
       snaplen_(snaplen) {}
 
-void MmapRing::install_filter(bpf::Program program) { filter_.install(std::move(program)); }
+void MmapRing::install_filter(bpf::Program program) {
+    filter_.install(std::move(program));
+    if (app_obs() != nullptr)
+        app_obs()->filter_installed(filter_.decoded(), filter_.jit() != nullptr);
+}
 
 hostsim::Work MmapRing::plan(const net::PacketPtr& packet, int queue) {
     ++stats_.kernel_seen;

@@ -29,11 +29,19 @@ bool FanoutGroup::targets(std::size_t index, std::size_t tap_count, int queue,
 
 void FilterRunner::install(bpf::Program program) {
     decoded_.reset();
+    jit_.reset();
     if (!program.empty()) {
-        if (bpf::exec_tier() == bpf::ExecTier::kThreaded) {
-            decoded_ = bpf::cache_decoded(program);  // verifies, throws on rejection
-        } else {
+        const bpf::ExecTier tier =
+            bpf::effective_tier(bpf::exec_tier(), bpf::JitProgram::supported());
+        if (tier == bpf::ExecTier::kInterpreter) {
             bpf::verify_or_throw(program);
+        } else {
+            // Verifies (throws on rejection); compiles native code at most
+            // once per distinct program under the jit tier.
+            bpf::CachedFilter cached =
+                bpf::cache_filter(program, tier == bpf::ExecTier::kJit);
+            decoded_ = std::move(cached.decoded);
+            jit_ = std::move(cached.jit);
         }
     }
     program_ = std::move(program);

@@ -11,6 +11,7 @@
 
 #include "capbench/bpf/decoded.hpp"
 #include "capbench/bpf/insn.hpp"
+#include "capbench/bpf/jit/jit_program.hpp"
 #include "capbench/bpf/threaded_vm.hpp"
 #include "capbench/bpf/vm.hpp"
 #include "capbench/hostsim/arch.hpp"
@@ -175,14 +176,20 @@ public:
     /// The attach-time gate shared by all three capture stacks: runs the
     /// verifier (throwing std::invalid_argument with the structured
     /// finding on error-severity results) and caches the decoded tier-1
-    /// form per program id.  An empty program clears the filter.
+    /// form — and, under CAPBENCH_BPF_TIER=jit, the compiled tier-2 code —
+    /// per program id.  An empty program clears the filter.  A jit request
+    /// on a build without native support falls back to the threaded tier.
     void install(bpf::Program program);
 
     [[nodiscard]] bool has_filter() const { return !program_.empty(); }
 
     /// The decoded program executed by the threaded tier; null when no
-    /// filter is installed or CAPBENCH_BPF_TIER=interpreter.
+    /// filter is installed or CAPBENCH_BPF_TIER=interpreter.  Also set
+    /// under the jit tier (it backs the compiled code's id and stats).
     [[nodiscard]] const bpf::DecodedProgram* decoded() const { return decoded_.get(); }
+
+    /// The compiled tier-2 code; null unless the jit tier is active.
+    [[nodiscard]] const bpf::JitProgram* jit() const { return jit_.get(); }
 
     [[nodiscard]] Verdict run(const net::Packet& packet, std::uint32_t snaplen) const {
         Verdict v;
@@ -196,9 +203,10 @@ public:
                 ? packet.bytes()
                 : synthetic_template().subspan(
                       0, std::min<std::size_t>(whole, synthetic_template().size()));
-        const bpf::VmResult r = decoded_ != nullptr
-                                    ? bpf::ThreadedVm::run(*decoded_, data, whole)
-                                    : bpf::Vm::run(program_, data, whole);
+        const bpf::VmResult r =
+            jit_ != nullptr       ? jit_->run(data, whole)
+            : decoded_ != nullptr ? bpf::ThreadedVm::run(*decoded_, data, whole)
+                                  : bpf::Vm::run(program_, data, whole);
         v.accept = r.accept_len > 0;
         v.aborted = r.aborted;
         v.caplen = std::min({snaplen, whole, v.accept ? r.accept_len : 0u});
@@ -212,6 +220,7 @@ private:
 
     bpf::Program program_;
     std::shared_ptr<const bpf::DecodedProgram> decoded_;
+    std::shared_ptr<const bpf::JitProgram> jit_;
 };
 
 /// FIFO verdict handoff between plan() and commit().  The driver calls the

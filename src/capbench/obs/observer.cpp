@@ -3,7 +3,24 @@
 #include <stdexcept>
 #include <utility>
 
+#include "capbench/bpf/decoded.hpp"
+
 namespace capbench::obs {
+
+void AppObserver::filter_installed(const bpf::DecodedProgram* decoded, bool jitted) {
+    // One install per endpoint per run and insertion-ordered counter
+    // names, so the metrics snapshot stays byte-stable across --jobs.
+    Registry& reg = sut_->owner_->registry_;
+    const std::string prefix =
+        "bpf." + sut_->name_ + ".app" + std::to_string(index_);
+    reg.counter(prefix + ".filter_installs").inc();
+    if (decoded != nullptr) {
+        reg.counter(prefix + ".decoded_insns").inc(decoded->insns.size());
+        reg.counter(prefix + ".dead_stores_elided").inc(decoded->stats.dead_stores);
+        reg.counter(prefix + ".unchecked_loads").inc(decoded->stats.unchecked_loads);
+    }
+    if (jitted) reg.counter(prefix + ".jit_installs").inc();
+}
 
 SutObserver::SutObserver(Observer& owner, std::string name, int pid,
                          std::size_t app_count)

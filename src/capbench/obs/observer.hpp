@@ -28,6 +28,10 @@
 #include <string>
 #include <vector>
 
+namespace capbench::bpf {
+struct DecodedProgram;
+}
+
 namespace capbench::obs {
 
 class Observer;
@@ -53,6 +57,12 @@ public:
     void filter_aborted() {
         if (aborted_ != nullptr) aborted_->inc();
     }
+
+    /// A BPF filter was attached to this endpoint.  Attach time, not the
+    /// hot path: registers/bumps the per-SUT `bpf.*` registry counters
+    /// (installs, decoded program size, dead stores elided, jit installs).
+    /// `decoded` is null under the interpreter tier.
+    void filter_installed(const bpf::DecodedProgram* decoded, bool jitted);
 
 private:
     friend class Observer;

@@ -1,5 +1,6 @@
 #include "capbench/report/metrics_writer.hpp"
 
+#include "capbench/bpf/program_cache.hpp"
 #include "capbench/core/capbench.hpp"
 #include "capbench/profiling/trimusage.hpp"
 
@@ -115,6 +116,16 @@ JsonValue MetricsWriter::suite(std::vector<JsonValue> documents) {
     JsonValue doc = JsonValue::object();
     doc.set("schema", kSuiteSchema);
     doc.set("capbench_version", kVersion);
+    // Process-wide filter-compile accounting.  The cache counts a miss
+    // only for the install that won the insert race, so for a fixed
+    // command line these totals are byte-stable across --jobs.
+    const bpf::CacheStats cache = bpf::cache_stats();
+    JsonValue bpf_cache = JsonValue::object();
+    bpf_cache.set("lookups", cache.lookups);
+    bpf_cache.set("hits", cache.hits);
+    bpf_cache.set("misses", cache.misses);
+    bpf_cache.set("jit_compiles", cache.jit_compiles);
+    doc.set("bpf_cache", std::move(bpf_cache));
     JsonValue results = JsonValue::array();
     for (auto& d : documents) results.push_back(std::move(d));
     doc.set("results", std::move(results));

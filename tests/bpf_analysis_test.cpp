@@ -18,6 +18,8 @@
 #include "capbench/bpf/vm.hpp"
 #include "capbench/harness/experiment.hpp"
 
+#include "bpf_random_program.hpp"
+
 namespace capbench::bpf {
 namespace {
 
@@ -468,6 +470,52 @@ TEST(OptimizeProperty, PreservesVmSemanticsOnRandomPrograms) {
         }
     }
     EXPECT_GE(comparisons, 1000u);
+}
+
+// The optimizer's dead-def sweep now rides on the shared analysis::Liveness
+// module (the same computation behind the fact table's dead_store flags).
+// Exercise it with the tier-equivalence generator too — a different
+// instruction mix, richer in scratch stores and runtime-abort paths.
+TEST(OptimizeProperty, SharedLivenessSweepPreservesSemantics) {
+    std::mt19937 rng{0xBEEF01};
+    for (int p = 0; p < 150; ++p) {
+        const Program prog = testgen::random_program(rng);
+        const Program optimized = analysis::optimize(prog);
+        EXPECT_EQ(validate(optimized), std::nullopt);
+        EXPECT_LE(optimized.size(), prog.size());
+        for (int i = 0; i < 10; ++i) {
+            std::vector<std::byte> pkt(rng() % 96);
+            for (auto& b : pkt) b = static_cast<std::byte>(rng() & 0xFF);
+            const auto want = Vm::run(prog, pkt).accept_len;
+            const auto got = Vm::run(optimized, pkt).accept_len;
+            ASSERT_EQ(got, want) << "program:\n"
+                                 << disassemble(prog) << "optimized:\n"
+                                 << disassemble(optimized) << "packet len "
+                                 << pkt.size();
+        }
+    }
+}
+
+TEST(Optimize, RemovesShadowedScratchStores) {
+    // The first store to M[2] is shadowed before any read: statically dead
+    // under the shared liveness, so the sweep must drop it.
+    const Program prog = {
+        stmt(BPF_LD | BPF_B | BPF_ABS, 0),
+        stmt(BPF_ST, 2),  // dead: overwritten below before any load
+        stmt(BPF_LD | BPF_B | BPF_ABS, 1),
+        stmt(BPF_ST, 2),
+        stmt(BPF_LD | BPF_B | BPF_ABS, 2),
+        stmt(BPF_LD | BPF_W | BPF_MEM, 2),
+        stmt(BPF_RET | BPF_A, 0),
+    };
+    const Program optimized = analysis::optimize(prog);
+    std::size_t stores = 0;
+    for (const Insn& insn : optimized)
+        if (bpf_class(insn.code) == BPF_ST) ++stores;
+    EXPECT_EQ(stores, 1u);
+    const auto pkt = bytes({10, 20, 30});
+    EXPECT_EQ(Vm::run(optimized, pkt).accept_len, Vm::run(prog, pkt).accept_len);
+    EXPECT_EQ(Vm::run(optimized, pkt).accept_len, 20u);
 }
 
 TEST(OptimizeProperty, OptimizedFiltersMatchStockFilters) {

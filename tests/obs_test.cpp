@@ -4,6 +4,7 @@
 
 #include <sstream>
 
+#include "capbench/bpf/decoded.hpp"
 #include "capbench/harness/experiment.hpp"
 #include "capbench/harness/measurement.hpp"
 #include "capbench/obs/observer.hpp"
@@ -294,6 +295,43 @@ TEST(ObsMetricsDoc, WriterEmitsSchemaAndDropBuckets) {
         total += drops.at(site).as_int();
     EXPECT_EQ(total, static_cast<std::int64_t>(result.generated));
     EXPECT_TRUE(sut.at("cpu").at("samples").as_int() > 0);
+}
+
+// ---- BPF filter-install counters and cache accounting -------------------------
+
+TEST(ObsBpfCounters, FilterInstallRegistersPerAppCounters) {
+    harness::SutConfig sut = harness::standard_sut("swan");
+    sut.filter_expression = harness::fig_6_5_filter_expression();
+    harness::RunConfig cfg = metrics_run(100.0);
+    cfg.packets = 500;
+    const auto result = harness::run_once({sut}, cfg);
+    ASSERT_TRUE(result.metrics.enabled);
+
+    std::uint64_t installs = 0;
+    std::uint64_t decoded_insns = 0;
+    bool saw_installs = false;
+    for (const auto& [name, value] : result.metrics.counters) {
+        if (name == "bpf.swan.app0.filter_installs") {
+            installs = value;
+            saw_installs = true;
+        }
+        if (name == "bpf.swan.app0.decoded_insns") decoded_insns = value;
+    }
+    ASSERT_TRUE(saw_installs);
+    EXPECT_EQ(installs, 1u);
+    if (bpf::exec_tier() != bpf::ExecTier::kInterpreter)
+        EXPECT_GT(decoded_insns, 0u);
+}
+
+TEST(ObsBpfCounters, MetricsSuiteCarriesProcessCacheStats) {
+    const auto doc = report::MetricsWriter::suite({});
+    const auto parsed = report::parse_json(report::MetricsWriter::serialize(doc));
+    const auto& cache = parsed.at("bpf_cache");
+    const std::int64_t lookups = cache.at("lookups").as_int();
+    const std::int64_t hits = cache.at("hits").as_int();
+    const std::int64_t misses = cache.at("misses").as_int();
+    EXPECT_EQ(lookups, hits + misses);  // every lookup is hit or miss
+    EXPECT_GE(cache.at("jit_compiles").as_int(), 0);
 }
 
 }  // namespace
