@@ -18,6 +18,8 @@
 #include <cstdint>
 #include <fstream>
 #include <iostream>
+#include <ostream>
+#include <streambuf>
 #include <string>
 #include <vector>
 
@@ -30,9 +32,11 @@
 #include "capbench/bpf/vm.hpp"
 #include "capbench/harness/experiment.hpp"
 #include "capbench/harness/measurement.hpp"
+#include "capbench/load/disk_writer.hpp"
 #include "capbench/net/arena.hpp"
 #include "capbench/net/link.hpp"
 #include "capbench/obs/trace.hpp"
+#include "capbench/pcap/file.hpp"
 #include "capbench/pktgen/pktgen.hpp"
 #include "capbench/report/json.hpp"
 #include "capbench/report/perf.hpp"
@@ -285,6 +289,42 @@ PerfCase micro_arena_churn(std::uint64_t iters) {
     return micro_case("arena_packet_churn", iters, wall);
 }
 
+/// Discards pcap bytes without buffering: isolates record formatting and
+/// the ring hand-off from stream growth.
+struct DevNullBuf final : std::streambuf {
+    int_type overflow(int_type ch) override { return ch; }
+    std::streamsize xsputn(const char*, std::streamsize n) override { return n; }
+};
+
+/// The capture-to-disk hot cycle: stage an arena-backed record, push it
+/// through the bring ring in bursts of 32 (one writer batch), pop and
+/// format it as a pcap record into a null sink.  Allocation-free in steady
+/// state — this is the per-record cost the writer pipeline adds over the
+/// inline model's plain accounting.
+PerfCase micro_pcap_ring_handoff(std::uint64_t iters) {
+    namespace load = capbench::load;
+    auto arena = capbench::net::PacketArena::create();
+    DevNullBuf buf;
+    std::ostream out{&buf};
+    capbench::pcap::FileWriter writer{out, 1515};
+    load::BringRing ring{32};
+    const auto t0 = Clock::now();
+    for (std::uint64_t i = 0; i < iters; ++i) {
+        ring.push(load::RecordRef{arena->make_full(i, 1500, capbench::sim::SimTime{}), 76,
+                                  76, capbench::sim::SimTime{static_cast<std::int64_t>(i)}});
+        if (ring.full()) {
+            while (!ring.empty()) {
+                const load::RecordRef rec = ring.pop();
+                writer.write(*rec.packet, rec.caplen, rec.timestamp);
+            }
+        }
+    }
+    const double wall = seconds_since(t0);
+    auto written = writer.records_written();
+    opaque(written);
+    return micro_case("pcap_ring_handoff", iters, wall);
+}
+
 void print_case(const PerfCase& c) {
     std::cout << "  " << c.name << " [" << c.kind << "]: " << c.wall_seconds << " s";
     if (c.sim_packets > 0) std::cout << ", " << c.packets_per_sec << " packets/s";
@@ -399,6 +439,9 @@ int main(int argc, char** argv) {
     print_case(report.cases.back());
 
     report.cases.push_back(micro_rss_hash(micro_iters));
+    print_case(report.cases.back());
+
+    report.cases.push_back(micro_pcap_ring_handoff(micro_iters));
     print_case(report.cases.back());
 
     report.cases.push_back(micro_filter_tier(FilterTier::kInterpreter, micro_iters));

@@ -83,7 +83,11 @@ RunResult run_once(const std::vector<SutConfig>& suts, const RunConfig& config) 
             for (std::size_t i = 0; i < bed.suts().size(); ++i) {
                 auto& sut = *bed.suts()[i];
                 for (std::size_t a = 0; a < sut.sessions().size(); ++a) {
-                    delivered_at_stop[i].push_back(sut.delivered(a));
+                    // A record spilled by the disk-writer ring was handed
+                    // to the app but never persisted; it does not count as
+                    // captured.  Zero without the pipeline.
+                    delivered_at_stop[i].push_back(sut.delivered(a) -
+                                                   sut.disk_spilled(a));
                     drops_at_stop[i] += sut.sessions()[a]->stats().ps_drop;
                 }
             }
@@ -98,8 +102,10 @@ RunResult run_once(const std::vector<SutConfig>& suts, const RunConfig& config) 
                     snap.frames_seen = sut.nic().frames_seen();
                     snap.ring_drops = sut.nic().ring_drops();
                     snap.backlog_drops = sut.nic().backlog_drops();
-                    for (std::size_t a = 0; a < sut.sessions().size(); ++a)
+                    for (std::size_t a = 0; a < sut.sessions().size(); ++a) {
                         snap.apps.push_back(sut.capture_stats(a));
+                        snap.disk_spills.push_back(sut.disk_spilled(a));
+                    }
                     profilers[i]->stop();
                     snap.cpu_samples = profilers[i]->samples();
                     snapshots.push_back(std::move(snap));

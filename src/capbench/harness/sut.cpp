@@ -98,6 +98,17 @@ Sut::Sut(sim::Simulator& sim, SutConfig config, obs::Observer* observer)
             endpoint = std::move(dev);
         }
         if (so != nullptr) endpoint->set_observer(&so->app(static_cast<std::size_t>(i)));
+        if (needs_disk && config_.disk_writer.enabled) {
+            auto writer = std::make_shared<load::DiskWriterThread>(
+                config_.name + "-diskwr" + std::to_string(i), os, *disk_,
+                config_.disk_writer);
+            if (so != nullptr) {
+                auto& ao = so->app(static_cast<std::size_t>(i));
+                ao.disk_writer_attached();
+                writer->set_observer(&ao);
+            }
+            disk_writers_.push_back(std::move(writer));
+        }
         driver_->attach(*tap);
         sessions_.push_back(std::make_unique<pcap::Session>(
             *endpoint, config_.name + ":if0", config_.snaplen, is_mmap));
@@ -110,10 +121,14 @@ Sut::Sut(sim::Simulator& sim, SutConfig config, obs::Observer* observer)
 Sut::~Sut() = default;
 
 void Sut::start() {
+    // Writer threads first, so they are parked on their empty rings before
+    // the first capture app can offer a record.
+    for (auto& writer : disk_writers_) machine_->spawn(writer);
     for (std::size_t i = 0; i < endpoints_.size(); ++i) {
         auto app = std::make_shared<CaptureApp>(
             config_.name + "-app" + std::to_string(i), *endpoints_[i], *sessions_[i],
-            *config_.os, config_.app_load, config_.snaplen, disk_.get(), pipe_.get());
+            *config_.os, config_.app_load, config_.snaplen, disk_.get(), pipe_.get(),
+            i < disk_writers_.size() ? disk_writers_[i].get() : nullptr);
         apps_.push_back(app);
         machine_->spawn(app);
     }
@@ -134,7 +149,8 @@ constexpr std::size_t kProcessChunk = 32;
 CaptureApp::CaptureApp(std::string name, capture::StackEndpoint& endpoint,
                        pcap::Session& session, const capture::OsSpec& os,
                        const load::AppLoad& app_load, std::uint32_t snaplen,
-                       load::DiskModel* disk, load::FifoPipe* pipe)
+                       load::DiskModel* disk, load::FifoPipe* pipe,
+                       load::DiskWriterThread* disk_writer)
     : hostsim::Thread(std::move(name)),
       endpoint_(&endpoint),
       session_(&session),
@@ -142,7 +158,10 @@ CaptureApp::CaptureApp(std::string name, capture::StackEndpoint& endpoint,
       app_load_(app_load),
       snaplen_(snaplen),
       disk_(disk),
-      pipe_(pipe) {}
+      pipe_(pipe),
+      disk_writer_(disk_writer) {
+    if (disk_writer_ != nullptr) pending_records_.reserve(kProcessChunk);
+}
 
 void CaptureApp::main() {
     endpoint_->set_reader(this);
@@ -171,8 +190,18 @@ void CaptureApp::process(capture::StackEndpoint::Batch batch, std::size_t index)
         const std::uint32_t caplen = std::min(snaplen_, pkt->frame_len());
         work += load::per_packet_app_base();
         work += load::per_packet_load_work(app_load_, caplen);
-        if (app_load_.disk_bytes_per_packet > 0)
-            disk_bytes += std::min(caplen, app_load_.disk_bytes_per_packet);
+        if (app_load_.disk_bytes_per_packet > 0) {
+            const std::uint32_t db = std::min(caplen, app_load_.disk_bytes_per_packet);
+            if (disk_writer_ != nullptr) {
+                // Pipeline mode: stage an arena-backed record (stamped at
+                // handler time, like the inline write) for the bring-ring
+                // hand-off; the writer thread pays the disk cost.
+                pending_records_.push_back(load::RecordRef{
+                    pkt, caplen, db, machine().sim().now()});
+            } else {
+                disk_bytes += db;
+            }
+        }
         if (app_load_.pipe_to_gzip) pipe_bytes += caplen;
         if (session_->handler()) session_->handler()(pkt, caplen);
         ++processed_;
@@ -186,8 +215,27 @@ void CaptureApp::process(capture::StackEndpoint::Batch batch, std::size_t index)
 
     exec(work, hostsim::CpuState::kUser,
          [this, b = std::move(batch), end, disk_bytes, pipe_bytes]() mutable {
-             after_loads(std::move(b), end, disk_bytes, pipe_bytes);
+             if (!pending_records_.empty())
+                 push_records(std::move(b), end, 0, pipe_bytes);
+             else
+                 after_loads(std::move(b), end, disk_bytes, pipe_bytes);
          });
+}
+
+void CaptureApp::push_records(capture::StackEndpoint::Batch batch, std::size_t end,
+                              std::size_t next, std::uint64_t pipe_bytes) {
+    for (; next < pending_records_.size(); ++next) {
+        if (!disk_writer_->offer(pending_records_[next], *this)) {
+            // Ring full under the block policy: the writer wakes us when a
+            // slot frees; retry the same record.
+            block([this, b = std::move(batch), end, next, pipe_bytes]() mutable {
+                push_records(std::move(b), end, next, pipe_bytes);
+            });
+            return;
+        }
+    }
+    pending_records_.clear();
+    after_loads(std::move(batch), end, 0, pipe_bytes);
 }
 
 void CaptureApp::after_loads(capture::StackEndpoint::Batch batch, std::size_t end,

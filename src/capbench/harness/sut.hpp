@@ -13,6 +13,7 @@
 #include "capbench/capture/mmap_ring.hpp"
 #include "capbench/capture/nic.hpp"
 #include "capbench/load/disk.hpp"
+#include "capbench/load/disk_writer.hpp"
 #include "capbench/load/loads.hpp"
 #include "capbench/pcap/session.hpp"
 #include "capbench/profiling/cpusage.hpp"
@@ -52,6 +53,12 @@ struct SutConfig {
     /// RSS queue i % queues) or kCluster (PF_RING-style flow fanout).
     capture::FanoutMode fanout = capture::FanoutMode::kMirror;
     load::AppLoad app_load;
+    /// Capture-to-disk writer pipeline (exact-capture style): when enabled
+    /// and `app_load.disk_bytes_per_packet > 0`, each app hands arena-backed
+    /// records through a bring ring to a per-app writer thread instead of
+    /// charging the disk write inline.  Disabled = the classic inline model,
+    /// byte-identical to the committed goldens.
+    load::DiskWriterConfig disk_writer;
     std::uint32_t snaplen = 1515;  // the thesis captures whole packets
 };
 
@@ -102,6 +109,18 @@ public:
 
     [[nodiscard]] load::DiskModel* disk() { return disk_.get(); }
 
+    /// App i's disk-writer thread; null when the pipeline is disabled.
+    [[nodiscard]] load::DiskWriterThread* disk_writer(std::size_t app_index) {
+        return app_index < disk_writers_.size() ? disk_writers_[app_index].get()
+                                                : nullptr;
+    }
+
+    /// Records spilled by app i's writer ring so far (0 without a pipeline).
+    [[nodiscard]] std::uint64_t disk_spilled(std::size_t app_index) const {
+        return app_index < disk_writers_.size() ? disk_writers_[app_index]->spilled()
+                                                : 0;
+    }
+
 private:
     SutConfig config_;
     std::unique_ptr<hostsim::Machine> machine_;
@@ -111,6 +130,7 @@ private:
     std::vector<std::unique_ptr<capture::StackEndpoint>> endpoints_;
     std::vector<std::unique_ptr<pcap::Session>> sessions_;
     std::vector<std::shared_ptr<CaptureApp>> apps_;
+    std::vector<std::shared_ptr<load::DiskWriterThread>> disk_writers_;
     std::unique_ptr<load::DiskModel> disk_;
     std::unique_ptr<load::FifoPipe> pipe_;
     std::shared_ptr<load::GzipThread> gzip_;
@@ -125,7 +145,8 @@ class CaptureApp final : public hostsim::Thread {
 public:
     CaptureApp(std::string name, capture::StackEndpoint& endpoint, pcap::Session& session,
                const capture::OsSpec& os, const load::AppLoad& app_load, std::uint32_t snaplen,
-               load::DiskModel* disk, load::FifoPipe* pipe);
+               load::DiskModel* disk, load::FifoPipe* pipe,
+               load::DiskWriterThread* disk_writer = nullptr);
 
     void main() override;
 
@@ -135,6 +156,8 @@ public:
 private:
     void fetch_loop();
     void process(capture::StackEndpoint::Batch batch, std::size_t index);
+    void push_records(capture::StackEndpoint::Batch batch, std::size_t end,
+                      std::size_t next, std::uint64_t pipe_bytes);
     void after_loads(capture::StackEndpoint::Batch batch, std::size_t end,
                      std::uint64_t disk_bytes, std::uint64_t pipe_bytes);
 
@@ -145,6 +168,10 @@ private:
     std::uint32_t snaplen_;
     load::DiskModel* disk_;
     load::FifoPipe* pipe_;
+    load::DiskWriterThread* disk_writer_;
+    /// Records staged during process() (stamped at handler time) and
+    /// offered to the writer ring in push_records(); pooled capacity.
+    std::vector<load::RecordRef> pending_records_;
     std::uint64_t processed_ = 0;
     std::uint64_t bytes_processed_ = 0;
     int batches_since_yield_ = 0;

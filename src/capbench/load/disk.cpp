@@ -37,17 +37,32 @@ void DiskModel::ensure_draining() {
 
 void DiskModel::drain_step() {
     draining_ = false;
-    // Bytes the spindles retire per millisecond.
-    const auto per_ms = static_cast<std::uint64_t>(spec_.write_mbytes_per_sec * 1e6 / 1000.0);
-    const std::uint64_t drained = std::min(queued_, per_ms);
+    // Bytes the spindles retire this millisecond.  The carry keeps
+    // sub-per-ms remainders instead of truncating them away, so trickle
+    // writers still see exactly `write_mbytes_per_sec` in the long run.
+    drain_carry_ += spec_.write_mbytes_per_sec * 1e6 / 1000.0;
+    const auto capacity = static_cast<std::uint64_t>(drain_carry_);
+    const std::uint64_t drained = std::min(queued_, capacity);
     queued_ -= drained;
     bytes_written_ += drained;
+    if (drained < capacity) {
+        drain_carry_ = 0.0;  // disk went idle; spare capacity doesn't bank
+    } else {
+        drain_carry_ -= static_cast<double>(capacity);
+    }
 
-    // Admit blocked writers in FIFO order while space allows.
+    // Admit blocked writers in FIFO order.  A write larger than the whole
+    // queue is admitted in chunks as drain frees space (the head waiter is
+    // woken only once its final chunk fits), so oversized writers make
+    // progress every step instead of livelocking the drain timer.
     std::size_t admitted = 0;
     for (auto& waiter : waiters_) {
-        if (queued_ + waiter.bytes > spec_.queue_bytes) break;
-        queued_ += waiter.bytes;
+        const std::uint64_t space = spec_.queue_bytes - queued_;
+        if (space == 0) break;
+        const std::uint64_t take = std::min(space, waiter.bytes);
+        queued_ += take;
+        waiter.bytes -= take;
+        if (waiter.bytes > 0) break;  // partially admitted; stays at the head
         machine_->wake(*waiter.thread);
         ++admitted;
     }

@@ -49,6 +49,11 @@ private:
     DiskSpec spec_;
     std::uint64_t queued_ = 0;
     std::uint64_t bytes_written_ = 0;
+    /// Fractional bytes of drain capacity carried between 1 ms steps, so
+    /// non-integral per-ms rates (and trickle writers) still see exactly
+    /// `write_mbytes_per_sec` in the long run.  Resets when the disk goes
+    /// idle — unused capacity does not bank.
+    double drain_carry_ = 0.0;
     std::vector<Waiter> waiters_;
     bool draining_ = false;
 };

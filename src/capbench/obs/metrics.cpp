@@ -41,6 +41,7 @@ void RunMetrics::merge(const RunMetrics& other) {
             x.drop_verdict += y.drop_verdict;
             x.drop_bpf_store += y.drop_bpf_store;
             x.drop_fanout += y.drop_fanout;
+            x.drop_disk_spill += y.drop_disk_spill;
             x.drop_drain += y.drop_drain;
             merge_samples(x.latency_ns, y.latency_ns);
             merge_samples(x.enqueue_ns, y.enqueue_ns);

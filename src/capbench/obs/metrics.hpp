@@ -6,11 +6,14 @@
 // registry snapshot.  The drop taxonomy is closed — every generated packet
 // lands in exactly one bucket, so for each app
 //
-//     generated == delivered + nic_ring + backlog + verdict + bpf_store + drain
+//     generated == delivered + nic_ring + backlog + verdict + bpf_store
+//                  + fanout + disk_spill + drain
 //
 // holds as an exact integer identity (`drain` is the residual still in
 // flight — NIC ring, uncommitted verdicts or capture buffers — when the
-// measurement window closes).
+// measurement window closes; `disk_spill` counts records the capture-to-
+// disk writer ring rejected after delivery, so they are not in
+// `delivered`).
 #pragma once
 
 #include "capbench/profiling/cpusage.hpp"
@@ -34,11 +37,12 @@ struct AppMetrics {
     std::uint64_t drop_verdict = 0;    // rejected by the BPF filter
     std::uint64_t drop_bpf_store = 0;  // capture buffer full / too small
     std::uint64_t drop_fanout = 0;     // routed to another app by the fanout group
+    std::uint64_t drop_disk_spill = 0; // spilled by the disk-writer ring
     std::uint64_t drop_drain = 0;      // still in flight at window close
 
     [[nodiscard]] std::uint64_t drops_total() const {
         return drop_nic_ring + drop_backlog + drop_verdict + drop_bpf_store +
-               drop_fanout + drop_drain;
+               drop_fanout + drop_disk_spill + drop_drain;
     }
 
     // Lifecycle latencies, in sim nanoseconds.

@@ -22,6 +22,15 @@ void AppObserver::filter_installed(const bpf::DecodedProgram* decoded, bool jitt
     if (jitted) reg.counter(prefix + ".jit_installs").inc();
 }
 
+void AppObserver::disk_writer_attached() {
+    Registry& reg = sut_->owner_->registry_;
+    disk_spill_ = &reg.counter("capture." + sut_->name_ + ".app" +
+                               std::to_string(index_) + ".disk_spills");
+    if (TraceSink* tr = sut_->owner_->trace_)
+        disk_ring_name_ =
+            tr->intern("diskring:" + sut_->name_ + "/app" + std::to_string(index_));
+}
+
 SutObserver::SutObserver(Observer& owner, std::string name, int pid,
                          std::size_t app_count)
     : owner_(&owner), name_(std::move(name)), pid_(pid) {
@@ -88,12 +97,22 @@ RunMetrics Observer::finalize(const std::vector<SutSnapshot>& snapshots,
             AppObserver& app = sut.apps_[a];
             const capture::CaptureStats& st = snap.apps[a];
             AppMetrics am;
-            am.delivered = st.delivered;
+            // A record spilled by the disk-writer ring was handed to the
+            // app (counted in st.delivered) but never persisted: it moves
+            // from `delivered` into the `disk_spill` bucket, keeping the
+            // closed identity exact.
+            const std::uint64_t spill =
+                a < snap.disk_spills.size() ? snap.disk_spills[a] : 0;
+            if (spill > st.delivered)
+                throw std::logic_error(
+                    "Observer::finalize: disk spills exceed delivered count");
+            am.delivered = st.delivered - spill;
             am.drop_nic_ring = snap.ring_drops;
             am.drop_backlog = snap.backlog_drops;
             am.drop_verdict = st.dropped_filter;
             am.drop_bpf_store = st.dropped_buffer;
             am.drop_fanout = st.fanout_skipped;
+            am.drop_disk_spill = spill;
             // Everything the generator emitted that neither reached the
             // app nor hit a terminal drop bucket is still in flight (NIC
             // ring, uncommitted verdict, capture buffer) — the "drain"

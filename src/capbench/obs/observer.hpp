@@ -64,6 +64,19 @@ public:
     /// `decoded` is null under the interpreter tier.
     void filter_installed(const bpf::DecodedProgram* decoded, bool jitted);
 
+    /// A capture-to-disk writer pipeline attached to this app.  Registers
+    /// the spill counter and interns the ring-occupancy trace name lazily,
+    /// so pipeline-less runs keep their counter snapshot byte-identical.
+    void disk_writer_attached();
+
+    /// The app's writer ring rejected a record under a drop spill policy.
+    void disk_spilled() {
+        if (disk_spill_ != nullptr) disk_spill_->inc();
+    }
+
+    /// Writer-ring fill level changed (records queued for the disk).
+    void disk_ring_occupancy(sim::SimTime t, std::int64_t occupancy);
+
 private:
     friend class Observer;
     friend class SutObserver;
@@ -71,7 +84,9 @@ private:
     SutObserver* sut_;
     int index_;
     Counter* aborted_ = nullptr;  // registry-owned; set by SutObserver
+    Counter* disk_spill_ = nullptr;  // registered on disk_writer_attached()
     const char* occupancy_name_ = nullptr;  // interned; null when untraced
+    const char* disk_ring_name_ = nullptr;  // interned; null when untraced
     std::vector<std::int64_t> enqueue_at_;
     sim::SampleSet latency_ns_;  // NIC arrival -> delivery
     sim::SampleSet enqueue_ns_;  // kernel hand-off -> enqueue
@@ -122,6 +137,9 @@ struct SutSnapshot {
     std::uint64_t ring_drops = 0;
     std::uint64_t backlog_drops = 0;
     std::vector<capture::CaptureStats> apps;
+    /// Per-app disk-writer ring spills at window close; empty when the SUT
+    /// runs without the capture-to-disk pipeline.
+    std::vector<std::uint64_t> disk_spills;
     std::vector<profiling::UsageSample> cpu_samples;
 };
 
@@ -224,6 +242,14 @@ inline void AppObserver::delivered(std::uint64_t id, sim::SimTime t) {
     if (const std::int64_t arr = detail::stamp_at(sut_->arrival_at_, id);
         arr >= 0)
         latency_ns_.add(static_cast<double>(t.ns() - arr));
+}
+
+inline void AppObserver::disk_ring_occupancy(sim::SimTime t,
+                                             std::int64_t occupancy) {
+    if (TraceSink* tr = sut_->owner_->trace_;
+        tr != nullptr && disk_ring_name_ != nullptr)
+        tr->counter(sut_->pid_, kThreadTidBase + index_, disk_ring_name_, t,
+                    occupancy);
 }
 
 inline void AppObserver::fetched(std::size_t n, std::int64_t occupancy,

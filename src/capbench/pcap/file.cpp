@@ -44,28 +44,35 @@ FileWriter::FileWriter(std::ostream& out, std::uint32_t snaplen) : out_(&out), s
 }
 
 void FileWriter::write(const net::Packet& packet, std::uint32_t caplen, sim::SimTime timestamp) {
-    Record rec;
-    rec.timestamp = timestamp;
-    rec.wire_len = packet.frame_len();
-    rec.caplen = std::min({caplen, snaplen_, packet.frame_len()});
-    rec.data.resize(rec.caplen);
-    if (packet.has_bytes()) {
-        const auto bytes = packet.bytes();
-        std::copy_n(bytes.begin(), std::min<std::size_t>(rec.caplen, bytes.size()),
-                    rec.data.begin());
+    const std::uint32_t cap = std::min({caplen, snaplen_, packet.frame_len()});
+    const auto bytes = packet.has_bytes() ? packet.bytes() : std::span<const std::byte>{};
+    write(bytes, cap, packet.frame_len(), timestamp);
+}
+
+void FileWriter::write(std::span<const std::byte> data, std::uint32_t caplen,
+                       std::uint32_t wire_len, sim::SimTime timestamp) {
+    const auto usec_total = timestamp.ns() / 1000;
+    put(*out_, static_cast<std::uint32_t>(usec_total / 1'000'000));
+    put(*out_, static_cast<std::uint32_t>(usec_total % 1'000'000));
+    put(*out_, caplen);
+    put(*out_, wire_len);
+    const auto copied = std::min<std::size_t>(caplen, data.size());
+    out_->write(reinterpret_cast<const char*>(data.data()),
+                static_cast<std::streamsize>(copied));
+    if (copied < caplen) {
+        // Synthetic or short payload: pad with zeros from a pooled buffer
+        // instead of zero-filling a fresh vector per record.
+        const std::size_t pad = caplen - copied;
+        if (zero_pool_.size() < pad) zero_pool_.resize(pad);
+        out_->write(reinterpret_cast<const char*>(zero_pool_.data()),
+                    static_cast<std::streamsize>(pad));
     }
-    write(rec);
+    ++records_;
 }
 
 void FileWriter::write(const Record& record) {
-    const auto usec_total = record.timestamp.ns() / 1000;
-    put(*out_, static_cast<std::uint32_t>(usec_total / 1'000'000));
-    put(*out_, static_cast<std::uint32_t>(usec_total % 1'000'000));
-    put(*out_, record.caplen);
-    put(*out_, record.wire_len);
-    out_->write(reinterpret_cast<const char*>(record.data.data()),
-                static_cast<std::streamsize>(record.data.size()));
-    ++records_;
+    write(std::span<const std::byte>{record.data}, record.caplen, record.wire_len,
+          record.timestamp);
 }
 
 FileReader::FileReader(std::istream& in) : in_(&in) {

@@ -42,8 +42,15 @@ public:
     FileWriter(std::ostream& out, std::uint32_t snaplen = 65535);
 
     /// Writes one record.  Synthetic packets (no bytes) are written as
-    /// zero-filled payloads of their capture length.
+    /// zero-filled payloads of their capture length.  Allocation-free in
+    /// steady state: real payloads stream straight from the packet's arena
+    /// buffer, synthetic ones reuse a pooled zero buffer.
     void write(const net::Packet& packet, std::uint32_t caplen, sim::SimTime timestamp);
+
+    /// Zero-copy path: emits a record header followed by `data`, truncated
+    /// or zero-padded to exactly `caplen` bytes.
+    void write(std::span<const std::byte> data, std::uint32_t caplen, std::uint32_t wire_len,
+               sim::SimTime timestamp);
 
     void write(const Record& record);
 
@@ -53,6 +60,7 @@ private:
     std::ostream* out_;
     std::uint32_t snaplen_;
     std::uint64_t records_ = 0;
+    std::vector<std::byte> zero_pool_;  // grown once, reused for padding
 };
 
 /// Reads records from a pcap file; handles both endiannesses.

@@ -27,6 +27,7 @@ JsonValue MetricsWriter::app(const obs::AppMetrics& a) {
     drops.set("verdict", a.drop_verdict);
     drops.set("bpf_store", a.drop_bpf_store);
     drops.set("fanout", a.drop_fanout);
+    drops.set("disk_spill", a.drop_disk_spill);
     drops.set("drain", a.drop_drain);
     out.set("drops", std::move(drops));
     out.set("latency_ns", summary(a.latency_ns.summary()));

@@ -11,6 +11,8 @@
 #include <cstdint>
 #include <cstdlib>
 #include <new>
+#include <ostream>
+#include <streambuf>
 
 #include <gtest/gtest.h>
 
@@ -23,8 +25,10 @@
 #include "capbench/hostsim/machine.hpp"
 #include "capbench/net/arena.hpp"
 #include "capbench/net/link.hpp"
+#include "capbench/load/disk_writer.hpp"
 #include "capbench/net/packet.hpp"
 #include "capbench/obs/observer.hpp"
+#include "capbench/pcap/file.hpp"
 #include "capbench/obs/trace.hpp"
 #include "capbench/pktgen/pktgen.hpp"
 #include "capbench/sim/simulator.hpp"
@@ -326,6 +330,77 @@ TEST(AllocGuard, Fig62SteadyStateAllocationsBoundedWhenTracingEnabled) {
     EXPECT_LE(allocs, 2 * chunk_growth + 16)
         << "tracing-enabled steady state allocated beyond trace-buffer growth "
         << "(chunks grew by " << chunk_growth << ")";
+}
+
+/// Fixed-size sink for pcap output: accepts bytes without buffering them,
+/// so the stream itself never allocates (a stringstream would grow).
+struct NullBuf final : std::streambuf {
+    std::uint64_t bytes = 0;
+    int_type overflow(int_type ch) override {
+        ++bytes;
+        return ch;
+    }
+    std::streamsize xsputn(const char*, std::streamsize n) override {
+        bytes += static_cast<std::uint64_t>(n);
+        return n;
+    }
+};
+
+TEST(AllocGuard, PcapWriterSteadyStateDoesNotAllocate) {
+    SKIP_UNDER_SANITIZERS();
+    // ISSUE 9 satellite: FileWriter must be allocation-free in steady state
+    // for both real payloads (streamed straight from the arena buffer) and
+    // synthetic packets (pooled zero padding, grown once).
+    namespace pcap = capbench::pcap;
+    NullBuf buf;
+    std::ostream out{&buf};
+    pcap::FileWriter writer{out, 1515};
+    auto arena = net::PacketArena::create();
+    const auto churn = [&](std::uint64_t iters) {
+        for (std::uint64_t i = 0; i < iters; ++i) {
+            if ((i & 3) == 0) {
+                auto synth = arena->make_synthetic(i, 1500, sim::SimTime{});
+                writer.write(*synth, 76, sim::SimTime{static_cast<std::int64_t>(i)});
+            } else {
+                auto full = arena->make_full(i, 1000, sim::SimTime{});
+                writer.write(*full, 1000, sim::SimTime{static_cast<std::int64_t>(i)});
+            }
+        }
+    };
+    churn(64);  // warmup: zero pool and arena freelists reach steady size
+    const std::uint64_t allocs = allocations_during([&] { churn(10'000); });
+    EXPECT_EQ(allocs, 0u) << "pcap FileWriter allocated in steady state";
+    EXPECT_GT(buf.bytes, 0u);
+}
+
+TEST(AllocGuard, BringRingHandOffDoesNotAllocate) {
+    SKIP_UNDER_SANITIZERS();
+    // The capture-to-writer hand-off: arena record in, ring push/pop,
+    // pcap write out.  The whole cycle must be allocation-free once the
+    // ring slots and pools are warm.
+    namespace pcap = capbench::pcap;
+    namespace load = capbench::load;
+    NullBuf buf;
+    std::ostream out{&buf};
+    pcap::FileWriter writer{out, 1515};
+    load::BringRing ring{32};
+    auto arena = net::PacketArena::create();
+    const auto churn = [&](std::uint64_t iters) {
+        for (std::uint64_t i = 0; i < iters; ++i) {
+            ring.push(load::RecordRef{arena->make_full(i, 500, sim::SimTime{}), 500, 576,
+                                      sim::SimTime{static_cast<std::int64_t>(i)}});
+            if (ring.full()) {
+                while (!ring.empty()) {
+                    load::RecordRef rec = ring.pop();
+                    writer.write(*rec.packet, rec.caplen, rec.timestamp);
+                }
+            }
+        }
+    };
+    churn(256);  // warmup: ring slots, zero pool, freelists reach steady size
+    const std::uint64_t allocs = allocations_during([&] { churn(10'000); });
+    EXPECT_EQ(allocs, 0u) << "bring-ring hand-off loop allocated in steady state";
+    EXPECT_GT(writer.records_written(), 0u);
 }
 
 TEST(AllocGuard, ArenaFullPacketChurnDoesNotAllocate) {

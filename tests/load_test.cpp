@@ -177,6 +177,58 @@ TEST(DiskModel, DrainsEverythingEventually) {
     EXPECT_EQ(disk.bytes_written(), 5u << 20);
 }
 
+TEST(DiskModel, OversizedWriteIsChunkAdmittedWithoutLivelock) {
+    // Regression: a write larger than the whole write-back queue used to
+    // leave its waiter unadmittable forever while the drain timer kept
+    // rescheduling every 1 ms — the simulation never quiesced and the
+    // writer never woke.  Chunk admission drains it through the queue.
+    Fixture f;
+    DiskModel disk{f.machine, DiskSpec{80.0, 1.0, 1 << 20}};  // 1 MB queue
+    auto writer = std::make_shared<Waiter>();
+    f.machine.spawn(writer);
+    f.sim.run();
+    EXPECT_FALSE(disk.write(2 << 20, *writer));  // 2 MB > the 1 MB queue
+    f.sim.run(f.sim.now() + sim::seconds(5));
+    EXPECT_TRUE(writer->woken);
+    EXPECT_EQ(disk.bytes_written(), 2u << 20);
+    EXPECT_EQ(disk.queued(), 0u);
+    // No progress possible once everything drained: the drain timer must
+    // have stopped rescheduling itself.
+    EXPECT_TRUE(f.sim.queue().empty());
+}
+
+TEST(DiskModel, FractionalThroughputIsNotTruncatedAway) {
+    // Regression: per-ms drain capacity was truncated to whole bytes, so a
+    // disk slower than 1000 bytes/s (0.4 bytes per 1 ms step here) rounded
+    // to zero and never wrote anything at all.
+    Fixture f;
+    DiskModel disk{f.machine, DiskSpec{0.0004, 1.0, 8 << 20}};  // 400 B/s
+    auto writer = std::make_shared<Waiter>();
+    f.machine.spawn(writer);
+    f.sim.run();
+    EXPECT_TRUE(disk.write(1000, *writer));
+    f.sim.run(f.sim.now() + sim::seconds(5));
+    EXPECT_EQ(disk.bytes_written(), 1000u);
+    EXPECT_EQ(disk.queued(), 0u);
+}
+
+TEST(DiskModel, LongRunThroughputConvergesToSpec) {
+    // A non-integral per-ms rate (93.3 bytes/ms) must average out to the
+    // spec over a long run instead of losing the fraction every step.
+    Fixture f;
+    const double mbps = 0.0933;  // 93300 bytes/s
+    DiskModel disk{f.machine, DiskSpec{mbps, 1.0, 8 << 20}};
+    auto writer = std::make_shared<Waiter>();
+    f.machine.spawn(writer);
+    f.sim.run();
+    const std::uint64_t total = 933'000;  // exactly 10 s of drain at spec
+    EXPECT_TRUE(disk.write(total, *writer));
+    f.sim.run(f.sim.now() + sim::seconds(10));
+    const double expected = mbps * 1e6 * 10.0;
+    EXPECT_NEAR(static_cast<double>(disk.bytes_written()), expected,
+                expected * 0.001);
+}
+
 TEST(DiskModel, WriteWorkChargesCpu) {
     Fixture f;
     DiskModel disk{f.machine, DiskSpec{80.0, 1.5, 8 << 20}};

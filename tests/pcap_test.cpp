@@ -5,6 +5,7 @@
 
 #include "capbench/capture/linux_socket.hpp"
 #include "capbench/capture/mmap_ring.hpp"
+#include "capbench/net/arena.hpp"
 #include "capbench/pcap/file.hpp"
 #include "capbench/bpf/filter/lexer.hpp"
 #include "capbench/pcap/session.hpp"
@@ -69,6 +70,114 @@ TEST(Session, StatsMapToPcapSemantics) {
     f.sock.fetch(99);
     EXPECT_EQ(session.stats().ps_recv, 1u);
     EXPECT_EQ(session.stats().ps_drop, 0u);
+}
+
+TEST(Session, StatsMapBufferDropsToPsDrop) {
+    // ps_drop is pcap's "dropped because there was no room" counter — it
+    // must mirror the endpoint's buffer-full drops, not any other bucket.
+    sim::Simulator sim;
+    Machine machine{sim, MachineSpec{ArchSpec::amd_opteron(), 2, false}, {}};
+    LinuxPacketSocket small{machine, OsSpec::linux_2_6_11(), 4096, 1515};
+    Session session{small, "swan:if0", 1515, false};
+    std::uint64_t id = 1;
+    // Overfill the 4 kB socket buffer with 1500-byte frames.
+    for (int i = 0; i < 10; ++i) {
+        auto pkt = std::make_shared<net::Packet>(id++, 1500, sim::SimTime{});
+        small.plan(pkt, 0);
+        small.commit(pkt, 0);
+    }
+    EXPECT_GT(small.stats().dropped_buffer, 0u);
+    EXPECT_EQ(session.stats().ps_drop, small.stats().dropped_buffer);
+    EXPECT_EQ(session.stats().ps_recv, small.stats().delivered);
+}
+
+TEST(File, ArenaBackedRoundTrip) {
+    // The zero-copy span path: arena-owned payloads stream straight from
+    // the packet buffer into the file and read back byte-identical.
+    auto arena = net::PacketArena::create();
+    auto full = arena->make_full(1, 128, sim::SimTime{});
+    auto bytes = full->mutable_bytes();
+    for (std::size_t i = 0; i < bytes.size(); ++i)
+        bytes[i] = static_cast<std::byte>(255 - i % 256);
+    const net::PacketPtr pkt = full;
+    auto synthetic = arena->make_synthetic(2, 900, sim::SimTime{});
+    const net::PacketPtr synth = synthetic;
+
+    std::stringstream buffer;
+    FileWriter writer{buffer, 1515};
+    writer.write(*pkt, 128, sim::SimTime{sim::seconds(1).ns()});
+    writer.write(*synth, 900, sim::SimTime{sim::seconds(2).ns()});
+    EXPECT_EQ(writer.records_written(), 2u);
+
+    FileReader reader{buffer};
+    const auto r1 = reader.next();
+    ASSERT_TRUE(r1.has_value());
+    EXPECT_EQ(r1->caplen, 128u);
+    ASSERT_EQ(r1->data.size(), 128u);
+    for (std::size_t i = 0; i < r1->data.size(); ++i)
+        EXPECT_EQ(r1->data[i], pkt->bytes()[i]) << "byte " << i;
+    const auto r2 = reader.next();
+    ASSERT_TRUE(r2.has_value());
+    EXPECT_EQ(r2->caplen, 900u);
+    EXPECT_EQ(r2->wire_len, 900u);
+    // Synthetic payloads come out zero-filled (the pooled pad buffer).
+    for (const std::byte b : r2->data) ASSERT_EQ(std::to_integer<int>(b), 0);
+    EXPECT_EQ(reader.next(), std::nullopt);
+}
+
+TEST(File, ArenaBackedTruncatedRecordThrows) {
+    auto arena = net::PacketArena::create();
+    auto full = arena->make_full(1, 200, sim::SimTime{});
+    auto bytes = full->mutable_bytes();
+    for (std::size_t i = 0; i < bytes.size(); ++i) bytes[i] = std::byte{0x5A};
+    std::stringstream buffer;
+    FileWriter writer{buffer, 65535};
+    writer.write(*full, 200, sim::SimTime{});
+    std::string content = buffer.str();
+    content.resize(content.size() - 15);  // chop into the payload
+    std::stringstream truncated{content};
+    FileReader reader{truncated};
+    EXPECT_THROW(reader.next(), std::runtime_error);
+}
+
+TEST(File, ReadsByteSwappedArenaPayloads) {
+    // A big-endian file whose record payload matches an arena packet's
+    // bytes: the reader must swap the header fields but pass the payload
+    // through untouched.
+    auto arena = net::PacketArena::create();
+    auto full = arena->make_full(1, 6, sim::SimTime{});
+    auto bytes = full->mutable_bytes();
+    for (std::size_t i = 0; i < bytes.size(); ++i)
+        bytes[i] = static_cast<std::byte>(0x10 + i);
+
+    const auto be32 = [](std::uint32_t v) {
+        return std::string{static_cast<char>(v >> 24), static_cast<char>(v >> 16),
+                           static_cast<char>(v >> 8), static_cast<char>(v)};
+    };
+    const auto be16 = [](std::uint16_t v) {
+        return std::string{static_cast<char>(v >> 8), static_cast<char>(v)};
+    };
+    std::string data;
+    data += be32(kPcapMagic);
+    data += be16(2);
+    data += be16(4);
+    data += be32(0);  // thiszone
+    data += be32(0);  // sigfigs
+    data += be32(1515);
+    data += be32(kLinktypeEthernet);
+    data += be32(7);  // sec
+    data += be32(9);  // usec
+    data += be32(6);  // caplen
+    data += be32(6);  // wire len
+    for (const std::byte b : full->bytes()) data += static_cast<char>(std::to_integer<int>(b));
+    std::stringstream buffer{data};
+    FileReader reader{buffer};
+    const auto rec = reader.next();
+    ASSERT_TRUE(rec.has_value());
+    EXPECT_EQ(rec->caplen, 6u);
+    ASSERT_EQ(rec->data.size(), 6u);
+    for (std::size_t i = 0; i < rec->data.size(); ++i)
+        EXPECT_EQ(rec->data[i], full->bytes()[i]) << "byte " << i;
 }
 
 TEST(File, WriteReadRoundTrip) {

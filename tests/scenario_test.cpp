@@ -59,6 +59,9 @@ const std::vector<std::pair<std::string, std::string>> kGoldenList = {
     {"ext_filter_tiers",
      "BPF execution tiers: interpreter vs. token-threaded vs. native jit, fig-6.5-style "
      "filter cost sweep (host time)"},
+    {"ext_disk_writer",
+     "capture-to-disk writer pipeline: bring-ring hand-off vs. inline write, 76-byte "
+     "header trace (ring depth x spill policy)"},
     {"ablation_livelock",
      "interrupt moderation on vs. off (one interrupt per packet), single CPU"},
 };
