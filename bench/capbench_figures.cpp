@@ -9,11 +9,14 @@
 //   capbench_figures --run fig_6_2 fig_6_4 --jobs 8
 //   capbench_figures --all --jobs 8 --json results.json --gnuplot plots/
 //   capbench_figures --run fig_6_2 --trace=trace.json --metrics=metrics.json
+//   capbench_figures --run ext_overload_pulse --trace=t.json --timeseries=ts.json
 //
 // Scale knobs: CAPBENCH_PACKETS, CAPBENCH_REPS, CAPBENCH_JOBS (the
-// --jobs default) and CAPBENCH_GNUPLOT_DIR (the --gnuplot default).
+// --jobs default), CAPBENCH_GNUPLOT_DIR (the --gnuplot default) and
+// CAPBENCH_SAMPLE_INTERVAL (the --timeseries interval, microseconds).
 // Results are bit-identical regardless of --jobs.
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <iostream>
@@ -23,8 +26,10 @@
 
 #include "capbench/bpf/filter/codegen.hpp"
 #include "capbench/bpf/verifier.hpp"
+#include "capbench/obs/timeseries.hpp"
 #include "capbench/obs/trace.hpp"
 #include "capbench/report/metrics_writer.hpp"
+#include "capbench/report/timeseries_writer.hpp"
 #include "capbench/report/writer.hpp"
 #include "capbench/scenario/runner.hpp"
 
@@ -36,7 +41,7 @@ constexpr const char* kUsage =
     "usage: capbench_figures [--list] [--run <id>...] [--all] [--jobs N]\n"
     "                        [--json <path>] [--gnuplot <dir>]\n"
     "                        [--metrics <path>] [--trace <path>]\n"
-    "                        [--verify-filters]\n"
+    "                        [--timeseries <path>] [--verify-filters]\n"
     "\n"
     "  --list          print every registered scenario id and caption\n"
     "  --verify-filters  run the BPF verifier over every filter program\n"
@@ -55,6 +60,11 @@ constexpr const char* kUsage =
     "                  Perfetto / chrome://tracing) of one designated run:\n"
     "                  first selected sweep scenario, first variant, last\n"
     "                  sweep point, rep 0\n"
+    "  --timeseries <path>  sample interval telemetry of the same designated\n"
+    "                  run (every CAPBENCH_SAMPLE_INTERVAL microseconds of\n"
+    "                  simulated time, default 1000) and write one\n"
+    "                  capbench.timeseries.v1 document; with --gnuplot the\n"
+    "                  occupancy/rate panels are exported too\n"
     "\n"
     "Flags taking a value also accept the --flag=value form.\n";
 
@@ -68,6 +78,7 @@ struct CliOptions {
     std::string gnuplot_dir;
     std::string metrics_path;
     std::string trace_path;
+    std::string timeseries_path;
 };
 
 int parse_int_arg(const char* flag, const std::string& value) {
@@ -140,6 +151,9 @@ CliOptions parse_cli(int argc, char** argv) {
             collecting_ids = false;
         } else if (arg == "--trace") {
             opts.trace_path = next("--trace");
+            collecting_ids = false;
+        } else if (arg == "--timeseries") {
+            opts.timeseries_path = next("--timeseries");
             collecting_ids = false;
         } else if (arg == "--help" || arg == "-h") {
             std::fputs(kUsage, stdout);
@@ -238,16 +252,34 @@ int main(int argc, char** argv) {
         obs::TraceSink trace_sink;
         bool trace_assigned = false;
 
+        // The time-series interval: CAPBENCH_SAMPLE_INTERVAL (strictly
+        // parsed microseconds) or 1 ms when --timeseries is given without
+        // the variable.
+        obs::TimeSeries timeseries;
+        bool timeseries_assigned = false;
+        std::string timeseries_id;
+        sim::Duration sample_interval = harness::sample_interval_from_env();
+        if (!cli.timeseries_path.empty() && sample_interval.ns() == 0)
+            sample_interval = sim::milliseconds(1);
+
         std::vector<report::JsonValue> documents;
         std::vector<report::JsonValue> metric_docs;
         for (const scenario::Scenario* s : selected) {
-            // The timeline records one designated run; it goes to the first
-            // sweep scenario on the command line (custom/table scenarios
-            // run no measurement and cannot be traced).
+            // The timeline and the time-series record one designated run;
+            // both go to the first sweep scenario on the command line
+            // (custom/table scenarios run no measurement).
             run_opts.trace = nullptr;
+            run_opts.timeseries = nullptr;
+            run_opts.sample_interval = sim::Duration::zero();
             if (!cli.trace_path.empty() && !trace_assigned && !s->is_custom()) {
                 run_opts.trace = &trace_sink;
                 trace_assigned = true;
+            }
+            if (!cli.timeseries_path.empty() && !timeseries_assigned && !s->is_custom()) {
+                run_opts.timeseries = &timeseries;
+                run_opts.sample_interval = sample_interval;
+                timeseries_assigned = true;
+                timeseries_id = s->id;
             }
             const scenario::ScenarioResult result = scenario::run_scenario(*s, run_opts);
             if (!cli.json_path.empty())
@@ -267,8 +299,9 @@ int main(int argc, char** argv) {
         }
         if (!cli.metrics_path.empty()) {
             std::ofstream out{cli.metrics_path};
-            out << report::MetricsWriter::serialize(
-                report::MetricsWriter::suite(std::move(metric_docs)));
+            out << report::MetricsWriter::serialize(report::MetricsWriter::suite(
+                std::move(metric_docs),
+                timeseries_assigned && timeseries.finalized ? &timeseries : nullptr));
             if (!out)
                 throw std::runtime_error("cannot write metrics to '" + cli.metrics_path +
                                          "'");
@@ -284,6 +317,26 @@ int main(int argc, char** argv) {
                 throw std::runtime_error("cannot write trace to '" + cli.trace_path + "'");
             std::printf("(trace written to %s — load in Perfetto or chrome://tracing)\n",
                         cli.trace_path.c_str());
+        }
+        if (!cli.timeseries_path.empty()) {
+            if (!timeseries_assigned)
+                throw std::runtime_error(
+                    "--timeseries needs at least one sweep (non-table) scenario");
+            std::ofstream out{cli.timeseries_path};
+            out << report::TimeseriesWriter::serialize(
+                report::TimeseriesWriter::document(timeseries, timeseries_id));
+            if (!out)
+                throw std::runtime_error("cannot write timeseries to '" +
+                                         cli.timeseries_path + "'");
+            std::printf("(timeseries written to %s)\n", cli.timeseries_path.c_str());
+            std::string dir = cli.gnuplot_dir;
+            if (dir.empty())
+                if (const char* env = std::getenv("CAPBENCH_GNUPLOT_DIR")) dir = env;
+            if (!dir.empty()) {
+                report::write_timeseries_gnuplot(dir, timeseries_id, timeseries);
+                std::printf("(timeseries gnuplot written to %s/%s_timeseries.dat / .gp)\n",
+                            dir.c_str(), timeseries_id.c_str());
+            }
         }
         return 0;
     } catch (const std::exception& e) {

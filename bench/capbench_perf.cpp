@@ -35,6 +35,7 @@
 #include "capbench/load/disk_writer.hpp"
 #include "capbench/net/arena.hpp"
 #include "capbench/net/link.hpp"
+#include "capbench/obs/timeseries.hpp"
 #include "capbench/obs/trace.hpp"
 #include "capbench/pcap/file.hpp"
 #include "capbench/pktgen/pktgen.hpp"
@@ -184,6 +185,25 @@ PerfCase micro_trace_hook(capbench::obs::TraceSink* sink, std::string name,
             t->complete(1, capbench::obs::kThreadTidBase, slice, cat, start,
                         start + capbench::sim::Duration{500});
         }
+    }
+    double wall = seconds_since(t0);
+    opaque(wall);  // keep the empty-body disabled loop observable
+    return micro_case(std::move(name), iters, wall);
+}
+
+/// The time-series sampler as seen from the measurement loop: when no
+/// --timeseries sink is configured the per-site cost is one null check
+/// (what every figure run pays), and when sampling is on the dominant
+/// steady-state cost is one slab-chunked Series::push per sampled column,
+/// including amortized chunk growth.
+PerfCase micro_timeseries_tick(bool enabled, std::string name, std::uint64_t iters) {
+    capbench::obs::Series series;
+    capbench::obs::Series* live = enabled ? &series : nullptr;
+    const auto t0 = Clock::now();
+    for (std::uint64_t i = 0; i < iters; ++i) {
+        capbench::obs::Series* s = live;
+        opaque(s);
+        if (s != nullptr) s->push(static_cast<std::int64_t>(i & 1023));
     }
     double wall = seconds_since(t0);
     opaque(wall);  // keep the empty-body disabled loop observable
@@ -460,6 +480,13 @@ int main(int argc, char** argv) {
         report.cases.push_back(micro_trace_hook(&sink, "trace_emit_enabled", micro_iters));
         print_case(report.cases.back());
     }
+
+    report.cases.push_back(
+        micro_timeseries_tick(false, "timeseries_tick_disabled", micro_iters));
+    print_case(report.cases.back());
+    report.cases.push_back(
+        micro_timeseries_tick(true, "timeseries_tick_enabled", micro_iters));
+    print_case(report.cases.back());
 
     const capbench::report::JsonValue doc = capbench::report::perf_document(report);
     const std::string text = capbench::report::dump_json(doc) + "\n";

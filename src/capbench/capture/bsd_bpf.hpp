@@ -37,6 +37,10 @@ public:
     void set_reader(hostsim::Thread* reader) override { reader_ = reader; }
     void install_filter(bpf::Program program) override;
     [[nodiscard]] const CaptureStats& stats() const override { return stats_; }
+    [[nodiscard]] std::uint64_t buffer_occupancy() const override {
+        return store_.stored_bytes + hold_.stored_bytes;
+    }
+    [[nodiscard]] std::uint64_t buffer_capacity() const override { return 2 * buffer_bytes_; }
 
     /// Arms the read timeout (the libpcap to_ms): while the application
     /// waits and HOLD is empty, a non-empty STORE rotates after `timeout`.

@@ -45,6 +45,8 @@ public:
     void set_reader(hostsim::Thread* reader) override { reader_ = reader; }
     void install_filter(bpf::Program program) override;
     [[nodiscard]] const CaptureStats& stats() const override { return stats_; }
+    [[nodiscard]] std::uint64_t buffer_occupancy() const override { return queued_truesize_; }
+    [[nodiscard]] std::uint64_t buffer_capacity() const override { return rmem_bytes_; }
 
     [[nodiscard]] std::uint64_t rmem_bytes() const { return rmem_bytes_; }
     [[nodiscard]] std::uint64_t queued_truesize() const { return queued_truesize_; }

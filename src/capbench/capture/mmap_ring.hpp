@@ -33,6 +33,8 @@ public:
     void set_reader(hostsim::Thread* reader) override { reader_ = reader; }
     void install_filter(bpf::Program program) override;
     [[nodiscard]] const CaptureStats& stats() const override { return stats_; }
+    [[nodiscard]] std::uint64_t buffer_occupancy() const override { return ring_.size(); }
+    [[nodiscard]] std::uint64_t buffer_capacity() const override { return slots_; }
 
     [[nodiscard]] std::size_t slots() const { return slots_; }
 

@@ -94,6 +94,14 @@ public:
     /// The CPU queue `q`'s IRQ line is pinned to.
     [[nodiscard]] int queue_cpu(int q) const { return queues_[static_cast<std::size_t>(q)].cpu; }
 
+    /// Frames currently sitting in queue `q`'s descriptor ring (gauge,
+    /// sampled by the interval time-series layer).
+    [[nodiscard]] std::size_t queue_ring_occupancy(int q) const {
+        return queues_[static_cast<std::size_t>(q)].ring.size();
+    }
+    /// Descriptor slots per receive queue (every queue is equally deep).
+    [[nodiscard]] std::size_t ring_capacity() const { return model_.ring_slots; }
+
 private:
     /// One receive queue: descriptor ring, IRQ target, service state and
     /// drop accounting.

@@ -120,6 +120,14 @@ public:
 
     [[nodiscard]] virtual const CaptureStats& stats() const = 0;
 
+    /// Kernel-side capture-buffer fill level, in stack-native units
+    /// (BPF: stored bytes across both halves, mmap: occupied frames,
+    /// PF_PACKET: queued skb truesize bytes).  A gauge for the interval
+    /// time-series sampler; compare against buffer_capacity().
+    [[nodiscard]] virtual std::uint64_t buffer_occupancy() const = 0;
+    /// The capacity `buffer_occupancy()` saturates at, in the same units.
+    [[nodiscard]] virtual std::uint64_t buffer_capacity() const = 0;
+
     /// Per-RSS-queue slices of stats(): entry j accounts packets that
     /// arrived on receive queue j.  Componentwise, the sum over queues
     /// equals stats() (delivered is folded in at fetch time).  Sized

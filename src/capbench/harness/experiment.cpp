@@ -77,6 +77,15 @@ int default_jobs() { return static_cast<int>(env_knob("CAPBENCH_JOBS", 1, 512));
 
 int default_queues() { return static_cast<int>(env_knob("CAPBENCH_QUEUES", 1, 16)); }
 
+sim::Duration sample_interval_from_env() {
+    const char* value = std::getenv("CAPBENCH_SAMPLE_INTERVAL");
+    if (value == nullptr) return sim::Duration::zero();
+    // Microseconds of simulated time, capped at one hour.
+    const std::uint64_t us =
+        parse_positive_env("CAPBENCH_SAMPLE_INTERVAL", value, 3'600'000'000ull);
+    return sim::microseconds(static_cast<std::int64_t>(us));
+}
+
 std::vector<int> affinity_from_env() {
     const char* value = std::getenv("CAPBENCH_AFFINITY");
     if (value == nullptr) return {};
@@ -129,14 +138,18 @@ std::string fig_6_5_filter_expression() {
 
 std::vector<SweepRow> rate_sweep(const std::vector<SutConfig>& suts, const RunConfig& base,
                                  const std::vector<double>& rates, int reps,
-                                 const ParallelExecutor* exec, obs::TraceSink* trace) {
+                                 const ParallelExecutor* exec, obs::TraceSink* trace,
+                                 obs::TimeSeries* timeseries) {
     std::vector<SweepRow> rows(rates.size());
     const auto run_point = [&](std::size_t i) {
         RunConfig cfg = base;
         cfg.rate_mbps = rates[i];
-        // The designated trace point is the last of the grid (the deepest
-        // overload) so the sink has exactly one writer at any job count.
+        // The designated trace/time-series point is the last of the grid
+        // (the deepest overload) so each sink has exactly one writer at any
+        // job count.
         cfg.trace = (trace != nullptr && i == rows.size() - 1) ? trace : nullptr;
+        cfg.timeseries =
+            (timeseries != nullptr && i == rows.size() - 1) ? timeseries : nullptr;
         rows[i] = SweepRow{rates[i], run_repeated(suts, cfg, reps)};
     };
     if (exec != nullptr) {
@@ -149,7 +162,8 @@ std::vector<SweepRow> rate_sweep(const std::vector<SutConfig>& suts, const RunCo
 
 std::vector<SweepRow> buffer_sweep(std::vector<SutConfig> suts, const RunConfig& base,
                                    const std::vector<std::uint64_t>& buffer_kb, int reps,
-                                   const ParallelExecutor* exec, obs::TraceSink* trace) {
+                                   const ParallelExecutor* exec, obs::TraceSink* trace,
+                                   obs::TimeSeries* timeseries) {
     std::vector<SweepRow> rows(buffer_kb.size());
     const auto run_point = [&](std::size_t i) {
         const std::uint64_t kb = buffer_kb[i];
@@ -163,6 +177,8 @@ std::vector<SweepRow> buffer_sweep(std::vector<SutConfig> suts, const RunConfig&
         RunConfig cfg = base;
         cfg.rate_mbps = 0.0;  // highest possible rate, no inter-packet gap
         cfg.trace = (trace != nullptr && i == rows.size() - 1) ? trace : nullptr;
+        cfg.timeseries =
+            (timeseries != nullptr && i == rows.size() - 1) ? timeseries : nullptr;
         rows[i] = SweepRow{static_cast<double>(kb), run_repeated(sized, cfg, reps)};
     };
     if (exec != nullptr) {
@@ -175,7 +191,8 @@ std::vector<SweepRow> buffer_sweep(std::vector<SutConfig> suts, const RunConfig&
 
 std::vector<SweepRow> queue_sweep(std::vector<SutConfig> suts, const RunConfig& base,
                                   const std::vector<int>& counts, int reps,
-                                  const ParallelExecutor* exec, obs::TraceSink* trace) {
+                                  const ParallelExecutor* exec, obs::TraceSink* trace,
+                                  obs::TimeSeries* timeseries) {
     std::vector<SweepRow> rows(counts.size());
     const auto run_point = [&](std::size_t i) {
         const int count = counts[i];
@@ -189,6 +206,8 @@ std::vector<SweepRow> queue_sweep(std::vector<SutConfig> suts, const RunConfig& 
         }
         RunConfig cfg = base;
         cfg.trace = (trace != nullptr && i == rows.size() - 1) ? trace : nullptr;
+        cfg.timeseries =
+            (timeseries != nullptr && i == rows.size() - 1) ? timeseries : nullptr;
         rows[i] = SweepRow{static_cast<double>(count), run_repeated(scaled, cfg, reps)};
     };
     if (exec != nullptr) {

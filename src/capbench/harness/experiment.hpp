@@ -35,6 +35,13 @@ int default_jobs();
 /// std::runtime_error; values above 16 are rejected too.
 int default_queues();
 
+/// Time-series sampling interval from CAPBENCH_SAMPLE_INTERVAL, in
+/// MICROseconds of simulated time; Duration::zero() when unset (sampling
+/// off, the default).  Strict parsing: empty, garbage, zero, negative and
+/// overflowing values throw std::runtime_error, as do values above one
+/// hour (3'600'000'000 us).
+sim::Duration sample_interval_from_env();
+
 /// Per-queue IRQ affinity for the standard sniffers, from CAPBENCH_AFFINITY
 /// as a comma-separated list of CPU indices (queue i -> entry i % size;
 /// e.g. "0,1,1").  Unset = empty vector (queue i -> CPU i % logical_cpus).
@@ -70,10 +77,13 @@ struct SweepRow {
 /// the last of the grid, i.e. the highest rate / deepest overload, and
 /// within it rep 0.  A single fixed point keeps the sink single-writer
 /// under parallel execution and the output identical at any job count.
+/// `timeseries` (may be null) collects interval telemetry for the same
+/// designated point; RunConfig::sample_interval must be positive then.
 std::vector<SweepRow> rate_sweep(const std::vector<SutConfig>& suts, const RunConfig& base,
                                  const std::vector<double>& rates, int reps,
                                  const ParallelExecutor* exec = nullptr,
-                                 obs::TraceSink* trace = nullptr);
+                                 obs::TraceSink* trace = nullptr,
+                                 obs::TimeSeries* timeseries = nullptr);
 
 /// Runs a sweep over capture buffer sizes at maximum data rate (the
 /// Figure 6.4 experiment).  `buffer_kb` values apply to all SUTs; FreeBSD
@@ -82,7 +92,8 @@ std::vector<SweepRow> rate_sweep(const std::vector<SutConfig>& suts, const RunCo
 std::vector<SweepRow> buffer_sweep(std::vector<SutConfig> suts, const RunConfig& base,
                                    const std::vector<std::uint64_t>& buffer_kb, int reps,
                                    const ParallelExecutor* exec = nullptr,
-                                   obs::TraceSink* trace = nullptr);
+                                   obs::TraceSink* trace = nullptr,
+                                   obs::TimeSeries* timeseries = nullptr);
 
 /// Runs a sweep over queue/core counts: point i gives every SUT
 /// `counts[i]` cores AND `counts[i]` NIC receive queues (default IRQ
@@ -92,6 +103,7 @@ std::vector<SweepRow> buffer_sweep(std::vector<SutConfig> suts, const RunConfig&
 std::vector<SweepRow> queue_sweep(std::vector<SutConfig> suts, const RunConfig& base,
                                   const std::vector<int>& counts, int reps,
                                   const ParallelExecutor* exec = nullptr,
-                                  obs::TraceSink* trace = nullptr);
+                                  obs::TraceSink* trace = nullptr,
+                                  obs::TimeSeries* timeseries = nullptr);
 
 }  // namespace capbench::harness

@@ -6,15 +6,21 @@
 
 #include "capbench/dist/builtin.hpp"
 #include "capbench/obs/observer.hpp"
+#include "capbench/obs/timeseries.hpp"
 #include "capbench/profiling/cpusage.hpp"
 
 namespace capbench::harness {
 
 RunResult run_once(const std::vector<SutConfig>& suts, const RunConfig& config) {
-    // A trace sink implies observation; plain metrics can be requested
-    // alone.  Without either, no Observer exists and every hook in the hot
-    // path is a null-pointer branch — the zero-cost-when-disabled contract.
-    const bool observe = config.collect_metrics || config.trace != nullptr;
+    if (config.timeseries != nullptr && config.sample_interval.ns() <= 0)
+        throw std::invalid_argument(
+            "RunConfig::timeseries requires a positive sample_interval");
+    const bool sampling = config.timeseries != nullptr;
+    // A trace or time-series sink implies observation; plain metrics can
+    // be requested alone.  Without any, no Observer exists and every hook
+    // in the hot path is a null-pointer branch — the
+    // zero-cost-when-disabled contract.
+    const bool observe = config.collect_metrics || config.trace != nullptr || sampling;
     std::unique_ptr<obs::Observer> observer;
     if (observe) observer = std::make_unique<obs::Observer>(config.trace);
 
@@ -26,6 +32,9 @@ RunResult run_once(const std::vector<SutConfig>& suts, const RunConfig& config) 
     tb.gen.seed = config.seed;
     tb.gen.full_bytes = config.full_bytes;
     tb.gen.flow_count = config.flow_count;
+    tb.gen.burst_period_ns = config.burst_period.ns();
+    tb.gen.burst_duration_ns = config.burst_duration.ns();
+    tb.gen.burst_multiplier = config.burst_multiplier;
     if (config.use_mwn_dist) {
         tb.gen.size_dist.emplace(dist::mwn_trace_histogram());
         tb.gen.use_dist = true;
@@ -51,6 +60,34 @@ RunResult run_once(const std::vector<SutConfig>& suts, const RunConfig& config) 
                 sut->machine(), config.cpusage_interval));
             profilers.back()->start();
         }
+    }
+
+    // Interval time-series sampler (tentpole of ISSUE 10).  Like cpusage
+    // it only reads counters and gauges, so the simulation's observable
+    // behaviour — and every figure golden — is unchanged by sampling.
+    std::unique_ptr<obs::IntervalSampler> sampler;
+    if (sampling) {
+        obs::SamplerSources sources;
+        sources.generated = &bed.generator().stats().packets_sent;
+        for (std::size_t i = 0; i < bed.suts().size(); ++i) {
+            auto& sut = *bed.suts()[i];
+            obs::SamplerSources::Sut src;
+            src.name = sut.config().name;
+            src.nic = &sut.nic();
+            src.machine = &sut.machine();
+            src.trace_pid = static_cast<int>(i) + 1;  // Observer pid order
+            for (std::size_t a = 0; a < sut.sessions().size(); ++a) {
+                obs::SamplerSources::App app;
+                app.endpoint = &sut.endpoint(a);
+                app.writer = sut.disk_writer(a);
+                src.apps.push_back(app);
+            }
+            sources.suts.push_back(std::move(src));
+        }
+        sampler = std::make_unique<obs::IntervalSampler>(
+            bed.sim(), config.sample_interval, std::move(sources), *config.timeseries,
+            config.trace);
+        sampler->start();
     }
 
     // Step 2: counters before generation.
@@ -91,6 +128,10 @@ RunResult run_once(const std::vector<SutConfig>& suts, const RunConfig& config) 
                     drops_at_stop[i] += sut.sessions()[a]->stats().ps_drop;
                 }
             }
+            // The sampler's final sample happens in this same event, so
+            // its delta columns telescope exactly to the counters the
+            // snapshots below freeze (the conservation invariant).
+            if (sampler) sampler->stop();
             if (observer) {
                 // Freeze the observer and snapshot every counter at the
                 // same instant the headline statistics are frozen, so the
@@ -159,6 +200,9 @@ RunResult run_once(const std::vector<SutConfig>& suts, const RunConfig& config) 
         result.suts.push_back(std::move(r));
     }
     if (observer) result.metrics = observer->finalize(snapshots, generated);
+    // Re-check the conservation invariant against the independently
+    // snapshotted aggregates and freeze the totals for the JSON writer.
+    if (sampler) config.timeseries->finalize_against(result.metrics);
     return result;
 }
 
@@ -168,9 +212,13 @@ RunResult run_repeated(const std::vector<SutConfig>& suts, const RunConfig& conf
     for (int rep = 0; rep < reps; ++rep) {
         RunConfig c = config;
         c.seed = config.seed + static_cast<std::uint64_t>(rep) * 7919;
-        // The timeline belongs to a single rep (overlaying reps in one
-        // trace would be meaningless); rep 0 is the designated one.
-        if (rep != 0) c.trace = nullptr;
+        // The timeline and the time-series belong to a single rep
+        // (overlaying reps in one sink would be meaningless); rep 0 is
+        // the designated one.
+        if (rep != 0) {
+            c.trace = nullptr;
+            c.timeseries = nullptr;
+        }
         RunResult r = run_once(suts, c);
         if (rep == 0) {
             agg = std::move(r);

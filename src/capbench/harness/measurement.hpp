@@ -17,6 +17,7 @@
 #include "capbench/sim/stats.hpp"
 
 namespace capbench::obs {
+class TimeSeries;
 class TraceSink;
 }
 
@@ -58,6 +59,23 @@ struct RunConfig {
     /// samples every 500 ms; the default here is shorter so the short
     /// simulated windows of CI-scale runs still produce samples.
     sim::Duration cpusage_interval = sim::milliseconds(10);
+    /// Interval time-series telemetry (obs/timeseries.hpp): with a
+    /// non-null sink AND a positive sample_interval, an IntervalSampler
+    /// snapshots gauges and counter deltas every tick and at the freeze
+    /// instant.  A sink without a positive interval throws
+    /// std::invalid_argument; an interval without a sink is inert, so the
+    /// default (off) keeps every result byte-identical.  Like `trace`,
+    /// a non-null sink implies metrics collection and must outlive the
+    /// run; run_repeated samples rep 0 only.
+    sim::Duration sample_interval = sim::Duration::zero();
+    obs::TimeSeries* timeseries = nullptr;
+    /// Square-wave generator modulation (the ext_overload_pulse
+    /// workload), forwarded to GenConfig: every `burst_period` the target
+    /// rate is multiplied by `burst_multiplier` for `burst_duration`.
+    /// Period zero (default) = classic steady pacing.
+    sim::Duration burst_period = sim::Duration::zero();
+    sim::Duration burst_duration = sim::Duration::zero();
+    double burst_multiplier = 10.0;
 };
 
 struct SutRunResult {

@@ -101,6 +101,12 @@ public:
         return endpoints_[app_index]->stats();
     }
 
+    /// Application i's capture endpoint (buffer-occupancy gauges for the
+    /// interval time-series sampler).
+    [[nodiscard]] const capture::StackEndpoint& endpoint(std::size_t app_index) const {
+        return *endpoints_[app_index];
+    }
+
     /// Per-RSS-queue slices of application i's capture counters.
     [[nodiscard]] const std::vector<capture::CaptureStats>& queue_capture_stats(
         std::size_t app_index) const {

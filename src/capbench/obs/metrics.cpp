@@ -36,13 +36,7 @@ void RunMetrics::merge(const RunMetrics& other) {
             AppMetrics& x = a.apps[i];
             const AppMetrics& y = b.apps[i];
             x.delivered += y.delivered;
-            x.drop_nic_ring += y.drop_nic_ring;
-            x.drop_backlog += y.drop_backlog;
-            x.drop_verdict += y.drop_verdict;
-            x.drop_bpf_store += y.drop_bpf_store;
-            x.drop_fanout += y.drop_fanout;
-            x.drop_disk_spill += y.drop_disk_spill;
-            x.drop_drain += y.drop_drain;
+            for (const DropSite& site : kDropSites) x.*site.member += y.*site.member;
             merge_samples(x.latency_ns, y.latency_ns);
             merge_samples(x.enqueue_ns, y.enqueue_ns);
             merge_samples(x.deliver_ns, y.deliver_ns);

@@ -19,6 +19,7 @@
 #include "capbench/profiling/cpusage.hpp"
 #include "capbench/sim/stats.hpp"
 
+#include <array>
 #include <cstdint>
 #include <string>
 #include <utility>
@@ -40,16 +41,39 @@ struct AppMetrics {
     std::uint64_t drop_disk_spill = 0; // spilled by the disk-writer ring
     std::uint64_t drop_drain = 0;      // still in flight at window close
 
-    [[nodiscard]] std::uint64_t drops_total() const {
-        return drop_nic_ring + drop_backlog + drop_verdict + drop_bpf_store +
-               drop_fanout + drop_disk_spill + drop_drain;
-    }
+    [[nodiscard]] std::uint64_t drops_total() const;
 
     // Lifecycle latencies, in sim nanoseconds.
     sim::SampleSet latency_ns;  // NIC arrival -> user delivery
     sim::SampleSet enqueue_ns;  // kernel hand-off -> capture-stack enqueue
     sim::SampleSet deliver_ns;  // enqueue -> user delivery
 };
+
+/// One named drop bucket of the closed taxonomy above, addressed as an
+/// AppMetrics member pointer so every consumer (metric JSON, time-series
+/// deltas, tests) iterates the same table instead of repeating the string
+/// literals — a future bucket added here reaches all of them at once.
+struct DropSite {
+    const char* name;
+    std::uint64_t AppMetrics::* member;
+};
+
+/// Every drop bucket, in the emission order of `capbench.metrics.v1`.
+inline constexpr std::array<DropSite, 7> kDropSites{{
+    {"nic_ring", &AppMetrics::drop_nic_ring},
+    {"backlog", &AppMetrics::drop_backlog},
+    {"verdict", &AppMetrics::drop_verdict},
+    {"bpf_store", &AppMetrics::drop_bpf_store},
+    {"fanout", &AppMetrics::drop_fanout},
+    {"disk_spill", &AppMetrics::drop_disk_spill},
+    {"drain", &AppMetrics::drop_drain},
+}};
+
+inline std::uint64_t AppMetrics::drops_total() const {
+    std::uint64_t total = 0;
+    for (const DropSite& site : kDropSites) total += this->*site.member;
+    return total;
+}
 
 struct SutMetrics {
     std::string name;

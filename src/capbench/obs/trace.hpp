@@ -33,6 +33,7 @@ namespace capbench::obs {
 /// get ids from kThreadTidBase upward in spawn order.
 inline constexpr int kKernelTid = 64;   // serialized kernel work (CPU 0)
 inline constexpr int kNicTid = 96;      // NIC / IRQ lane
+inline constexpr int kSamplerTid = 112; // interval time-series counter lane
 inline constexpr int kThreadTidBase = 128;
 
 struct TraceEvent {

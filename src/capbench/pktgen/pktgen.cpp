@@ -140,9 +140,19 @@ void Generator::send_next() {
         sim::Duration{config_.delay_ns};
     sim::SimTime next = sim_->now() + nic_gap;
     if (config_.rate_mbps > 0.0) {
+        double rate = config_.rate_mbps;
+        if (config_.burst_period_ns > 0) {
+            const std::int64_t phase =
+                (sim_->now() - stats_.started_at).ns() % config_.burst_period_ns;
+            if (phase < config_.burst_duration_ns) rate *= config_.burst_multiplier;
+            // A burst above what the NIC gap admits leaves the pacing
+            // cursor behind the clock; without this clamp the deficit
+            // would be "repaid" at line rate after the burst window,
+            // smearing the square wave.
+            pace_next_ = std::max(pace_next_, sim_->now());
+        }
         const double bits = static_cast<double>(ip_size) * 8.0;
-        const auto inter = sim::Duration{
-            static_cast<std::int64_t>(bits * 1000.0 / config_.rate_mbps)};
+        const auto inter = sim::Duration{static_cast<std::int64_t>(bits * 1000.0 / rate)};
         pace_next_ = pace_next_ + inter;
         next = std::max(next, pace_next_);
     }

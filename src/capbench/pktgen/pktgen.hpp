@@ -60,6 +60,15 @@ struct GenConfig {
     bool full_bytes = false;
     std::uint64_t seed = 1;
 
+    /// Square-wave rate modulation (the overload-pulse workload): from
+    /// generation start, during the first `burst_duration_ns` of every
+    /// `burst_period_ns` the target rate is multiplied by
+    /// `burst_multiplier` (still floored by the NIC/link pacing gap).
+    /// period 0 (default) = steady rate, byte-identical to classic pacing.
+    std::int64_t burst_period_ns = 0;
+    std::int64_t burst_duration_ns = 0;
+    double burst_multiplier = 10.0;
+
     /// Per-packet flow identity: packets cycle deterministically through
     /// this many distinct UDP 4-tuples (flow id = packet id % flow_count),
     /// each derived from the base addressing below.  1 = the classic

@@ -22,13 +22,7 @@ JsonValue MetricsWriter::app(const obs::AppMetrics& a) {
     JsonValue out = JsonValue::object();
     out.set("delivered", a.delivered);
     JsonValue drops = JsonValue::object();
-    drops.set("nic_ring", a.drop_nic_ring);
-    drops.set("backlog", a.drop_backlog);
-    drops.set("verdict", a.drop_verdict);
-    drops.set("bpf_store", a.drop_bpf_store);
-    drops.set("fanout", a.drop_fanout);
-    drops.set("disk_spill", a.drop_disk_spill);
-    drops.set("drain", a.drop_drain);
+    for (const obs::DropSite& site : obs::kDropSites) drops.set(site.name, a.*site.member);
     out.set("drops", std::move(drops));
     out.set("latency_ns", summary(a.latency_ns.summary()));
     out.set("enqueue_ns", summary(a.enqueue_ns.summary()));
@@ -113,10 +107,29 @@ JsonValue MetricsWriter::document(const scenario::ScenarioResult& r) {
     return doc;
 }
 
-JsonValue MetricsWriter::suite(std::vector<JsonValue> documents) {
+JsonValue MetricsWriter::suite(std::vector<JsonValue> documents,
+                               const obs::TimeSeries* timeseries) {
     JsonValue doc = JsonValue::object();
     doc.set("schema", kSuiteSchema);
     doc.set("capbench_version", kVersion);
+    // Overload episodes of the designated sampled run (--timeseries).
+    if (timeseries != nullptr && timeseries->finalized) {
+        JsonValue episodes = JsonValue::array();
+        for (const obs::SutSeries& s : timeseries->suts) {
+            for (const obs::OverloadEpisode& ep : s.episodes) {
+                JsonValue e = JsonValue::object();
+                e.set("sut", s.name);
+                e.set("start_ns", ep.start_ns);
+                e.set("end_ns", ep.end_ns);
+                e.set("intervals", static_cast<std::uint64_t>(ep.intervals));
+                e.set("dominant_site", ep.dominant_site);
+                e.set("dropped", ep.dropped);
+                e.set("peak_occupancy_pct", ep.peak_occupancy_pct);
+                episodes.push_back(std::move(e));
+            }
+        }
+        doc.set("overload_episodes", std::move(episodes));
+    }
     // Process-wide filter-compile accounting.  The cache counts a miss
     // only for the install that won the insert race, so for a fixed
     // command line these totals are byte-stable across --jobs.

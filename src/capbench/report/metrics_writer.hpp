@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "capbench/obs/metrics.hpp"
+#include "capbench/obs/timeseries.hpp"
 #include "capbench/report/json.hpp"
 #include "capbench/scenario/scenario.hpp"
 #include "capbench/sim/stats.hpp"
@@ -34,8 +35,12 @@ public:
     /// The whole per-scenario metrics document.  Custom (table-only)
     /// scenarios and scenarios without collected metrics yield points: [].
     [[nodiscard]] static JsonValue document(const scenario::ScenarioResult& r);
-    /// Wraps per-scenario documents into a suite document.
-    [[nodiscard]] static JsonValue suite(std::vector<JsonValue> documents);
+    /// Wraps per-scenario documents into a suite document.  With a
+    /// non-null finalized TimeSeries the suite also carries an
+    /// "overload_episodes" block (the detector's coalesced dropping runs
+    /// of the designated sampled run).
+    [[nodiscard]] static JsonValue suite(std::vector<JsonValue> documents,
+                                         const obs::TimeSeries* timeseries = nullptr);
 
     /// Pretty serialization (2-space indent, trailing newline).
     [[nodiscard]] static std::string serialize(const JsonValue& v);

@@ -395,6 +395,37 @@ std::vector<Scenario> build_registry() {
         all.push_back(std::move(s));
     }
     {
+        // Square-wave overload pulses (the ISSUE 10 telemetry workload):
+        // every 20 ms the generator multiplies its target rate by 10 for
+        // 5 ms, so a sampled run shows clean bursts of drops separated by
+        // healthy recovery — the shape the OverloadDetector must carve
+        // into episodes aligned with the bursts.
+        Scenario s;
+        s.id = "ext_overload_pulse";
+        s.caption = "square-wave overload pulses: periodic 10x bursts over a steady base "
+                    "rate (interval-telemetry workload)";
+        s.axis = Axis::kRateMbps;
+        s.sweep = {80, 160, 240};
+        s.variants = {Variant{"", "", [] {
+                                  std::vector<SutConfig> suts{
+                                      harness::standard_sut("swan"),
+                                      harness::standard_sut("moorhen")};
+                                  return suts;
+                              },
+                              [](RunConfig& cfg) {
+                                  cfg.burst_period = sim::milliseconds(20);
+                                  cfg.burst_duration = sim::milliseconds(5);
+                                  cfg.burst_multiplier = 10.0;
+                              }}};
+        s.postscript =
+            "The base rates are comfortable; the 10x bursts are not.  With\n"
+            "--timeseries the per-interval drop deltas light up during each burst and\n"
+            "the overload detector coalesces them into episodes (one per burst at a\n"
+            "fine enough CAPBENCH_SAMPLE_INTERVAL); delivered + drops still sums\n"
+            "exactly to generated, interval by interval.";
+        all.push_back(std::move(s));
+    }
+    {
         // Receive livelock is a single-processor phenomenon: the interrupts
         // and the starved application compete for the same CPU (Section 2.2.1).
         auto s = sweep_scenario(

@@ -123,27 +123,31 @@ ScenarioResult run_scenario(const Scenario& s, const RunOptions& opts) {
         cfg.packets = res.packets;
         cfg.seed = res.base_seed;
         cfg.collect_metrics = opts.metrics;
+        cfg.sample_interval = opts.sample_interval;
         if (v.tweak) v.tweak(cfg);
 
-        // The timeline belongs to one deterministic run: the first
-        // variant's sweep designates its last point (see rate_sweep).
+        // The timeline and time-series belong to one deterministic run:
+        // the first variant's sweep designates its last point (see
+        // rate_sweep).
         obs::TraceSink* trace = first_variant ? opts.trace : nullptr;
+        obs::TimeSeries* timeseries = first_variant ? opts.timeseries : nullptr;
         first_variant = false;
 
         std::vector<harness::SweepRow> rows;
         if (s.axis == Axis::kRateMbps) {
-            rows = harness::rate_sweep(suts, cfg, s.sweep, res.reps, &exec, trace);
+            rows = harness::rate_sweep(suts, cfg, s.sweep, res.reps, &exec, trace, timeseries);
         } else if (s.axis == Axis::kQueues) {
             std::vector<int> counts;
             counts.reserve(s.sweep.size());
             for (const double c : s.sweep) counts.push_back(static_cast<int>(c));
-            rows = harness::queue_sweep(suts, cfg, counts, res.reps, &exec, trace);
+            rows = harness::queue_sweep(suts, cfg, counts, res.reps, &exec, trace, timeseries);
         } else {
             std::vector<std::uint64_t> buffer_kb;
             buffer_kb.reserve(s.sweep.size());
             for (const double kb : s.sweep)
                 buffer_kb.push_back(static_cast<std::uint64_t>(kb));
-            rows = harness::buffer_sweep(suts, cfg, buffer_kb, res.reps, &exec, trace);
+            rows = harness::buffer_sweep(suts, cfg, buffer_kb, res.reps, &exec, trace,
+                                         timeseries);
         }
 
         if (out != nullptr) {

@@ -9,8 +9,10 @@
 #include <string>
 
 #include "capbench/scenario/registry.hpp"
+#include "capbench/sim/time.hpp"
 
 namespace capbench::obs {
+class TimeSeries;
 class TraceSink;
 }
 
@@ -41,6 +43,12 @@ struct RunOptions {
     /// deterministic designated run: first variant, last sweep point,
     /// rep 0 — identical at any job count.  Must outlive the call.
     obs::TraceSink* trace = nullptr;
+    /// Interval time-series sink (capbench.timeseries.v1): samples the
+    /// same designated run as `trace`, every `sample_interval` of
+    /// simulated time.  Non-null requires a positive interval; must
+    /// outlive the call.
+    obs::TimeSeries* timeseries = nullptr;
+    sim::Duration sample_interval = sim::Duration::zero();
 };
 
 /// Executes the scenario: runs every variant's sweep (or the custom table

@@ -28,6 +28,7 @@
 #include "capbench/load/disk_writer.hpp"
 #include "capbench/net/packet.hpp"
 #include "capbench/obs/observer.hpp"
+#include "capbench/obs/timeseries.hpp"
 #include "capbench/pcap/file.hpp"
 #include "capbench/obs/trace.hpp"
 #include "capbench/pktgen/pktgen.hpp"
@@ -330,6 +331,24 @@ TEST(AllocGuard, Fig62SteadyStateAllocationsBoundedWhenTracingEnabled) {
     EXPECT_LE(allocs, 2 * chunk_growth + 16)
         << "tracing-enabled steady state allocated beyond trace-buffer growth "
         << "(chunks grew by " << chunk_growth << ")";
+}
+
+TEST(AllocGuard, TimeseriesPushesAreChunkGrowthBounded) {
+    SKIP_UNDER_SANITIZERS();
+    // ISSUE 10: steady-state interval sampling may allocate only on slab
+    // growth — each full chunk costs one unique_ptr + one array, plus the
+    // occasional pointer-vector doubling.
+    capbench::obs::Series series;
+    for (int i = 0; i < 64; ++i) series.push(i);  // warmup: first chunk exists
+    const std::uint64_t chunks_before = series.chunk_count();
+    const std::uint64_t allocs = allocations_during([&] {
+        for (int i = 0; i < 100'000; ++i) series.push(i);
+    });
+    const std::uint64_t chunk_growth = series.chunk_count() - chunks_before;
+    EXPECT_GT(chunk_growth, 0u);
+    EXPECT_LE(allocs, 2 * chunk_growth + 16)
+        << "Series pushes allocated beyond chunk growth (chunks grew by "
+        << chunk_growth << ")";
 }
 
 /// Fixed-size sink for pcap output: accepts bytes without buffering them,

@@ -139,6 +139,35 @@ TEST(EnvKnobs, QueuesRejectsGarbageZeroNegativeEmpty) {
     }
 }
 
+TEST(EnvKnobs, SampleIntervalDefaultsToZero) {
+    const ScopedEnv env{"CAPBENCH_SAMPLE_INTERVAL", nullptr};
+    EXPECT_EQ(sample_interval_from_env().ns(), 0);
+}
+
+TEST(EnvKnobs, SampleIntervalParsesMicroseconds) {
+    const ScopedEnv env{"CAPBENCH_SAMPLE_INTERVAL", "250"};
+    EXPECT_EQ(sample_interval_from_env().ns(), 250'000);
+}
+
+TEST(EnvKnobs, SampleIntervalRejectsGarbageZeroNegativeEmptyOverflow) {
+    for (const char* bad : {"soon", "0", "-5", "", "1ms", " 10", "99999999999999999999",
+                            "3600000001"}) {  // last: above the one-hour cap
+        const ScopedEnv env{"CAPBENCH_SAMPLE_INTERVAL", bad};
+        EXPECT_THROW((void)sample_interval_from_env(), std::runtime_error) << bad;
+    }
+}
+
+TEST(EnvKnobs, SampleIntervalErrorNamesTheKnob) {
+    const ScopedEnv env{"CAPBENCH_SAMPLE_INTERVAL", "fast"};
+    try {
+        (void)sample_interval_from_env();
+        FAIL() << "expected std::runtime_error";
+    } catch (const std::runtime_error& e) {
+        EXPECT_NE(std::string(e.what()).find("CAPBENCH_SAMPLE_INTERVAL"), std::string::npos);
+        EXPECT_NE(std::string(e.what()).find("fast"), std::string::npos);
+    }
+}
+
 TEST(EnvKnobs, AffinityDefaultsToEmpty) {
     const ScopedEnv env{"CAPBENCH_AFFINITY", nullptr};
     EXPECT_TRUE(affinity_from_env().empty());

@@ -291,8 +291,7 @@ TEST(ObsMetricsDoc, WriterEmitsSchemaAndDropBuckets) {
     const auto& app = sut.at("apps").as_array().at(0);
     const auto& drops = app.at("drops");
     std::int64_t total = app.at("delivered").as_int();
-    for (const char* site : {"nic_ring", "backlog", "verdict", "bpf_store", "drain"})
-        total += drops.at(site).as_int();
+    for (const obs::DropSite& site : obs::kDropSites) total += drops.at(site.name).as_int();
     EXPECT_EQ(total, static_cast<std::int64_t>(result.generated));
     EXPECT_TRUE(sut.at("cpu").at("samples").as_int() > 0);
 }
@@ -319,8 +318,9 @@ TEST(ObsBpfCounters, FilterInstallRegistersPerAppCounters) {
     }
     ASSERT_TRUE(saw_installs);
     EXPECT_EQ(installs, 1u);
-    if (bpf::exec_tier() != bpf::ExecTier::kInterpreter)
+    if (bpf::exec_tier() != bpf::ExecTier::kInterpreter) {
         EXPECT_GT(decoded_insns, 0u);
+    }
 }
 
 TEST(ObsBpfCounters, MetricsSuiteCarriesProcessCacheStats) {

@@ -62,6 +62,9 @@ const std::vector<std::pair<std::string, std::string>> kGoldenList = {
     {"ext_disk_writer",
      "capture-to-disk writer pipeline: bring-ring hand-off vs. inline write, 76-byte "
      "header trace (ring depth x spill policy)"},
+    {"ext_overload_pulse",
+     "square-wave overload pulses: periodic 10x bursts over a steady base rate "
+     "(interval-telemetry workload)"},
     {"ablation_livelock",
      "interrupt moderation on vs. off (one interrupt per packet), single CPU"},
 };

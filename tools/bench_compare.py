@@ -1,0 +1,148 @@
+#!/usr/bin/env python3
+"""Diff committed capbench.perf.v1 benchmark snapshots for regressions.
+
+The repo root accumulates BENCH_<date>[_<suite>].json documents produced by
+`capbench_perf --json` (see EXPERIMENTS.md).  This tool groups them into
+suites by filename suffix (no suffix -> "core"), takes the two newest
+documents in each suite, and compares every case name they share on
+`wall_seconds`.  A case that got more than --threshold slower is a
+regression and the tool exits non-zero; suites with fewer than two
+snapshots are skipped (nothing to diff yet), as are pairs whose
+config.build_type differs (cross-build-type timings are meaningless).
+
+Usage:
+    tools/bench_compare.py                    # scan the repo root
+    tools/bench_compare.py --root DIR         # scan another directory
+    tools/bench_compare.py --pair OLD NEW     # compare two explicit files
+    tools/bench_compare.py --threshold 0.40   # loosen the gate
+
+Numbers are machine-dependent: only compare snapshots produced on the same
+host (the committed ones all are).  Standard library only.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import re
+import sys
+from pathlib import Path
+
+SCHEMA = "capbench.perf.v1"
+NAME_RE = re.compile(r"^BENCH_(\d{4}-\d{2}-\d{2})(?:_(.+))?\.json$")
+
+
+def load_doc(path: Path) -> dict:
+    with path.open() as f:
+        doc = json.load(f)
+    schema = doc.get("schema")
+    if schema != SCHEMA:
+        raise SystemExit(f"{path.name}: schema {schema!r}, expected {SCHEMA!r}")
+    return doc
+
+
+def discover_suites(root: Path) -> dict[str, list[Path]]:
+    """Map suite name -> snapshot paths sorted oldest-to-newest.
+
+    The ISO date in the filename sorts lexicographically; the full name is
+    the tiebreak so same-day snapshots order deterministically.
+    """
+    suites: dict[str, list[Path]] = {}
+    for path in sorted(root.glob("BENCH_*.json")):
+        m = NAME_RE.match(path.name)
+        if m is None:
+            print(f"note: {path.name} does not match BENCH_<date>[_suite].json, skipped")
+            continue
+        suites.setdefault(m.group(2) or "core", []).append(path)
+    for paths in suites.values():
+        paths.sort(key=lambda p: (NAME_RE.match(p.name).group(1), p.name))
+    return suites
+
+
+def compare_pair(old_path: Path, new_path: Path, threshold: float,
+                 min_seconds: float) -> list[str]:
+    """Return a list of regression descriptions (empty = pass)."""
+    old_doc = load_doc(old_path)
+    new_doc = load_doc(new_path)
+    old_build = old_doc.get("config", {}).get("build_type")
+    new_build = new_doc.get("config", {}).get("build_type")
+    if old_build != new_build:
+        print(f"  skip: build_type mismatch ({old_build} vs {new_build})")
+        return []
+    old_cases = {c["name"]: c for c in old_doc.get("cases", [])}
+    new_cases = {c["name"]: c for c in new_doc.get("cases", [])}
+    shared = sorted(old_cases.keys() & new_cases.keys())
+    if not shared:
+        print("  skip: no shared case names")
+        return []
+    regressions = []
+    for name in shared:
+        old_wall = old_cases[name]["wall_seconds"]
+        new_wall = new_cases[name]["wall_seconds"]
+        if old_wall < min_seconds or new_wall < min_seconds:
+            print(f"  ~ {name}: below {min_seconds}s floor, not compared")
+            continue
+        ratio = new_wall / old_wall
+        marker = "OK"
+        if ratio > 1.0 + threshold:
+            marker = "REGRESSION"
+            regressions.append(
+                f"{name}: {old_wall:.4f}s -> {new_wall:.4f}s "
+                f"({(ratio - 1.0) * 100:+.1f}%, limit +{threshold * 100:.0f}%)")
+        elif ratio < 1.0 - threshold:
+            marker = "improved"
+        print(f"  {marker:>10} {name}: {old_wall:.4f}s -> {new_wall:.4f}s "
+              f"({(ratio - 1.0) * 100:+.1f}%)")
+    only_old = sorted(old_cases.keys() - new_cases.keys())
+    only_new = sorted(new_cases.keys() - old_cases.keys())
+    if only_old:
+        print(f"  note: cases only in {old_path.name}: {', '.join(only_old)}")
+    if only_new:
+        print(f"  note: cases only in {new_path.name}: {', '.join(only_new)}")
+    return regressions
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--root", type=Path,
+                        default=Path(__file__).resolve().parent.parent,
+                        help="directory holding BENCH_*.json (default: repo root)")
+    parser.add_argument("--threshold", type=float, default=0.25,
+                        help="fractional slowdown that fails (default 0.25 = 25%%)")
+    parser.add_argument("--min-seconds", type=float, default=0.001,
+                        help="ignore cases faster than this in either snapshot")
+    parser.add_argument("--pair", nargs=2, type=Path, metavar=("OLD", "NEW"),
+                        help="compare two explicit snapshots instead of scanning")
+    args = parser.parse_args()
+
+    all_regressions: list[str] = []
+    if args.pair:
+        old_path, new_path = args.pair
+        print(f"{old_path.name} -> {new_path.name}:")
+        all_regressions += compare_pair(old_path, new_path, args.threshold,
+                                        args.min_seconds)
+    else:
+        suites = discover_suites(args.root)
+        if not suites:
+            raise SystemExit(f"no BENCH_*.json under {args.root}")
+        for suite, paths in sorted(suites.items()):
+            if len(paths) < 2:
+                print(f"suite '{suite}': 1 snapshot ({paths[0].name}), "
+                      "nothing to diff")
+                continue
+            old_path, new_path = paths[-2], paths[-1]
+            print(f"suite '{suite}': {old_path.name} -> {new_path.name}:")
+            all_regressions += compare_pair(old_path, new_path, args.threshold,
+                                            args.min_seconds)
+
+    if all_regressions:
+        print(f"\nFAIL: {len(all_regressions)} regression(s)", file=sys.stderr)
+        for r in all_regressions:
+            print(f"  {r}", file=sys.stderr)
+        return 1
+    print("\nbench_compare: no regressions")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
